@@ -1,0 +1,126 @@
+// Ablation study of the cost-model design choices DESIGN.md calls out:
+//
+//  A1. empirical bandwidth table vs naive rho = 1 (datasheet peak):
+//      how far off does the EKIT steady-state term land?
+//  A2. textbook constant-operand knowledge vs none: Table-II resource
+//      error on the three kernels.
+//  A3. fabric second-order optimizations (CSE / strength reduction /
+//      retiming) on vs off: how much of the estimate-vs-actual gap do
+//      they explain?
+//  A4. IR optimization passes before costing: how much of that gap the
+//      compiler can close *without* touching the cost model.
+
+#include <cmath>
+#include <cstdio>
+
+#include "tytra/cost/report.hpp"
+#include "tytra/fabric/synth.hpp"
+#include "tytra/ir/passes.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+
+double pct(double est, double act) {
+  return act != 0 ? (est - act) / act * 100.0 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const target::DeviceDesc dev = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(dev);
+
+  std::printf("=== cost-model ablations (stratix-v-gsd8) ===\n\n");
+
+  // --- A1: empirical bandwidth vs datasheet peak ---------------------------
+  {
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = 32;
+    cfg.lanes = 8;  // fast enough that memory matters
+    const ir::Module m = kernels::make_sor(cfg);
+    cost::EkitInputs in = cost::resolve_inputs(m, db);
+    const auto with_table = cost::ekit(in);
+    cost::EkitInputs naive = in;
+    naive.rho_g = 1.0;
+    naive.rho_h = 1.0;
+    const auto with_peak = cost::ekit(naive);
+    std::printf("A1 empirical bandwidth table (SOR 32^3, 8 lanes):\n");
+    std::printf("   rho_G (measured) = %.3f -> EKIT %.1f/s, limiting %s\n",
+                in.rho_g, with_table.ekit,
+                std::string(cost::wall_name(with_table.limiting)).c_str());
+    std::printf("   rho = 1 (naive)  -> EKIT %.1f/s, limiting %s  (%.0f%% "
+                "optimistic)\n\n",
+                with_peak.ekit,
+                std::string(cost::wall_name(with_peak.limiting)).c_str(),
+                (with_peak.ekit / with_table.ekit - 1.0) * 100.0);
+  }
+
+  // --- A2/A3/A4 over the Table-II kernels ----------------------------------
+  struct Case {
+    const char* name;
+    ir::Module module;
+  };
+  kernels::SorConfig sor;
+  sor.im = sor.jm = sor.km = 16;
+  kernels::HotspotConfig hs;
+  hs.rows = hs.cols = 64;
+  kernels::LavamdConfig lava;
+  lava.particles = 4096;
+  lava.elem = ir::ScalarType::uint(18);
+  Case cases[] = {{"Hotspot", kernels::make_hotspot(hs)},
+                  {"LavaMD", kernels::make_lavamd(lava)},
+                  {"SOR", kernels::make_sor(sor)}};
+
+  std::printf("A2-A4 ALUT estimate error vs fabric actual (signed %%):\n");
+  std::printf("%-9s %14s %14s %14s %16s\n", "kernel", "full model",
+              "no-const-know", "fabric-no-opt", "after IR passes");
+  for (auto& c : cases) {
+    const auto act = fabric::synthesize(c.module, dev);
+    const auto est = cost::estimate_resources(c.module, db);
+
+    // A2: strip the model's constant-operand knowledge by rewriting
+    // constants into pseudo-streams is intrusive; instead re-cost each
+    // instruction with op_cost (what the model would do without
+    // op_cost_const). Approximated by costing an IR copy whose constants
+    // are replaced with locals.
+    ir::Module no_const = c.module;
+    for (auto& f : no_const.functions) {
+      int fresh = 0;
+      for (auto& item : f.body) {
+        if (auto* instr = std::get_if<ir::Instr>(&item)) {
+          for (auto& a : instr->args) {
+            if (a.kind == ir::Operand::Kind::ConstInt) {
+              const std::string name = "konst" + std::to_string(fresh++);
+              f.params.push_back({instr->type, name});
+              a = ir::Operand::local(name);
+            }
+          }
+        }
+      }
+    }
+    const auto est_noconst = cost::estimate_resources(no_const, db);
+
+    fabric::SynthOptions raw;
+    raw.enable_cse = false;
+    raw.enable_strength_reduction = false;
+    raw.enable_retiming = false;
+    const auto act_noopt = fabric::synthesize(c.module, dev, raw);
+
+    ir::Module optimized = c.module;
+    ir::optimize(optimized);
+    const auto est_opt = cost::estimate_resources(optimized, db);
+
+    std::printf("%-9s %13.1f%% %13.1f%% %13.1f%% %15.1f%%\n", c.name,
+                pct(est.total.aluts, act.total.aluts),
+                pct(est_noconst.total.aluts, act.total.aluts),
+                pct(est.total.aluts, act_noopt.total.aluts),
+                pct(est_opt.total.aluts, act.total.aluts));
+  }
+  std::printf("\nreading: 'no-const-know' inflates the estimate (the paper's\n"
+              "DSP-style overestimates appear in ALUTs too); against a\n"
+              "non-optimizing fabric the plain model is nearly unbiased; IR\n"
+              "passes close part of the remaining gap at zero model cost.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Fig. 9: deriving cost expressions for ALUTs used in unsigned
+// integer division (polynomial trend-line fitted from three probe points)
+// and ALUTs / DSP-elements used in unsigned integer multiplication
+// (piecewise-linear with discontinuities), on a Stratix-V device.
+//
+// Prints the fitted laws, the actual-vs-estimated curves, and the paper's
+// headline interpolation check (24-bit divider: estimate 654 vs actual 652).
+
+#include <cstdio>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/fabric/cores.hpp"
+#include "tytra/support/strings.hpp"
+
+int main() {
+  using namespace tytra;
+  using ir::Opcode;
+  using ir::ScalarType;
+
+  const target::DeviceDesc dev = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(dev);
+
+  std::printf("=== Fig. 9: resource-cost laws on %s ===\n\n", dev.name.c_str());
+
+  const auto& div_law = db.int_law(Opcode::Div);
+  const auto& c = div_law.aluts.coeffs();
+  std::printf("fitted divider ALUT law (from probes at 8/18/32/64 bits):\n");
+  std::printf("  aluts(x) = %.3f x^2 + %.3f x + %.3f   (paper: x^2 + 3.7x - 10.6)\n\n",
+              c.size() > 2 ? c[2] : 0.0, c.size() > 1 ? c[1] : 0.0, c[0]);
+
+  std::printf("%6s %12s %12s %12s %12s %9s\n", "bits", "div-ALUTs", "div-est",
+              "mul-ALUTs", "mul-est", "mul-DSPs");
+  for (int w = 8; w <= 64; w += 4) {
+    const auto t = ScalarType::uint(static_cast<std::uint16_t>(w));
+    const ResourceVec div_act = fabric::core_resources(Opcode::Div, t, dev);
+    const ResourceVec div_est = db.op_cost(Opcode::Div, t);
+    const ResourceVec mul_act = fabric::core_resources(Opcode::Mul, t, dev);
+    const ResourceVec mul_est = db.op_cost(Opcode::Mul, t);
+    std::printf("%6d %12.0f %12.0f %12.0f %12.0f %9.0f\n", w, div_act.aluts,
+                div_est.aluts, mul_act.aluts, mul_est.aluts, mul_act.dsps);
+  }
+
+  std::printf("\nDSP-count discontinuities recovered by the calibrator: ");
+  for (const double x : db.int_law(Opcode::Mul).dsps.discontinuities()) {
+    std::printf("%g ", x);
+  }
+  std::printf("  (DSP tile boundaries)\n");
+
+  const ResourceVec est24 = db.op_cost(Opcode::Div, ScalarType::uint(24));
+  const ResourceVec act24 =
+      fabric::core_resources(Opcode::Div, ScalarType::uint(24), dev);
+  std::printf("\n24-bit divider interpolation check (paper: est 654 vs actual 652):\n");
+  std::printf("  estimate %.0f ALUTs vs actual %.0f ALUTs  (%.2f%% error)\n",
+              est24.aluts, act24.aluts,
+              100.0 * (est24.aluts - act24.aluts) / act24.aluts);
+  std::printf("\ncalibration (one-time per target): %.3f ms\n",
+              db.calibration_seconds() * 1e3);
+  return 0;
+}

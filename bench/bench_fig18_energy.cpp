@@ -1,0 +1,67 @@
+// Reproduces Fig. 18: increase-from-idle energy consumption for the SOR
+// kernel at different grid sizes, normalized against the CPU-only
+// solution (1000 kernel iterations). Δ-power is what a power meter on the
+// host+device node reads above idle.
+//
+// Expected shape (paper): FPGAs overtake the CPU very quickly;
+// fpga-tytra shows up to 11x power-efficiency over cpu and ~2.9x over
+// fpga-maxJ.
+
+#include <cstdio>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/cost/resource_model.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/sim/cpu_model.hpp"
+#include "tytra/sim/cycle_model.hpp"
+#include "tytra/sim/power.hpp"
+
+namespace {
+
+using namespace tytra;
+
+double fpga_energy(const ir::Module& m, const target::DeviceDesc& dev,
+                   const cost::DeviceCostDb& db) {
+  const auto timing = sim::simulate_timing(m, dev);
+  const auto res = cost::estimate_resources(m, db);
+  const double watts = sim::fpga_delta_watts(res.total, dev, timing.freq_hz) +
+                       sim::host_assist_delta_watts();
+  return sim::delta_energy_joules(watts, timing.total_seconds);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kNmaxp = 1000;
+  const target::DeviceDesc dev = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(dev);
+
+  std::printf("=== Fig. 18: delta-energy vs grid size, normalized to cpu ===\n");
+  std::printf("(1000 kernel iterations; cpu delta-power %.0f W)\n\n",
+              sim::cpu_delta_watts());
+  std::printf("%6s %12s %12s %12s %12s %14s\n", "dim", "cpu (J)", "cpu",
+              "fpga-maxJ", "fpga-tytra", "tytra-vs-cpu");
+
+  for (const std::uint32_t dim : {24u, 48u, 96u, 144u, 192u}) {
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = dim;
+    cfg.nki = kNmaxp;
+    cfg.form = ir::ExecForm::B;
+
+    const double cpu_seconds = sim::cpu_total_seconds(
+        cfg.ngs(), kNmaxp, kernels::sor_cpu_cost(), kernels::case_study_cpu());
+    const double cpu_j =
+        sim::delta_energy_joules(sim::cpu_delta_watts(), cpu_seconds);
+
+    const double maxj_j = fpga_energy(kernels::make_sor(cfg), dev, db);
+    kernels::SorConfig tytra = cfg;
+    tytra.lanes = 4;
+    const double tytra_j = fpga_energy(kernels::make_sor(tytra), dev, db);
+
+    std::printf("%6u %12.1f %12.2f %12.2f %12.2f %13.1fx\n", dim, cpu_j, 1.0,
+                maxj_j / cpu_j, tytra_j / cpu_j, cpu_j / tytra_j);
+  }
+  std::printf("\npaper: fpga-tytra up to 11x power-efficiency over cpu and"
+              " 2.9x over fpga-maxJ\n");
+  return 0;
+}

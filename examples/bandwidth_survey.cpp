@@ -1,0 +1,42 @@
+// Sustained-bandwidth survey: runs the STREAM-style benchmark on the two
+// built-in platforms and shows how the empirical table feeds the cost
+// model's rho scaling factors (Table I).
+//
+//   $ ./example_bandwidth_survey
+
+#include <cstdio>
+
+#include "tytra/membench/stream_bench.hpp"
+
+int main() {
+  using namespace tytra;
+  using membench::BandwidthTable;
+
+  for (const auto& device :
+       {target::virtex7_690t(), target::stratix_v_gsd8()}) {
+    std::printf("=== %s ===\n", device.name.c_str());
+    const auto samples =
+        membench::run_stream_bench(device, membench::default_dims());
+    std::printf("%8s %16s %16s\n", "dim", "contiguous GB/s", "strided GB/s");
+    for (const auto& s : samples) {
+      std::printf("%8llu %16.3f %16.4f\n",
+                  static_cast<unsigned long long>(s.dim),
+                  s.contiguous_bps / 1e9, s.strided_bps / 1e9);
+    }
+
+    const BandwidthTable table = BandwidthTable::measure(device);
+    std::printf("\nrho_G examples against the %.1f GB/s datasheet peak:\n",
+                device.dram_peak_bw / 1e9);
+    for (const std::uint64_t mb : {1ULL, 16ULL, 128ULL}) {
+      const std::uint64_t bytes = mb << 20;
+      std::printf("  %4llu MiB contiguous: rho_G = %.3f   strided: rho_G = %.4f\n",
+                  static_cast<unsigned long long>(mb),
+                  table.rho(bytes, ir::AccessPattern::Contiguous,
+                            device.dram_peak_bw),
+                  table.rho(bytes, ir::AccessPattern::Strided,
+                            device.dram_peak_bw, 4096));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

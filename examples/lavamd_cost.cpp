@@ -1,0 +1,53 @@
+// LavaMD (Rodinia) walkthrough: correct-by-construction lane replication.
+// The kernel has no stream offsets, so the reshaped multi-lane variants
+// must agree with the baseline *everywhere*, and the shared reduction
+// accumulator must come out identical. Then costs across lane counts.
+//
+//   $ ./example_lavamd_cost
+
+#include <cstdio>
+
+#include "tytra/cost/report.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/streams.hpp"
+#include "tytra/sim/functional.hpp"
+
+int main() {
+  using namespace tytra;
+
+  kernels::LavamdConfig cfg;
+  cfg.particles = 4096;
+  const auto inputs = kernels::lavamd_inputs(cfg);
+  const auto reference = kernels::lavamd_reference(cfg, inputs);
+
+  const target::DeviceDesc device = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(device);
+
+  std::printf("%6s %12s %10s %10s %8s %14s\n", "lanes", "exact-match",
+              "ALUTs", "DSPs", "KPD", "EKIT (/s)");
+  for (const std::uint32_t lanes : {1u, 2u, 4u, 8u, 16u}) {
+    kernels::LavamdConfig lcfg = cfg;
+    lcfg.lanes = lanes;
+    const ir::Module m = kernels::make_lavamd(lcfg);
+
+    const auto run =
+        sim::run_functional(m, kernels::partition_streams(inputs, lanes));
+    if (!run.ok()) {
+      std::fprintf(stderr, "lanes=%u: %s\n", lanes, run.error_message().c_str());
+      return 1;
+    }
+    const auto out = kernels::gather_output(run.value().outputs, "pot", lanes);
+    bool exact = out == reference.pot &&
+                 run.value().reductions.at("potAcc") == reference.pot_acc;
+
+    const auto report = cost::cost_design(m, db);
+    std::printf("%6u %12s %10.0f %10.0f %8d %14.1f\n", lanes,
+                exact ? "yes" : "NO", report.resources.total.aluts,
+                report.resources.total.dsps, report.params.kpd,
+                report.throughput.ekit);
+    if (!exact) return 1;
+  }
+  std::printf("\nevery reshaped variant computes the identical result -- the\n"
+              "type transformations are correct by construction.\n");
+  return 0;
+}

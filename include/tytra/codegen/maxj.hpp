@@ -1,0 +1,28 @@
+#pragma once
+
+// MaxJ wrapper generation for HLS-framework integration (paper §VII):
+// inserting TyTra-generated HDL into the Maxeler flow needs a wrapper
+// kernel in MaxJ plus a manager connecting the streams. The paper creates
+// these manually and notes that "generating them in our compiler is
+// expected to be a relatively trivial engineering task" — this module is
+// that task.
+
+#include <string>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::codegen {
+
+struct MaxjWrapper {
+  std::string kernel_class;   ///< <Name>Kernel.maxj contents
+  std::string manager_class;  ///< <Name>Manager.maxj contents
+  std::string kernel_name;    ///< Java class name of the kernel
+};
+
+/// Generates the MaxJ wrapper pair for the design's top-level compute
+/// unit: a Kernel subclass declaring every streaming port and pushing the
+/// custom HDL node, and a Manager wiring the streams to PCIe/DRAM
+/// according to the memory-execution form.
+MaxjWrapper emit_maxj_wrapper(const ir::Module& module);
+
+}  // namespace tytra::codegen

@@ -1,0 +1,40 @@
+#pragma once
+
+// Self-checking Verilog testbench generation: pairs the emitted compute
+// unit with stimulus vectors from the functional simulator, so the HDL
+// can be validated in any Verilog simulator against the same data the
+// cost-model flow was verified with (the verification loop a downstream
+// user needs before paying for synthesis).
+
+#include <string>
+
+#include "tytra/ir/module.hpp"
+#include "tytra/sim/functional.hpp"
+
+namespace tytra::codegen {
+
+struct TestbenchOptions {
+  /// Cap on the number of work-items driven (0 = all).
+  std::size_t max_items{256};
+  /// Extra cycles to keep the clock running after the last input (pipeline
+  /// drain); 0 derives it from the design's KPD.
+  int drain_cycles{0};
+};
+
+/// Generates a testbench module `tb_<top>` that:
+///  * instantiates the design's top-level compute unit,
+///  * drives every input port from `$readmemh`-style inline vectors taken
+///    from `inputs` (one word per work-item),
+///  * compares every output port against `expected` word-by-word while
+///    `valid_out` is asserted, and
+///  * prints "TB PASS"/"TB FAIL" with a mismatch count.
+///
+/// Preconditions: the module verifies; `inputs` covers all input ports
+/// and `expected` covers all output ports (as produced by
+/// sim::run_functional). Throws std::invalid_argument otherwise.
+std::string emit_testbench(const ir::Module& module,
+                           const sim::StreamMap& inputs,
+                           const sim::StreamMap& expected,
+                           const TestbenchOptions& options = {});
+
+}  // namespace tytra::codegen

@@ -1,0 +1,34 @@
+#pragma once
+
+// Synthesizeable-HDL emission from TyTra-IR — the code-generation flow of
+// the paper's Fig. 11: schedule the SSA instructions, create data and
+// control delay lines, connect functional units in a pipeline, generate
+// the stream-control and offset-buffer cores, and emit a compute unit
+// that an HLS framework (Maxeler/SDAccel-style shell) can wrap.
+//
+// The generated text is plain synthesizeable Verilog-2001: one primitive
+// module per opcode used (behavioral body behind a LATENCY parameter), a
+// delay-line module, an offset-buffer module, one module per IR function
+// and a top-level compute unit.
+
+#include <map>
+#include <string>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::codegen {
+
+struct VerilogDesign {
+  std::string top_module;       ///< name of the top-level compute unit
+  std::string source;           ///< full Verilog text (all modules)
+  int pipeline_depth{0};        ///< KPD of the emitted kernel pipeline
+  std::size_t primitive_count{0};  ///< functional-unit instances emitted
+};
+
+/// Emits the whole design. Preconditions: the module verifies.
+VerilogDesign emit_verilog(const ir::Module& module);
+
+/// Verilog-safe identifier for an IR value name.
+std::string sanitize_identifier(std::string_view name);
+
+}  // namespace tytra::codegen

@@ -1,0 +1,37 @@
+#pragma once
+
+// The resource-utilization cost model (paper §V-A): accumulates the cost
+// of individual IR instructions (through the calibrated laws) and the
+// structural information implied in the type of each IR function —
+// offset buffers, delay-balancing registers, stream control, sequencers.
+//
+// This path never consults the fabric synthesizer; it only evaluates
+// fitted curves, which is what makes it fast.
+
+#include <map>
+#include <string>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/ir/module.hpp"
+#include "tytra/resources.hpp"
+
+namespace tytra::cost {
+
+struct ResourceEstimate {
+  ResourceVec total;
+  std::map<std::string, ResourceVec> per_function;  ///< one instance each
+  Utilization util;
+  bool fits{false};
+};
+
+/// Estimates the whole design's resource usage.
+/// Preconditions: the module verifies.
+ResourceEstimate estimate_resources(const ir::Module& module,
+                                    const DeviceCostDb& db);
+
+/// Estimates one function body (single instance, children included).
+ResourceVec estimate_function(const ir::Module& module,
+                              const ir::Function& function,
+                              const DeviceCostDb& db);
+
+}  // namespace tytra::cost

@@ -1,0 +1,42 @@
+#pragma once
+
+// Tiled memory execution: the evolution of the memory-execution model the
+// paper anticipates ("tiling an index space such that it can lie on a
+// finer-grained spectrum between these three main types", §III-5).
+//
+// The NDRange is processed in tiles staged through on-chip local memory
+// (block RAM) with double buffering: while the PE computes on one tile the
+// stream controller stages the next. Small tiles behave like form B with
+// degraded sustained bandwidth (short transfers); a tile that covers the
+// whole NDRange *is* form C.
+
+#include <cstdint>
+#include <optional>
+
+#include "tytra/cost/throughput.hpp"
+
+namespace tytra::cost {
+
+/// True when a tile of `tile_words` work-items (times NWPT words each,
+/// double-buffered) fits the device's local memory.
+bool tile_fits(const target::DeviceDesc& device, std::uint64_t tile_words,
+               double nwpt);
+
+/// EKIT under a tiled schedule with the given tile size (work-items per
+/// tile). `inputs` must be resolved (resolve_inputs); the bandwidth table
+/// prices the per-tile staging transfers.
+ThroughputEstimate ekit_tiled(const EkitInputs& inputs,
+                              std::uint64_t tile_words,
+                              const DeviceCostDb& db);
+
+struct TileChoice {
+  std::uint64_t tile_words{0};
+  ThroughputEstimate estimate;
+};
+
+/// Sweeps power-of-two tile sizes that fit the device and returns the
+/// best, or nullopt when no tile fits (pathological local memories).
+std::optional<TileChoice> best_tile(const ir::Module& module,
+                                    const DeviceCostDb& db);
+
+}  // namespace tytra::cost

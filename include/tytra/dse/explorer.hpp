@@ -1,0 +1,58 @@
+#pragma once
+
+// Design-space exploration: generate variants through type
+// transformations, lower each to TyTra-IR, run the cost model, filter
+// invalid designs (resource / bandwidth walls), and rank the rest by EKIT
+// — the guided optimisation search of paper §II/§VI.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "tytra/cost/report.hpp"
+#include "tytra/frontend/transform.hpp"
+#include "tytra/ir/module.hpp"
+
+namespace tytra::dse {
+
+/// Lowers a variant to a concrete TyTra-IR design (the kernel library
+/// provides these for SOR/Hotspot/LavaMD; custom kernels supply their own).
+using LowerFn = std::function<ir::Module(const frontend::Variant&)>;
+
+struct DseEntry {
+  frontend::Variant variant;
+  cost::CostReport report;
+
+  DseEntry(frontend::Variant v, cost::CostReport r)
+      : variant(std::move(v)), report(std::move(r)) {}
+};
+
+struct DseOptions {
+  std::uint32_t max_lanes{16};
+  bool include_seq{false};
+};
+
+struct DseResult {
+  std::vector<DseEntry> entries;           ///< in enumeration order
+  std::optional<std::size_t> best;         ///< highest-EKIT valid entry
+  double explore_seconds{0};               ///< total cost-model time
+
+  [[nodiscard]] const DseEntry* best_entry() const {
+    return best ? &entries[*best] : nullptr;
+  }
+};
+
+/// Explores the reshape family for a kernel of `n` work-items.
+DseResult explore(std::uint64_t n, const LowerFn& lower,
+                  const cost::DeviceCostDb& db, const DseOptions& options = {});
+
+/// The MaxJ-like HLS baseline: pipeline parallelism only, no architectural
+/// exploration — i.e. the baseline (1-lane) variant's cost report.
+cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,
+                               const cost::DeviceCostDb& db);
+
+/// Formats the sweep as a table (one row per lane count: utilization per
+/// resource class, bandwidth shares and EKIT — the data behind Fig. 15).
+std::string format_sweep(const DseResult& result);
+
+}  // namespace tytra::dse

@@ -1,0 +1,47 @@
+#pragma once
+
+// Targeted auto-tuning: the feedback path the cost model enables ("Our
+// cost model also exposes the performance limiting parameter, allowing
+// targeted optimization and opening the route to a feedback path in our
+// compiler flow with automated, targeted tuning of designs", §I).
+//
+// Instead of exhaustively sweeping the space, the tuner walks it: at each
+// step it reads the limiting factor of the current variant and applies
+// the one transformation that attacks that wall (more lanes on a compute
+// wall; stop with a diagnosis on a bandwidth wall, which no amount of
+// replication fixes).
+
+#include <string>
+#include <vector>
+
+#include "tytra/dse/explorer.hpp"
+
+namespace tytra::dse {
+
+struct TuneStep {
+  frontend::Variant variant;
+  cost::CostReport report;
+  std::string action;  ///< what the tuner did and why
+
+  TuneStep(frontend::Variant v, cost::CostReport r, std::string a)
+      : variant(std::move(v)), report(std::move(r)), action(std::move(a)) {}
+};
+
+struct TuneResult {
+  std::vector<TuneStep> trajectory;
+  std::size_t best{0};  ///< index of the best valid step
+  std::string verdict;  ///< final diagnosis (which wall stopped progress)
+
+  [[nodiscard]] const TuneStep& best_step() const { return trajectory[best]; }
+};
+
+/// Tunes the design for a kernel of `n` work-items starting from the
+/// baseline pipeline. Evaluates at most `max_steps` variants — typically
+/// far fewer than the exhaustive sweep.
+TuneResult tune(std::uint64_t n, const LowerFn& lower,
+                const cost::DeviceCostDb& db, int max_steps = 12);
+
+/// Renders the tuning trajectory.
+std::string format_tune(const TuneResult& result);
+
+}  // namespace tytra::dse

@@ -1,0 +1,51 @@
+#pragma once
+
+// The primitive-core library of the fabric substrate: per-operation
+// resource laws for the supported device families. These laws are the
+// *ground truth* that stands in for vendor synthesis results (see
+// DESIGN.md §1); the cost model never reads them directly — it calibrates
+// itself from probe synthesis runs and must predict them.
+//
+// The integer-divide ALUT law is the quadratic the paper's Fig. 9 derives
+// (x^2 + 3.7x - 10.6 on Stratix-V); multiplier DSP usage is a step
+// function of bit-width with family-specific discontinuities.
+
+#include "tytra/ir/instr.hpp"
+#include "tytra/ir/type.hpp"
+#include "tytra/resources.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::fabric {
+
+/// Resources of the primitive core implementing `op` on operands of the
+/// given scalar type, as the vendor tool would report after synthesizing
+/// the lone operator. Deterministic per (family, op, width): includes the
+/// sub-percent placement jitter real tools exhibit.
+ResourceVec core_resources(ir::Opcode op, const ir::ScalarType& type,
+                           const target::DeviceDesc& device);
+
+/// Resources of the same core when one operand is a compile-time constant.
+/// The synthesizer strength-reduces (constant multiplication becomes a
+/// shift-add network, constant division a multiply-shift), which the cost
+/// model does not know about — one deliberate source of Table-II error.
+ResourceVec core_resources_const_operand(ir::Opcode op,
+                                         const ir::ScalarType& type,
+                                         std::int64_t constant,
+                                         const target::DeviceDesc& device);
+
+/// Resources of a stream-offset delay buffer of `depth_words` elements of
+/// `bits` width: register-based when small, BRAM-backed FIFO when deep.
+ResourceVec offset_buffer_resources(std::uint32_t bits, std::uint64_t depth_words,
+                                    const target::DeviceDesc& device);
+
+/// Resources of the stream-control block servicing one streaming port
+/// (address counters, handshake FSM).
+ResourceVec stream_control_resources(std::uint32_t bits,
+                                     std::uint64_t addr_range_words,
+                                     const target::DeviceDesc& device);
+
+/// Width-dependent DSP-block count for a full multiplier (exposed for
+/// tests of the Fig. 9 discontinuity structure).
+int multiplier_dsps(std::uint16_t bits, const target::DeviceDesc& device);
+
+}  // namespace tytra::fabric

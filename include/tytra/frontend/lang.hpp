@@ -1,0 +1,46 @@
+#pragma once
+
+// The functional design-entry language of paper §II: a minimal
+// Idris/Haskell-flavoured surface syntax in which the programmer declares
+// sized vectors and expresses the computation as (annotated) maps, and
+// the compiler derives design variants from type transformations.
+//
+//   im = 24
+//   jm = 24
+//   km = 24
+//   pps : Vect im*jm*km t
+//   ps  = map p_sor pps                     -- baseline program
+//   ppst = reshapeTo 4 pps                  -- type transformation
+//   pst = mappar (mappipe p_sor) ppst       -- transformed program
+//
+// Size preservation is *checked at elaboration*: `reshapeTo k v` is
+// rejected unless k divides the (innermost) dimension — the dependent-
+// types discipline that makes the transformations correct by
+// construction. Map nests must match the vector's nesting depth exactly.
+//
+// Keywords: `map` (defaults to pipe), `mappipe`, `mappar`, `mapseq`;
+// comments run from `--` to end of line.
+
+#include <map>
+#include <string>
+
+#include "tytra/frontend/transform.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::frontend {
+
+/// The elaborated result of a program: the kernel applied and the design
+/// variant its final binding denotes.
+struct Program {
+  std::string kernel;   ///< the mapped function's name (e.g. "p_sor")
+  Variant variant;      ///< shape + parallelism annotations
+  std::string result;   ///< name of the final binding (e.g. "pst")
+  std::map<std::string, std::uint64_t> constants;  ///< numeric bindings
+};
+
+/// Parses and elaborates a program. Reports syntax errors, unknown names,
+/// nesting-depth mismatches and size-preservation violations with source
+/// locations.
+tytra::Result<Program> parse_program(std::string_view source);
+
+}  // namespace tytra::frontend

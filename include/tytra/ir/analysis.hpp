@@ -1,0 +1,112 @@
+#pragma once
+
+// Static analyses over TyTra-IR that feed the cost model:
+//  * configuration-tree extraction (paper Fig. 8) and classification into
+//    the design-space abstraction's configuration classes (Fig. 5);
+//  * ASAP scheduling of a function's SSA dataflow graph, giving pipeline
+//    stage assignment and the kernel pipeline depth KPD;
+//  * extraction of the Table-I parameters that depend on the program and
+//    the design variant (NGS, NWPT, NKI, Noff, KPD, NTO, NI, KNL, DV).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::ir {
+
+// ---------------------------------------------------------------------------
+// Configuration tree (Fig. 8)
+// ---------------------------------------------------------------------------
+
+struct ConfigNode {
+  const Function* func{nullptr};
+  FuncKind kind{FuncKind::Pipe};
+  std::vector<ConfigNode> children;
+
+  [[nodiscard]] std::size_t leaf_count() const;
+};
+
+/// Builds the configuration tree rooted at @main. The entry function itself
+/// is elided when it merely wraps a single call.
+/// Preconditions: module verifies (entry exists, no call cycles).
+ConfigNode build_config_tree(const Module& module);
+
+/// Renders the tree as an indented listing (for reports and tests).
+std::string format_config_tree(const ConfigNode& root);
+
+/// The design-space configuration classes of Fig. 5.
+enum class ConfigClass : std::uint8_t {
+  C1,  ///< replicated pipeline lanes (par of pipes)
+  C2,  ///< single kernel pipeline
+  C3,  ///< vectorized lanes (DV > 1)
+  C4,  ///< scalar instruction processor (seq)
+  C5,  ///< vector instruction processor (seq with DV > 1)
+};
+
+std::string_view config_class_name(ConfigClass c);
+
+/// Classifies the module's architecture.
+ConfigClass classify_config(const Module& module);
+
+// ---------------------------------------------------------------------------
+// Pipeline scheduling
+// ---------------------------------------------------------------------------
+
+/// Stage assignment of one function's dataflow graph. Stages are in cycles:
+/// a value produced by an instruction whose operands are ready at cycle s
+/// with latency L becomes available at s + L.
+struct FunctionSchedule {
+  /// Availability cycle per value name (params/offsets ready at 0).
+  std::map<std::string, int> ready_at;
+  /// Issue cycle per instruction (parallel to Function::instructions()).
+  std::vector<int> issue_at;
+  /// Total pipeline depth in cycles of this function (critical path).
+  int depth{0};
+};
+
+/// ASAP-schedules `function` within `module` (calls to pipe children add
+/// the child's depth sequentially — a coarse-grained pipeline; comb calls
+/// add a single stage; par children take the max).
+/// Preconditions: module verifies.
+FunctionSchedule schedule_function(const Module& module, const Function& function);
+
+/// Pipeline depth (KPD) of the whole design: the depth of the processing
+/// element reached from @main.
+int pipeline_depth(const Module& module);
+
+// ---------------------------------------------------------------------------
+// Table-I parameter extraction
+// ---------------------------------------------------------------------------
+
+/// The program/design-variant-dependent parameters of the EKIT expressions
+/// (paper Table I), as evaluated by "Parsing IR".
+struct DesignParams {
+  std::uint64_t ngs{0};   ///< NGS: global size of work-items in the NDRange
+  double nwpt{0};         ///< NWPT: words per tuple per work-item
+  std::uint32_t nki{1};   ///< NKI: kernel-instance repetitions
+  std::uint64_t noff{0};  ///< Noff: maximum offset in a stream (words)
+  int kpd{0};             ///< KPD: pipeline depth of kernel (cycles)
+  double fd{0};           ///< FD: operating frequency (Hz); 0 = target default
+  double nto{1};          ///< NTO: cycles per instruction (II for pipes)
+  double ni{1};           ///< NI: instructions per PE
+  std::uint32_t knl{1};   ///< KNL: parallel kernel lanes
+  std::uint32_t dv{1};    ///< DV: degree of vectorization per lane
+  ExecForm form{ExecForm::B};
+};
+
+/// Extracts all design parameters from the IR.
+/// Preconditions: module verifies.
+DesignParams extract_params(const Module& module);
+
+/// Total instruction count reachable from @main, weighted per PE (lane):
+/// instructions inside a par's children count once per distinct child body.
+double instructions_per_pe(const Module& module);
+
+/// Number of parallel kernel lanes (pipe-typed children of the top par, or
+/// 1 when the design is a single pipeline).
+std::uint32_t lane_count(const Module& module);
+
+}  // namespace tytra::ir

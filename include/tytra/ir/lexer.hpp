@@ -1,0 +1,46 @@
+#pragma once
+
+// Tokenizer for the textual TyTra-IR. Comments run from ';' to end of line.
+// Identifiers may contain dots (so `@main.p` and fixed-point type names
+// like `fx16.8` lex as single tokens).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tytra/support/diag.hpp"
+
+namespace tytra::ir {
+
+enum class TokKind : std::uint8_t {
+  Ident,      ///< bare identifier (keywords, type names, opcodes)
+  LocalName,  ///< %name
+  GlobalName, ///< @name (may contain dots)
+  Integer,    ///< decimal or hex integer literal
+  Float,      ///< floating literal (contains '.' or exponent)
+  String,     ///< "..." (no escapes)
+  Punct,      ///< single punctuation char: ( ) { } , = ! + - * < > /
+  End,        ///< end of input
+};
+
+struct Token {
+  TokKind kind{TokKind::End};
+  std::string text;        ///< for names the sigil is stripped
+  std::int64_t ival{0};    ///< for Integer
+  double fval{0.0};        ///< for Float
+  tytra::SourceLoc loc;
+
+  [[nodiscard]] bool is_punct(char c) const {
+    return kind == TokKind::Punct && text.size() == 1 && text[0] == c;
+  }
+  [[nodiscard]] bool is_ident(std::string_view s) const {
+    return kind == TokKind::Ident && text == s;
+  }
+};
+
+/// Tokenizes the whole input. On a lexical error returns a Diag naming the
+/// offending location.
+tytra::Result<std::vector<Token>> lex(std::string_view source);
+
+}  // namespace tytra::ir

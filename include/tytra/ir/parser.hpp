@@ -1,0 +1,55 @@
+#pragma once
+
+// Recursive-descent parser for the textual TyTra-IR.
+//
+// Grammar (comments with ';' allowed everywhere):
+//
+//   module     := { directive | memobj | streamobj | portbind | funcdef }
+//   directive  := '!' ident '=' (int | float | ident)
+//                 recognized keys: ngs, nki, form (A|B|C), fd / freq, ii,
+//                 name; plus user constants usable in offset expressions:
+//                 any other key defines a symbolic constant, e.g.
+//                 !ND1 = 100
+//   memobj     := 'memobj' @name ident(space) type 'x' int
+//   streamobj  := 'stream' @name ('reads'|'writes') @mem
+//                 [ 'pattern' ('cont' | 'strided' int) ]
+//   portbind   := @qual '=' 'addrSpace' '(' int ')' type ','
+//                 '!' str(istream|ostream) ',' '!' str(CONT|STRIDED) ','
+//                 '!' int ',' '!' str(streamobj)          ; paper Fig. 12
+//   funcdef    := 'define' 'void' @name '(' params? ')' kind '{' body '}'
+//   kind       := 'pipe' | 'par' | 'seq' | 'comb'
+//   params     := param { ',' param } ;  param := type %name
+//   body       := { offset | instr | call }
+//   offset     := type valname '=' type %base ',' '!offset' ',' '!' offexpr
+//   offexpr    := ['+'|'-'] offterm { '*' offterm } ;  offterm := int | ident
+//   instr      := type valname '=' opcode type operand { ',' operand }
+//   call       := 'call' @name '(' [ operand { ',' operand } ] ')' kind
+//   operand    := %name | @name | ['-'] int | ['-'] float
+//   valname    := %name | @name        ; '@' marks a global reduction target
+//   type       := scalar | '<' int 'x' scalar '>'
+//
+// Address spaces: by number (0..3) — values outside the range are accepted
+// with a warning and mapped to global, so that the exact text of the
+// paper's figures (which uses `addrSpace(12)`) parses.
+
+#include <string_view>
+
+#include "tytra/ir/module.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::ir {
+
+struct ParseOutput {
+  Module module;
+  tytra::DiagBag warnings;
+};
+
+/// Parses a full module from IR text.
+tytra::Result<ParseOutput> parse_module(std::string_view source);
+
+/// Convenience: parse and return just the module, aborting with the
+/// diagnostic text on failure. For tests and examples working with known
+/// good inputs.
+Module parse_module_or_die(std::string_view source);
+
+}  // namespace tytra::ir

@@ -1,0 +1,44 @@
+#pragma once
+
+// IR-level optimization passes. The TyTra-IR is based on the LLVM-IR
+// precisely to leave "the route open to explore LLVM optimizations"
+// (paper §IV); these are the classical scalar ones that matter for a
+// dataflow target:
+//  * constant folding — ops whose operands are all constants collapse;
+//  * common-subexpression elimination — duplicate (op, type, operands)
+//    instructions merge, shrinking the datapath the cost model sees;
+//  * dead-code elimination — values that never reach an output stream,
+//    a reduction, or a call are removed.
+//
+// Passes are semantics-preserving: the functional simulator results are
+// identical before and after (property-tested). Running them *before*
+// costing narrows the gap between the estimate and the fabric synthesizer
+// (which performs the same optimizations internally).
+
+#include <cstdint>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::ir {
+
+struct PassStats {
+  std::uint32_t folded{0};    ///< instructions replaced by constants
+  std::uint32_t merged{0};    ///< instructions removed by CSE
+  std::uint32_t removed{0};   ///< instructions removed as dead
+
+  [[nodiscard]] std::uint32_t total() const { return folded + merged + removed; }
+};
+
+/// Folds constant-operand instructions in every function.
+PassStats fold_constants(Module& module);
+
+/// Merges duplicate instructions within each function.
+PassStats eliminate_common_subexpressions(Module& module);
+
+/// Removes instructions whose results are never used.
+PassStats eliminate_dead_code(Module& module);
+
+/// Runs fold -> CSE -> DCE to a fixpoint (bounded).
+PassStats optimize(Module& module);
+
+}  // namespace tytra::ir

@@ -1,0 +1,21 @@
+#pragma once
+
+// Prints a Module back to its textual form. `parse(print(m))` is the
+// identity on the structural content (round-trip tested).
+
+#include <string>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::ir {
+
+/// Renders the whole module (directives, Manage-IR, then Compute-IR).
+std::string print_module(const Module& module);
+
+/// Renders a single function definition.
+std::string print_function(const Function& function);
+
+/// Renders one operand as it appears in the IR text.
+std::string print_operand(const Operand& operand);
+
+}  // namespace tytra::ir

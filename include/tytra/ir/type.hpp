@@ -1,0 +1,67 @@
+#pragma once
+
+// The TyTra-IR type system. The IR is strongly and statically typed
+// (paper §IV): scalar integer/float/fixed-point types of arbitrary
+// bit-width in the LLVM style (`ui18`, `i32`, `f32`, `fx16.8`), optionally
+// vectorized (`<4 x ui18>`) to express the degree of vectorization DV of
+// the design-space model.
+
+#include <cstdint>
+#include <string>
+
+#include "tytra/support/diag.hpp"
+
+namespace tytra::ir {
+
+enum class ScalarKind : std::uint8_t {
+  UInt,   ///< unsigned integer, e.g. ui18
+  SInt,   ///< signed integer, e.g. i32
+  Float,  ///< IEEE-ish float, e.g. f32 / f64
+  Fixed,  ///< fixed point, e.g. fx16.8 (16 total bits, 8 fractional)
+};
+
+/// A scalar element type.
+struct ScalarType {
+  ScalarKind kind{ScalarKind::UInt};
+  std::uint16_t bits{32};
+  std::uint16_t frac{0};  ///< fractional bits; only meaningful for Fixed
+
+  friend bool operator==(const ScalarType&, const ScalarType&) = default;
+
+  [[nodiscard]] bool is_integer() const {
+    return kind == ScalarKind::UInt || kind == ScalarKind::SInt;
+  }
+  [[nodiscard]] bool is_float() const { return kind == ScalarKind::Float; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  static ScalarType uint(std::uint16_t bits) { return {ScalarKind::UInt, bits, 0}; }
+  static ScalarType sint(std::uint16_t bits) { return {ScalarKind::SInt, bits, 0}; }
+  static ScalarType f32() { return {ScalarKind::Float, 32, 0}; }
+  static ScalarType f64() { return {ScalarKind::Float, 64, 0}; }
+  static ScalarType fixed(std::uint16_t bits, std::uint16_t frac) {
+    return {ScalarKind::Fixed, bits, frac};
+  }
+};
+
+/// A (possibly vectorized) IR value type. `lanes > 1` expresses the degree
+/// of vectorization DV per kernel lane (Table I).
+struct Type {
+  ScalarType scalar;
+  std::uint16_t lanes{1};
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+  [[nodiscard]] std::uint32_t total_bits() const {
+    return static_cast<std::uint32_t>(scalar.bits) * lanes;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  static Type scalar_of(ScalarType s) { return {s, 1}; }
+  static Type vector_of(ScalarType s, std::uint16_t lanes) { return {s, lanes}; }
+};
+
+/// Parses a scalar type token such as "ui18", "i32", "f32", "fx16.8".
+tytra::Result<ScalarType> parse_scalar_type(std::string_view text);
+
+}  // namespace tytra::ir

@@ -1,0 +1,32 @@
+#pragma once
+
+// Semantic verification of a TyTra-IR module. Checks, among others:
+//  * an @main entry function exists and takes no parameters;
+//  * SSA discipline: every %name defined exactly once per function and
+//    defined before use; globals only written by reduction instructions;
+//  * types: operand/opcode compatibility (float ops on float types only,
+//    integer-only ops rejected on floats), arity;
+//  * offsets apply to stream parameters of `pipe` functions only;
+//  * function-kind composition rules of the design-space model (Fig. 7):
+//      pipe  - instructions, offsets, calls to pipe/comb children
+//      par   - calls only (pipe/seq/par children)
+//      seq   - instructions and calls, executed one at a time
+//      comb  - instructions only (single-cycle block: no div/sqrt/exp)
+//  * calls: callee exists, kind annotation matches the callee's kind,
+//    argument count matches the callee's parameter list;
+//  * Manage-IR: stream objects reference existing memory objects; port
+//    bindings reference existing stream objects (when a Manage-IR is
+//    present); NDRange sizes are consistent with memory object sizes.
+
+#include "tytra/ir/module.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::ir {
+
+/// Verifies the module; returns all diagnostics found (errors + warnings).
+tytra::DiagBag verify(const Module& module);
+
+/// Convenience wrapper: true when `verify` reports no errors.
+bool verify_ok(const Module& module);
+
+}  // namespace tytra::ir

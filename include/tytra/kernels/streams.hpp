@@ -1,0 +1,32 @@
+#pragma once
+
+// Stream plumbing helpers for multi-lane kernel variants: partitioning
+// full input streams into per-lane chunks (the `reshapeTo` data view) and
+// gathering per-lane outputs back into a single stream.
+
+#include <cstdint>
+#include <string>
+
+#include "tytra/sim/functional.hpp"
+
+namespace tytra::kernels {
+
+/// Lane-suffixed port name, e.g. ("p", 2) -> "p_l2".
+std::string lane_port_name(const std::string& base, std::uint32_t lane);
+
+/// Splits every stream in `full` into `lanes` contiguous chunks named
+/// `<name>_l<k>`. Stream lengths must be divisible by `lanes`
+/// (throws std::invalid_argument otherwise). With lanes == 1 the input is
+/// returned unchanged.
+sim::StreamMap partition_streams(const sim::StreamMap& full,
+                                 std::uint32_t lanes);
+
+/// Reassembles the per-lane outputs `<base>_l<k>` of `lanes` lanes into
+/// one stream (inverse of partition_streams). With lanes == 1 returns the
+/// stream named `base` directly. Throws std::invalid_argument when a lane
+/// output is missing.
+std::vector<double> gather_output(const sim::StreamMap& outputs,
+                                  const std::string& base,
+                                  std::uint32_t lanes);
+
+}  // namespace tytra::kernels

@@ -1,0 +1,68 @@
+#pragma once
+
+// Device-DRAM and host-link (PCIe) timing models. These stand in for the
+// physical memory system of the paper's Alpha-Data/Maxeler boards: the
+// STREAM-style benchmark (stream_bench.hpp) *measures* sustained bandwidth
+// from these models, and the cost model ingests the resulting empirical
+// table — never the model parameters themselves.
+
+#include <cstdint>
+
+#include "tytra/ir/module.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::membench {
+
+/// Row-buffer/burst-level DRAM timing. Contiguous traffic streams at near
+/// the interface peak (row-activate penalties are overlapped across banks);
+/// strided traffic with stride >= one burst pays a full row miss per
+/// access — the two-orders-of-magnitude gap of Fig. 10.
+class DramModel {
+ public:
+  DramModel(const target::DramParams& params, double bank_overlap = 0.95);
+
+  /// Seconds to move `bytes` with the given access pattern. For strided
+  /// access `stride_bytes` is the distance between consecutive accessed
+  /// words; `access_bytes` is the useful payload per access (a word).
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes,
+                                        ir::AccessPattern pattern,
+                                        std::uint64_t stride_bytes = 0,
+                                        std::uint32_t access_bytes = 4) const;
+
+  /// Sustained bandwidth (useful bytes / total time), bytes per second.
+  [[nodiscard]] double sustained_bw(std::uint64_t bytes,
+                                    ir::AccessPattern pattern,
+                                    std::uint64_t stride_bytes = 0,
+                                    std::uint32_t access_bytes = 4) const;
+
+  /// Sustained bandwidth for *true random* word access. The paper's
+  /// experiments "have shown that there is little difference in sustained
+  /// bandwidth between fixed-stride and true random access": every access
+  /// opens a fresh row, exactly like a beyond-burst stride.
+  [[nodiscard]] double sustained_bw_random(std::uint64_t bytes,
+                                           std::uint32_t access_bytes = 4) const;
+
+  /// The interface peak (bus width x IO clock), bytes per second.
+  [[nodiscard]] double peak_bw() const;
+
+ private:
+  target::DramParams params_;
+  double bank_overlap_;
+};
+
+/// Host<->device link: peak bandwidth derated by protocol efficiency, plus
+/// a fixed per-transfer latency (driver + DMA descriptor setup) that
+/// dominates small transfers.
+class HostLinkModel {
+ public:
+  explicit HostLinkModel(const target::HostLinkParams& params);
+
+  [[nodiscard]] double transfer_seconds(std::uint64_t bytes) const;
+  [[nodiscard]] double sustained_bw(std::uint64_t bytes) const;
+  [[nodiscard]] double peak_bw() const { return params_.peak_bw; }
+
+ private:
+  target::HostLinkParams params_;
+};
+
+}  // namespace tytra::membench

@@ -1,0 +1,64 @@
+#pragma once
+
+// The OpenCL-STREAM-style sustained-bandwidth benchmark of paper §V-C:
+// streams square 2-D arrays of varying dimension both contiguously and
+// with stride equal to the dimension, and records the sustained bandwidth.
+// The result feeds the cost model's empirical bandwidth table (the rho_G
+// scaling factors of Table I).
+
+#include <cstdint>
+#include <vector>
+
+#include "tytra/membench/dram.hpp"
+#include "tytra/support/polyfit.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::membench {
+
+struct BandwidthSample {
+  std::uint64_t dim{0};        ///< one side of the square array (= stride)
+  std::uint64_t bytes{0};      ///< total payload streamed
+  double contiguous_bps{0};    ///< sustained, bytes/s
+  double strided_bps{0};       ///< sustained, bytes/s
+};
+
+/// Runs the sweep over the given dimensions (elements per side).
+std::vector<BandwidthSample> run_stream_bench(
+    const target::DeviceDesc& device, const std::vector<std::uint64_t>& dims);
+
+/// The default sweep of Fig. 10: 128 .. 6144 elements per side.
+std::vector<std::uint64_t> default_dims();
+
+/// The empirical sustained-bandwidth model built from benchmark samples.
+/// This is the only bandwidth knowledge the cost model is given.
+class BandwidthTable {
+ public:
+  BandwidthTable() = default;
+
+  /// Measures `device` with the stream benchmark and builds the table.
+  static BandwidthTable measure(const target::DeviceDesc& device);
+
+  /// Builds from explicit samples (e.g. loaded from a file).
+  static BandwidthTable from_samples(const std::vector<BandwidthSample>& samples);
+
+  /// Sustained device-DRAM bandwidth for a transfer of `bytes` with the
+  /// given pattern (bytes/s). Interpolates between measured sizes.
+  [[nodiscard]] double sustained(std::uint64_t bytes, ir::AccessPattern pattern,
+                                 std::uint64_t stride_words = 1) const;
+
+  /// rho_G: sustained / peak for the given transfer, against `peak_bps`.
+  [[nodiscard]] double rho(std::uint64_t bytes, ir::AccessPattern pattern,
+                           double peak_bps, std::uint64_t stride_words = 1) const;
+
+  [[nodiscard]] bool empty() const { return contiguous_.empty(); }
+  [[nodiscard]] const std::vector<BandwidthSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  tytra::PiecewiseLinear contiguous_;  ///< log2(bytes) -> bytes/s
+  tytra::PiecewiseLinear strided_;     ///< log2(bytes) -> bytes/s
+  std::vector<BandwidthSample> samples_;
+};
+
+}  // namespace tytra::membench

@@ -1,0 +1,62 @@
+#pragma once
+
+// Resource-usage vector shared by the fabric synthesizer (ground truth)
+// and the cost model (estimates): the four FPGA resource classes the paper
+// tracks (ALUTs, registers, block-RAM bits, DSP blocks).
+
+#include <cstdint>
+#include <string>
+
+#include "tytra/target/device.hpp"
+
+namespace tytra {
+
+struct ResourceVec {
+  double aluts{0};
+  double regs{0};
+  double bram_bits{0};
+  double dsps{0};
+
+  ResourceVec& operator+=(const ResourceVec& o) {
+    aluts += o.aluts;
+    regs += o.regs;
+    bram_bits += o.bram_bits;
+    dsps += o.dsps;
+    return *this;
+  }
+  friend ResourceVec operator+(ResourceVec a, const ResourceVec& b) {
+    a += b;
+    return a;
+  }
+  friend ResourceVec operator*(ResourceVec a, double k) {
+    a.aluts *= k;
+    a.regs *= k;
+    a.bram_bits *= k;
+    a.dsps *= k;
+    return a;
+  }
+  friend bool operator==(const ResourceVec&, const ResourceVec&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Percentage utilization of each resource class against a device's
+/// capacities (100 = full).
+struct Utilization {
+  double aluts{0};
+  double regs{0};
+  double bram{0};
+  double dsps{0};
+
+  /// The largest of the four (the binding resource).
+  [[nodiscard]] double max() const;
+  /// True when every class fits (<= 100%).
+  [[nodiscard]] bool fits() const { return max() <= 100.0; }
+};
+
+/// Computes utilization of `used` against `device` (accounting for the
+/// shell overhead reserved by the board support package).
+Utilization utilization(const ResourceVec& used,
+                        const target::DeviceDesc& device);
+
+}  // namespace tytra

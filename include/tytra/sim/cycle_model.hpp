@@ -1,0 +1,46 @@
+#pragma once
+
+// Cycle-level execution timing of a TyTra design: the stand-in for running
+// the bitstream on the Maxeler testbed. Unlike the closed-form EKIT
+// estimate, this model walks the execution — per-instance control startup,
+// offset-buffer priming, pipeline fill and drain, bandwidth-throttled
+// steady state (through the DRAM/host link models directly), and the
+// pipeline-bubble overheads real stream engines exhibit at stream
+// boundaries. Its results are the "actual" columns of Table II and the
+// runtimes of Figs. 17/18.
+
+#include <cstdint>
+
+#include "tytra/ir/module.hpp"
+#include "tytra/membench/dram.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::sim {
+
+struct TimingResult {
+  double cycles_per_instance{0};  ///< device cycles, one kernel instance
+  double seconds_per_instance{0}; ///< wall time incl. host share
+  double total_seconds{0};        ///< all NKI instances
+  double host_seconds{0};         ///< host<->device transfer total
+  double device_seconds{0};       ///< device execution total
+  double freq_hz{0};              ///< clock the design ran at
+};
+
+struct TimingOptions {
+  /// Clock to run at; 0 = the device's default frequency. Pass the fabric
+  /// synthesis Fmax for post-synthesis accuracy.
+  double freq_hz{0};
+  /// Per-kernel-call software overhead on the host (driver/API), seconds.
+  double call_overhead_seconds{25e-6};
+  /// Extra per-stream setup cost per kernel call: handling many short
+  /// streams dominates small grids (paper §VII's observation).
+  double per_stream_overhead_seconds{6e-6};
+};
+
+/// Simulates execution timing of the design.
+/// Preconditions: the module verifies and has a non-zero NDRange.
+TimingResult simulate_timing(const ir::Module& module,
+                             const target::DeviceDesc& device,
+                             const TimingOptions& options = {});
+
+}  // namespace tytra::sim

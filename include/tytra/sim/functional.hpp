@@ -1,0 +1,51 @@
+#pragma once
+
+// Functional (value-level) execution of a TyTra-IR design over real data
+// streams. Used to validate that lowered design variants compute the same
+// results as the reference kernel implementations — the "correct by
+// construction" property of the type-transformation flow is checked, not
+// assumed.
+//
+// Semantics:
+//  * each input port carries one value per work-item; every processing
+//    element maps its body over the work-items of its streams;
+//  * stream offsets read the base stream at (i + offset), clamped to the
+//    stream bounds (matching the boundary handling of the reference
+//    kernels);
+//  * an instruction writing a global that names an output port streams its
+//    value; writing any other global accumulates (reduction), carried
+//    across work-items and lanes;
+//  * par functions run each child on its own port bindings (reshaped
+//    lanes), producing per-lane output streams.
+//
+// Integer types wrap to their declared bit-width, as the hardware would.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tytra/ir/module.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::sim {
+
+/// A named collection of streams (port name -> one value per work-item).
+using StreamMap = std::map<std::string, std::vector<double>>;
+
+struct ExecResult {
+  StreamMap outputs;                        ///< one stream per output port
+  std::map<std::string, double> reductions; ///< final accumulator values
+  std::uint64_t items{0};                   ///< work-items executed (all lanes)
+};
+
+/// Runs the design on the given input streams. All input ports must be
+/// present in `inputs` and all streams bound to one PE must have equal
+/// length. Returns a diagnostic on binding errors.
+tytra::Result<ExecResult> run_functional(const ir::Module& module,
+                                         const StreamMap& inputs);
+
+/// Applies the bit-width wrap of `type` to a raw value (exposed for tests).
+double wrap_to_type(double value, const ir::ScalarType& type);
+
+}  // namespace tytra::sim

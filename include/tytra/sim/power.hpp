@@ -1,0 +1,29 @@
+#pragma once
+
+// Δ-power / Δ-energy model for the case-study comparison (Fig. 18): the
+// paper measures the *increase over idle* of the host+device node on a
+// power meter, for both CPU-only and CPU+FPGA solutions.
+
+#include "tytra/resources.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::sim {
+
+/// Δ-power (watts above idle) of the FPGA solution: board static draw plus
+/// dynamic power proportional to the active logic and the clock.
+/// `activity` is the average toggle rate of the datapath (0..1).
+double fpga_delta_watts(const ResourceVec& used,
+                        const target::DeviceDesc& device, double freq_hz,
+                        double activity = 0.25);
+
+/// Δ-power of the CPU running the kernel flat-out on one core.
+double cpu_delta_watts();
+
+/// Δ-power of the (mostly idle) host while the FPGA computes: the host
+/// spins on stream completion.
+double host_assist_delta_watts();
+
+/// Energy above idle for a run of `seconds` at `watts`.
+double delta_energy_joules(double watts, double seconds);
+
+}  // namespace tytra::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+// Tiny CSV table writer used by the benchmark harness to dump the data
+// behind each reproduced figure as a machine-readable artifact (for
+// plotting / regression-diffing outside the terminal tables).
+
+#include <string>
+#include <vector>
+
+namespace tytra {
+
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Appends one row. Throws std::invalid_argument when the cell count
+  /// does not match the header.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: numeric row, formatted with %g.
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  /// RFC-4180-ish rendering (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_string() const;
+  /// Writes to a file; returns false on IO failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tytra

@@ -1,0 +1,62 @@
+#pragma once
+
+// Deterministic pseudo-random number generation. All "empirical" substrates
+// in TyTra-CM (fabric synthesis jitter, workload generation) are seeded so
+// that benches and tests reproduce exactly run-to-run.
+
+#include <cstdint>
+#include <string_view>
+
+namespace tytra {
+
+/// SplitMix64: tiny, fast, and statistically solid enough for workload
+/// generation and deterministic jitter. Not for cryptographic use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a); used to derive per-entity seeds.
+constexpr std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  while (*s != '\0') {
+    h ^= static_cast<std::uint8_t>(*s++);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(const std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace tytra

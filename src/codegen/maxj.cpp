@@ -1,0 +1,113 @@
+#include "tytra/codegen/maxj.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "tytra/codegen/verilog.hpp"
+
+namespace tytra::codegen {
+
+namespace {
+
+std::string java_class_name(const std::string& name) {
+  std::string out = sanitize_identifier(name);
+  bool upper = true;
+  std::string camel;
+  for (const char c : out) {
+    if (c == '_') {
+      upper = true;
+      continue;
+    }
+    camel += upper ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                   : c;
+    upper = false;
+  }
+  return camel.empty() ? "Design" : camel;
+}
+
+std::string dfe_type(const ir::Type& type) {
+  const auto& s = type.scalar;
+  std::string base;
+  switch (s.kind) {
+    case ir::ScalarKind::UInt: base = "dfeUInt(" + std::to_string(s.bits) + ")"; break;
+    case ir::ScalarKind::SInt: base = "dfeInt(" + std::to_string(s.bits) + ")"; break;
+    case ir::ScalarKind::Float:
+      base = s.bits == 64 ? "dfeFloat(11, 53)" : "dfeFloat(8, 24)";
+      break;
+    case ir::ScalarKind::Fixed:
+      base = "dfeFix(" + std::to_string(s.bits - s.frac) + ", " +
+             std::to_string(s.frac) + ", SignMode.TWOSCOMPLEMENT)";
+      break;
+  }
+  if (type.lanes > 1) {
+    return "new DFEVectorType<DFEVar>(" + base + ", " +
+           std::to_string(type.lanes) + ")";
+  }
+  return base;
+}
+
+}  // namespace
+
+MaxjWrapper emit_maxj_wrapper(const ir::Module& module) {
+  MaxjWrapper out;
+  const std::string cls = java_class_name(module.name);
+  out.kernel_name = cls + "Kernel";
+
+  std::ostringstream k;
+  k << "// Auto-generated MaxJ wrapper for TyTra HDL kernel '" << module.name
+    << "'\n";
+  k << "package tytra.gen;\n\n";
+  k << "import com.maxeler.maxcompiler.v2.kernelcompiler.Kernel;\n";
+  k << "import com.maxeler.maxcompiler.v2.kernelcompiler.KernelParameters;\n";
+  k << "import com.maxeler.maxcompiler.v2.kernelcompiler.types.base.DFEVar;\n";
+  k << "import com.maxeler.maxcompiler.v2.kernelcompiler.stdlib.core.HDLNode;\n\n";
+  k << "public class " << out.kernel_name << " extends Kernel {\n";
+  k << "  public " << out.kernel_name << "(KernelParameters parameters) {\n";
+  k << "    super(parameters);\n\n";
+  k << "    HDLNode custom = pushHDLNode(\"" << sanitize_identifier(module.name)
+    << "_top\", \"" << sanitize_identifier(module.name) << "_top.v\");\n\n";
+  for (const auto& p : module.ports) {
+    const std::string id = sanitize_identifier(p.name);
+    if (p.dir == ir::StreamDir::In) {
+      k << "    DFEVar " << id << " = io.input(\"" << id << "\", "
+        << dfe_type(p.type) << ");\n";
+      k << "    custom.connectInput(\"" << id << "\", " << id << ");\n";
+    }
+  }
+  k << "\n";
+  for (const auto& p : module.ports) {
+    const std::string id = sanitize_identifier(p.name);
+    if (p.dir == ir::StreamDir::Out) {
+      k << "    DFEVar " << id << " = custom.getOutput(\"" << id << "\", "
+        << dfe_type(p.type) << ");\n";
+      k << "    io.output(\"" << id << "\", " << id << ", " << dfe_type(p.type)
+        << ");\n";
+    }
+  }
+  k << "  }\n}\n";
+  out.kernel_class = k.str();
+
+  std::ostringstream m;
+  const bool from_dram = module.meta.form != ir::ExecForm::A;
+  m << "// Auto-generated MaxJ manager for '" << module.name << "' (form "
+    << ir::exec_form_name(module.meta.form) << ")\n";
+  m << "package tytra.gen;\n\n";
+  m << "import com.maxeler.maxcompiler.v2.managers.standard.Manager;\n";
+  m << "import com.maxeler.maxcompiler.v2.managers.standard.Manager.IOType;\n\n";
+  m << "public class " << cls << "Manager {\n";
+  m << "  public static void main(String[] args) {\n";
+  m << "    Manager manager = new Manager(new EngineParameters(args));\n";
+  m << "    manager.setKernel(new " << out.kernel_name
+    << "(manager.makeKernelParameters()));\n";
+  m << "    manager.setIO(IOType."
+    << (from_dram ? "ALL_LMEM /* device DRAM resident, form B/C */"
+                  : "ALL_CPU /* host streamed, form A */")
+    << ");\n";
+  m << "    manager.createSLiCinterface();\n";
+  m << "    manager.build();\n";
+  m << "  }\n}\n";
+  out.manager_class = m.str();
+  return out;
+}
+
+}  // namespace tytra::codegen

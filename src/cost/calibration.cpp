@@ -1,0 +1,214 @@
+#include "tytra/cost/calibration.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "tytra/membench/dram.hpp"
+
+namespace tytra::cost {
+
+namespace {
+
+using ir::Opcode;
+using ir::ScalarKind;
+using ir::ScalarType;
+
+/// Op classes whose ALUT law is quadratic in bit-width (array-of-cells
+/// structures: dividers, square roots).
+bool quadratic_law(Opcode op) {
+  switch (op) {
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Sqrt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Op classes whose logic law is piecewise linear with discontinuities
+/// (multiplier DSP tiles, barrel-shifter stage counts): captured with a
+/// dense probe sweep, as the paper does for the multiplier of Fig. 9.
+bool piecewise_law(Opcode op) {
+  switch (op) {
+    case Opcode::Mul:
+    case Opcode::Mac:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OpLaw fit_int_law(Opcode op, const target::DeviceDesc& device) {
+  OpLaw law;
+  law.fit_degree = quadratic_law(op) ? 2 : 1;
+
+  std::vector<double> xs;
+  std::vector<double> aluts;
+  std::vector<double> regs;
+  std::vector<double> bram;
+  for (const int w : DeviceCostDb::kIntProbeWidths) {
+    const ResourceVec r = fabric::core_resources(
+        op, ScalarType::uint(static_cast<std::uint16_t>(w)), device);
+    xs.push_back(w);
+    aluts.push_back(r.aluts);
+    regs.push_back(r.regs);
+    bram.push_back(r.bram_bits);
+  }
+  law.aluts = tytra::Polynomial::fit(xs, aluts, law.fit_degree);
+  law.regs = tytra::Polynomial::fit(xs, regs, law.fit_degree);
+  law.bram_bits = tytra::Polynomial::fit(xs, bram, 1);
+
+  // DSP usage is discrete with discontinuities: probe densely once, keep
+  // the step structure (Fig. 9's multiplier DSP curve).
+  std::vector<double> dense_xs;
+  std::vector<double> dsp_ys;
+  std::vector<double> dense_aluts;
+  std::vector<double> dense_regs;
+  for (int w = 2; w <= 64; w += 1) {
+    const ResourceVec r = fabric::core_resources(
+        op, ScalarType::uint(static_cast<std::uint16_t>(w)), device);
+    dense_xs.push_back(w);
+    dsp_ys.push_back(r.dsps);
+    dense_aluts.push_back(r.aluts);
+    dense_regs.push_back(r.regs);
+  }
+  law.dsps = tytra::StepModel::from_samples(dense_xs, dsp_ys);
+  if (piecewise_law(op)) {
+    law.aluts_pwl = tytra::PiecewiseLinear::through_points(dense_xs, dense_aluts);
+    law.regs_pwl = tytra::PiecewiseLinear::through_points(dense_xs, dense_regs);
+  }
+  return law;
+}
+
+}  // namespace
+
+DeviceCostDb DeviceCostDb::calibrate(const target::DeviceDesc& device) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DeviceCostDb db;
+  db.device_ = device;
+
+  for (int i = 0; i < ir::kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const ir::OpInfo& info = ir::op_info(op);
+    if (info.integer_ok) db.int_laws_[op] = fit_int_law(op, device);
+    if (info.float_ok) {
+      for (const int w : {16, 32, 64}) {
+        ScalarType t{ScalarKind::Float, static_cast<std::uint16_t>(w), 0};
+        db.float_costs_[{op, w}] = fabric::core_resources(op, t, device);
+      }
+    }
+  }
+
+  db.bandwidth_ = membench::BandwidthTable::measure(device);
+
+  // Host-link sweep (measured through the link model, kept as a table).
+  const membench::HostLinkModel host(device.host);
+  std::vector<double> xs;
+  std::vector<double> bw;
+  for (std::uint64_t bytes = 4096; bytes <= (1ULL << 31); bytes <<= 1) {
+    xs.push_back(std::log2(static_cast<double>(bytes)));
+    bw.push_back(host.sustained_bw(bytes));
+  }
+  db.host_bw_ = tytra::PiecewiseLinear::through_points(xs, bw);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  db.calib_seconds_ =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return db;
+}
+
+const OpLaw& DeviceCostDb::int_law(ir::Opcode op) const {
+  const auto it = int_laws_.find(op);
+  if (it == int_laws_.end()) {
+    throw std::invalid_argument("DeviceCostDb: no integer law for op '" +
+                                std::string(ir::opcode_name(op)) + "'");
+  }
+  return it->second;
+}
+
+ResourceVec DeviceCostDb::op_cost(ir::Opcode op,
+                                  const ir::ScalarType& type) const {
+  if (type.is_float()) {
+    // Nearest probed float width.
+    const int w = type.bits <= 16 ? 16 : (type.bits <= 32 ? 32 : 64);
+    const auto it = float_costs_.find({op, w});
+    return it != float_costs_.end() ? it->second : ResourceVec{};
+  }
+  const auto it = int_laws_.find(op);
+  if (it == int_laws_.end()) return {};
+  const OpLaw& law = it->second;
+  const double w = type.bits;
+  ResourceVec r;
+  r.aluts = std::max(0.0, std::round(law.aluts_pwl.empty()
+                                         ? law.aluts.eval(w)
+                                         : law.aluts_pwl.eval(w)));
+  r.regs = std::max(0.0, std::round(law.regs_pwl.empty() ? law.regs.eval(w)
+                                                         : law.regs_pwl.eval(w)));
+  r.bram_bits = std::max(0.0, std::round(law.bram_bits.eval(w)));
+  r.dsps = std::max(0.0, law.dsps.eval(w));
+  return r;
+}
+
+ResourceVec DeviceCostDb::op_cost_const(ir::Opcode op,
+                                        const ir::ScalarType& type,
+                                        std::int64_t constant) const {
+  if (type.is_float()) return op_cost(op, type);
+  const auto uc =
+      static_cast<std::uint64_t>(constant < 0 ? -constant : constant);
+  const bool pow2 = uc != 0 && (uc & (uc - 1)) == 0;
+  const double w = type.bits;
+  switch (op) {
+    case ir::Opcode::Mul:
+      if (uc == 0 || pow2) return {0, w, 0, 0};
+      break;
+    case ir::Opcode::Div:
+      if (pow2) return {0, w, 0, 0};
+      break;
+    case ir::Opcode::Rem:
+      if (pow2) return {std::ceil(w / 2.0), w, 0, 0};
+      break;
+    default:
+      break;
+  }
+  return op_cost(op, type);
+}
+
+ResourceVec DeviceCostDb::offset_buffer_cost(std::uint32_t bits,
+                                             std::uint64_t depth_words) const {
+  // Structural law (same functional form the probes reveal), with the
+  // model's FIFO guard-slot margin on BRAM-backed buffers.
+  ResourceVec r;
+  if (depth_words == 0) return r;
+  const double total_bits = static_cast<double>(bits) * static_cast<double>(depth_words);
+  if (total_bits <= 640) {
+    r.regs = total_bits;
+    r.aluts = bits;
+    return r;
+  }
+  r.bram_bits = std::ceil(total_bits * 1.003);  // guard slots
+  r.aluts = 24 + std::ceil(std::log2(static_cast<double>(depth_words))) * 2.0;
+  r.regs = 2.0 * bits + 16;
+  return r;
+}
+
+ResourceVec DeviceCostDb::stream_control_cost(
+    std::uint32_t bits, std::uint64_t addr_range_words) const {
+  const double addr_bits = std::max(
+      1.0, std::ceil(std::log2(static_cast<double>(
+               std::max<std::uint64_t>(addr_range_words, 2)))));
+  ResourceVec r;
+  r.aluts = 18 + 1.5 * addr_bits + 0.25 * bits;
+  r.regs = 12 + addr_bits + bits;
+  return r;
+}
+
+double DeviceCostDb::host_sustained(std::uint64_t bytes) const {
+  if (bytes == 0) return device_.host.peak_bw * device_.host.efficiency;
+  return std::max(1.0, host_bw_.eval(std::log2(static_cast<double>(bytes))));
+}
+
+}  // namespace tytra::cost

@@ -1,0 +1,70 @@
+#include "tytra/cost/report.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "tytra/support/strings.hpp"
+
+namespace tytra::cost {
+
+CostReport cost_design(const ir::Module& module, const DeviceCostDb& db) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CostReport report;
+  report.design_name = module.name;
+  report.config = ir::classify_config(module);
+  report.params = ir::extract_params(module);
+  if (report.params.fd <= 0) report.params.fd = db.device().default_freq_hz;
+  report.resources = estimate_resources(module, db);
+  report.throughput = estimate_throughput(module, db);
+
+  report.valid = true;
+  if (!report.resources.fits) {
+    report.valid = false;
+    report.invalid_reason = "exceeds device resources (computation wall)";
+  }
+  // Form C requires the whole kernel-instance data set to live in local
+  // memory (on-chip block RAM) for all NKI iterations (paper §III-5).
+  if (report.valid && report.params.form == ir::ExecForm::C) {
+    const double data_bits = static_cast<double>(report.params.ngs) *
+                             report.params.nwpt * db.device().word_bytes * 8.0;
+    const double avail =
+        static_cast<double>(db.device().resources.bram_bits) *
+            (1.0 - db.device().shell_overhead) -
+        report.resources.total.bram_bits;
+    if (data_bits > avail) {
+      report.valid = false;
+      report.invalid_reason =
+          "form-C NDRange does not fit in local memory (use form B or tile)";
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  report.estimate_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return report;
+}
+
+std::string format_report(const CostReport& r) {
+  std::ostringstream os;
+  os << "=== TyTra cost report: " << r.design_name << " ===\n";
+  os << "configuration: " << ir::config_class_name(r.config)
+     << "  (KNL=" << r.params.knl << " DV=" << r.params.dv
+     << " KPD=" << r.params.kpd << " NI=" << r.params.ni
+     << " Noff=" << r.params.noff << ")\n";
+  os << "NDRange: NGS=" << r.params.ngs << " NWPT=" << r.params.nwpt
+     << " NKI=" << r.params.nki << " form="
+     << ir::exec_form_name(r.params.form) << "\n";
+  os << "resources: " << r.resources.total.to_string() << "\n";
+  os << "utilization: aluts=" << format_fixed(r.resources.util.aluts, 1)
+     << "% regs=" << format_fixed(r.resources.util.regs, 1)
+     << "% bram=" << format_fixed(r.resources.util.bram, 1)
+     << "% dsps=" << format_fixed(r.resources.util.dsps, 1) << "%\n";
+  os << "throughput: EKIT=" << format_si(r.throughput.ekit)
+     << "kernel-instances/s  CPKI=" << format_si(r.throughput.cycles_per_instance)
+     << "cycles\n";
+  os << "limiting factor: " << wall_name(r.throughput.limiting) << "\n";
+  os << "valid: " << (r.valid ? "yes" : ("NO - " + r.invalid_reason)) << "\n";
+  os << "estimated in " << format_fixed(r.estimate_seconds * 1e3, 3) << " ms\n";
+  return os.str();
+}
+
+}  // namespace tytra::cost

@@ -1,0 +1,139 @@
+#include "tytra/cost/resource_model.hpp"
+
+#include <algorithm>
+
+#include "tytra/ir/analysis.hpp"
+
+namespace tytra::cost {
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Operand;
+
+}  // namespace
+
+namespace {
+ResourceVec estimate_function_memo(const Module& module,
+                                   const Function& function,
+                                   const DeviceCostDb& db,
+                                   std::map<std::string, ResourceVec>& memo);
+}  // namespace
+
+ResourceVec estimate_function(const Module& module, const Function& function,
+                              const DeviceCostDb& db) {
+  std::map<std::string, ResourceVec> memo;
+  return estimate_function_memo(module, function, db, memo);
+}
+
+namespace {
+ResourceVec estimate_function_memo(const Module& module,
+                                   const Function& function,
+                                   const DeviceCostDb& db,
+                                   std::map<std::string, ResourceVec>& memo) {
+  // Replicated lanes call the same body: cost it once per distinct callee.
+  if (const auto it = memo.find(function.name); it != memo.end()) {
+    return it->second;
+  }
+  ResourceVec total;
+  const ir::FunctionSchedule sched = ir::schedule_function(module, function);
+  std::size_t instr_idx = 0;
+
+  for (const auto& item : function.body) {
+    const auto* instr = std::get_if<Instr>(&item);
+    if (instr == nullptr) continue;
+    const int issue =
+        instr_idx < sched.issue_at.size() ? sched.issue_at[instr_idx] : 0;
+    ++instr_idx;
+    const double lanes = instr->type.lanes;
+    const Operand* const_arg = nullptr;
+    for (const auto& a : instr->args) {
+      if (a.kind == Operand::Kind::ConstInt) const_arg = &a;
+    }
+    if (const_arg != nullptr) {
+      total += db.op_cost_const(instr->op, instr->type.scalar, const_arg->ival) *
+               lanes;
+    } else {
+      total += db.op_cost(instr->op, instr->type.scalar) * lanes;
+    }
+
+    // Delay-balancing registers along skewed operand paths.
+    for (const auto& a : instr->args) {
+      if (a.kind != Operand::Kind::Local) continue;
+      const auto it = sched.ready_at.find(a.name);
+      const int ready = it != sched.ready_at.end() ? it->second : 0;
+      if (issue > ready) {
+        total.regs += static_cast<double>(issue - ready) *
+                      instr->type.scalar.bits * lanes;
+      }
+    }
+  }
+
+  // Offset buffers.
+  const auto offsets = function.offsets();
+  if (!offsets.empty()) {
+    std::int64_t max_off = 0;
+    for (const auto* o : offsets) max_off = std::max(max_off, o->offset);
+    for (const auto* o : offsets) {
+      const auto depth = static_cast<std::uint64_t>(max_off - o->offset);
+      total += db.offset_buffer_cost(o->type.total_bits(), depth);
+    }
+    if (max_off > 0) {
+      total += db.offset_buffer_cost(offsets.front()->type.total_bits(),
+                                     static_cast<std::uint64_t>(max_off));
+    }
+  }
+
+  if (function.kind == ir::FuncKind::Seq) {
+    const double ni = static_cast<double>(function.instructions().size());
+    total.aluts += 80 + 4.0 * ni;
+    total.regs += 64;
+  }
+
+  for (const auto* call : function.calls()) {
+    if (const Function* callee = module.find_function(call->callee)) {
+      total += estimate_function_memo(module, *callee, db, memo);
+    }
+  }
+  memo[function.name] = total;
+  return total;
+}
+}  // namespace
+
+ResourceEstimate estimate_resources(const Module& module,
+                                    const DeviceCostDb& db) {
+  ResourceEstimate est;
+  const Function* main = module.entry();
+  if (main == nullptr) return est;
+
+  est.total = estimate_function(module, *main, db);
+
+  for (const auto& f : module.functions) {
+    if (f.name == "main") continue;
+    Function shallow = f;
+    shallow.body.clear();
+    for (const auto& item : f.body) {
+      if (!std::holds_alternative<ir::Call>(item)) shallow.body.push_back(item);
+    }
+    Module wrapper;
+    wrapper.functions.push_back(shallow);
+    est.per_function[f.name] =
+        estimate_function(wrapper, wrapper.functions.front(), db);
+  }
+
+  for (const auto& p : module.ports) {
+    std::uint64_t range = module.meta.global_size;
+    if (const auto* so = module.find_streamobj(p.streamobj)) {
+      if (const auto* mo = module.find_memobj(so->memobj)) range = mo->size_words;
+    }
+    est.total += db.stream_control_cost(p.type.total_bits(), range);
+  }
+
+  est.util = utilization(est.total, db.device());
+  est.fits = est.util.fits();
+  return est;
+}
+
+}  // namespace tytra::cost

@@ -1,0 +1,84 @@
+#include "tytra/cost/tiling.hpp"
+
+#include <algorithm>
+
+namespace tytra::cost {
+
+bool tile_fits(const target::DeviceDesc& device, std::uint64_t tile_words,
+               double nwpt) {
+  // Double-buffered staging of every stream of the tuple.
+  const double bits = static_cast<double>(tile_words) * nwpt *
+                      device.word_bytes * 8.0 * 2.0;
+  const double avail =
+      static_cast<double>(device.resources.bram_bits) * (1.0 - device.shell_overhead);
+  return bits <= avail * 0.9;  // leave headroom for offset buffers
+}
+
+ThroughputEstimate ekit_tiled(const EkitInputs& inputs,
+                              std::uint64_t tile_words,
+                              const DeviceCostDb& db) {
+  ThroughputEstimate out;
+  const ir::DesignParams& d = inputs.design;
+  if (d.fd <= 0 || d.ngs == 0 || tile_words == 0) return out;
+
+  const double ngs = static_cast<double>(d.ngs);
+  const double wb = inputs.word_bytes;
+  const double tile_bytes =
+      static_cast<double>(std::min<std::uint64_t>(tile_words, d.ngs)) * d.nwpt * wb;
+  const double total_bytes = ngs * d.nwpt * wb;
+
+  // Host transfer amortized over NKI (form-B style residency).
+  double t_host = total_bytes / std::max(1.0, inputs.hpb * inputs.rho_h);
+  t_host /= std::max<std::uint32_t>(d.nki, 1);
+
+  // Staging: the whole range moves through DRAM once per instance, but at
+  // the sustained bandwidth of tile-sized transfers.
+  const double tile_bw = db.bandwidth().sustained(
+      static_cast<std::uint64_t>(std::max(1.0, tile_bytes)),
+      ir::AccessPattern::Contiguous);
+  const double t_stage = total_bytes / std::max(1.0, tile_bw);
+
+  // Compute (reads from local memory: never DRAM-throttled).
+  const double t_compute =
+      (ngs * d.nwpt * d.nto * d.ni) / (d.fd * d.knl * d.dv);
+
+  // Double buffering overlaps staging and compute; one tile of priming
+  // latency remains, plus the usual offset/pipe fill.
+  const double t_first_tile = tile_bytes / std::max(1.0, tile_bw);
+  const double t_offset =
+      (static_cast<double>(d.noff) * wb) / std::max(1.0, tile_bw);
+  const double t_fill = static_cast<double>(d.kpd) / d.fd;
+
+  const double t_steady = std::max(t_stage, t_compute);
+  out.t_host = t_host;
+  out.t_offset_fill = t_offset;
+  out.t_pipe_fill = t_fill + t_first_tile;
+  out.t_mem_stream = t_stage;
+  out.t_compute = t_compute;
+  out.seconds_per_instance = t_host + t_offset + t_fill + t_first_tile + t_steady;
+  out.ekit = 1.0 / out.seconds_per_instance;
+  out.cycles_per_instance =
+      (out.seconds_per_instance - t_host) * d.fd;
+  out.limiting =
+      t_steady == t_compute ? Wall::Compute : Wall::DramBandwidth;
+  if (t_host > t_steady) out.limiting = Wall::HostBandwidth;
+  return out;
+}
+
+std::optional<TileChoice> best_tile(const ir::Module& module,
+                                    const DeviceCostDb& db) {
+  const EkitInputs inputs = resolve_inputs(module, db);
+  std::optional<TileChoice> best;
+  for (std::uint64_t tile = 256; tile <= inputs.design.ngs * 2; tile <<= 1) {
+    const std::uint64_t clamped = std::min<std::uint64_t>(tile, inputs.design.ngs);
+    if (!tile_fits(db.device(), clamped, inputs.design.nwpt)) break;
+    const ThroughputEstimate est = ekit_tiled(inputs, clamped, db);
+    if (!best || est.ekit > best->estimate.ekit) {
+      best = TileChoice{clamped, est};
+    }
+    if (clamped == inputs.design.ngs) break;
+  }
+  return best;
+}
+
+}  // namespace tytra::cost

@@ -1,0 +1,64 @@
+#include "tytra/dse/explorer.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "tytra/support/strings.hpp"
+
+namespace tytra::dse {
+
+DseResult explore(std::uint64_t n, const LowerFn& lower,
+                  const cost::DeviceCostDb& db, const DseOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DseResult result;
+  const auto variants =
+      frontend::enumerate_variants(n, options.max_lanes, options.include_seq);
+  for (const auto& v : variants) {
+    ir::Module module = lower(v);
+    cost::CostReport report = cost::cost_design(module, db);
+    result.entries.emplace_back(v, std::move(report));
+  }
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    const auto& e = result.entries[i];
+    if (!e.report.valid) continue;
+    if (!result.best ||
+        e.report.throughput.ekit >
+            result.entries[*result.best].report.throughput.ekit) {
+      result.best = i;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.explore_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return result;
+}
+
+cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,
+                               const cost::DeviceCostDb& db) {
+  return cost::cost_design(lower(frontend::baseline_variant(n)), db);
+}
+
+std::string format_sweep(const DseResult& result) {
+  std::ostringstream os;
+  os << tytra::pad_left("lanes", 6) << tytra::pad_left("Regs%", 8)
+     << tytra::pad_left("Aluts%", 8) << tytra::pad_left("BRAM%", 8)
+     << tytra::pad_left("DSPs%", 8) << tytra::pad_left("EKIT/s", 12)
+     << "  limiting" << "\n";
+  for (const auto& e : result.entries) {
+    const auto& u = e.report.resources.util;
+    os << tytra::pad_left(std::to_string(e.report.params.knl), 6)
+       << tytra::pad_left(tytra::format_fixed(u.regs, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(u.aluts, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(u.bram, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(u.dsps, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(e.report.throughput.ekit, 1), 12)
+       << "  " << cost::wall_name(e.report.throughput.limiting)
+       << (e.report.valid ? "" : "  [INVALID: exceeds device]") << "\n";
+  }
+  if (result.best) {
+    os << "best: " << result.entries[*result.best].variant.describe() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tytra::dse

@@ -1,0 +1,97 @@
+#include "tytra/dse/tuner.hpp"
+
+#include <sstream>
+
+namespace tytra::dse {
+
+namespace {
+
+/// Smallest divisor of n strictly greater than `lanes`, or 0.
+std::uint64_t next_lane_count(std::uint64_t n, std::uint64_t lanes) {
+  for (std::uint64_t k = lanes + 1; k <= 2 * lanes && k <= n; ++k) {
+    if (n % k == 0) return k;
+  }
+  for (std::uint64_t k = 2 * lanes; k <= n; ++k) {
+    if (n % k == 0) return k;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TuneResult tune(std::uint64_t n, const LowerFn& lower,
+                const cost::DeviceCostDb& db, int max_steps) {
+  TuneResult result;
+  frontend::Variant current = frontend::baseline_variant(n);
+  std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
+
+  for (int step = 0; step < max_steps; ++step) {
+    cost::CostReport report = cost::cost_design(lower(current), db);
+    const bool valid = report.valid;
+    const cost::Wall wall = report.throughput.limiting;
+    result.trajectory.emplace_back(current, std::move(report), action);
+    const auto& placed = result.trajectory.back();
+
+    if (!valid) {
+      result.verdict =
+          "stopped: variant exceeds the device (computation wall); keeping "
+          "the last fitting variant";
+      break;
+    }
+    if (wall == cost::Wall::HostBandwidth) {
+      result.verdict =
+          "stopped: host-bandwidth wall — replication cannot help; move to a "
+          "form-B/C memory execution or reduce host traffic";
+      break;
+    }
+    if (wall == cost::Wall::DramBandwidth) {
+      result.verdict =
+          "stopped: DRAM-bandwidth wall — replication cannot help; improve "
+          "access contiguity or tile through local memory";
+      break;
+    }
+
+    // Compute-bound (or fill-bound): add lanes.
+    const std::uint64_t next = next_lane_count(n, placed.report.params.knl);
+    if (next == 0 || next > 1024) {
+      result.verdict = "stopped: no further lane count divides the NDRange";
+      break;
+    }
+    current = frontend::reshape_to(frontend::baseline_variant(n), next,
+                                   frontend::ParAnn::Par);
+    std::ostringstream why;
+    why << "compute wall at " << placed.report.params.knl
+        << " lanes -> reshapeTo " << next << " lanes";
+    action = why.str();
+  }
+
+  // Best valid step.
+  double best_ekit = -1;
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& s = result.trajectory[i];
+    if (s.report.valid && s.report.throughput.ekit > best_ekit) {
+      best_ekit = s.report.throughput.ekit;
+      result.best = i;
+    }
+  }
+  if (result.verdict.empty()) result.verdict = "stopped: step budget exhausted";
+  return result;
+}
+
+std::string format_tune(const TuneResult& result) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& s = result.trajectory[i];
+    os << "step " << i << ": " << s.variant.describe() << "\n";
+    os << "  " << s.action << "\n";
+    os << "  EKIT " << s.report.throughput.ekit << "/s, limiting "
+       << cost::wall_name(s.report.throughput.limiting)
+       << (s.report.valid ? "" : " [does not fit]") << "\n";
+  }
+  os << result.verdict << "\n";
+  os << "best: step " << result.best << " ("
+     << result.trajectory[result.best].variant.describe() << ")\n";
+  return os.str();
+}
+
+}  // namespace tytra::dse

@@ -1,0 +1,296 @@
+#include "tytra/fabric/cores.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "tytra/support/rng.hpp"
+
+namespace tytra::fabric {
+
+namespace {
+
+using ir::Opcode;
+using ir::ScalarKind;
+using ir::ScalarType;
+
+bool is_xilinx(const target::DeviceDesc& d) {
+  return d.family.find("virtex") != std::string::npos ||
+         d.family.find("kintex") != std::string::npos ||
+         d.family.find("ultrascale") != std::string::npos;
+}
+
+/// Deterministic sub-percent jitter modelling synthesis noise. The value
+/// is stable per (family, op, width) so calibration is reproducible.
+double jitter(const target::DeviceDesc& d, Opcode op, std::uint32_t w,
+              std::uint32_t salt) {
+  SplitMix64 rng(fnv1a(d.family) ^ (static_cast<std::uint64_t>(op) << 32) ^
+                 (static_cast<std::uint64_t>(w) << 16) ^ salt);
+  return 1.0 + rng.uniform(-0.005, 0.005);
+}
+
+double ceil_log2(double x) { return x <= 1 ? 0.0 : std::ceil(std::log2(x)); }
+
+/// Float-core base resources (f32); f64 scales by ~3.6x logic, 4x DSP.
+ResourceVec float_core(Opcode op, std::uint16_t bits,
+                       const target::DeviceDesc& d) {
+  ResourceVec r;
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      r = {480, 610, 0, 0};
+      break;
+    case Opcode::Mul:
+      r = {115, 210, 0, is_xilinx(d) ? 2.0 : 1.0};
+      break;
+    case Opcode::Mac:
+      r = {540, 760, 0, is_xilinx(d) ? 2.0 : 1.0};
+      break;
+    case Opcode::Div:
+      r = {760, 1400, 0, 0};
+      break;
+    case Opcode::Sqrt:
+      r = {460, 720, 0, 0};
+      break;
+    case Opcode::Exp:
+      r = {930, 1350, 2048, 4};
+      break;
+    case Opcode::Recip:
+      r = {520, 810, 1024, 2};
+      break;
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      r = {60, 34, 0, 0};
+      break;
+    case Opcode::Select:
+      r = {static_cast<double>(bits), static_cast<double>(bits), 0, 0};
+      break;
+    case Opcode::Min:
+    case Opcode::Max:
+      r = {110, 70, 0, 0};
+      break;
+    case Opcode::Abs:
+    case Opcode::Neg:
+      r = {2, static_cast<double>(bits), 0, 0};
+      break;
+    case Opcode::Mov:
+      r = {0, static_cast<double>(bits), 0, 0};
+      break;
+    default:
+      r = {200, 200, 0, 0};
+      break;
+  }
+  if (bits == 64) {
+    r.aluts *= 3.6;
+    r.regs *= 3.4;
+    r.dsps *= 4.0;
+    r.bram_bits *= 2.0;
+  } else if (bits == 16) {
+    r.aluts *= 0.45;
+    r.regs *= 0.45;
+  }
+  return r;
+}
+
+}  // namespace
+
+int multiplier_dsps(std::uint16_t bits, const target::DeviceDesc& device) {
+  // Stratix-V DSP blocks natively support 18x18 (one block) / 27x27; the
+  // Xilinx DSP48E1 is 25x18. Wider products tile several blocks — the
+  // "clearly identifiable points of discontinuity" of Fig. 9.
+  if (is_xilinx(device)) {
+    if (bits <= 17) return 1;
+    if (bits <= 24) return 2;
+    if (bits <= 34) return 4;
+    if (bits <= 51) return 6;
+    return 8;
+  }
+  if (bits <= 18) return 1;
+  if (bits <= 27) return 2;
+  if (bits <= 36) return 4;
+  if (bits <= 54) return 6;
+  return 8;
+}
+
+ResourceVec core_resources(ir::Opcode op, const ScalarType& type,
+                           const target::DeviceDesc& device) {
+  const std::uint16_t w = type.bits;
+  const double wd = w;
+  if (type.is_float()) {
+    ResourceVec r = float_core(op, w, device);
+    const double j = jitter(device, op, w, 7);
+    r.aluts = std::round(r.aluts * j);
+    r.regs = std::round(r.regs * j);
+    return r;
+  }
+
+  ResourceVec r;
+  const double lut_factor = is_xilinx(device) ? 0.92 : 1.0;  // 6-LUT packing
+  switch (op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+      r.aluts = wd;
+      r.regs = wd;
+      break;
+    case Opcode::Mul: {
+      r.dsps = multiplier_dsps(w, device);
+      // Glue/alignment logic grows piecewise with each extra DSP tile.
+      const int tiles = multiplier_dsps(w, device);
+      r.aluts = 4.0 + 0.35 * wd + 6.5 * (tiles - 1);
+      r.regs = 2.0 * wd;
+      break;
+    }
+    case Opcode::Mac: {
+      const int tiles = multiplier_dsps(w, device);
+      r.dsps = tiles;  // accumulation folds into the DSP post-adder
+      r.aluts = 3.0 + 0.30 * wd + 6.0 * (tiles - 1);
+      r.regs = 2.2 * wd;
+      break;
+    }
+    case Opcode::Div:
+    case Opcode::Rem:
+      // The paper's measured Stratix-V law (Fig. 9): x^2 + 3.7x - 10.6.
+      r.aluts = std::max(1.0, wd * wd + 3.7 * wd - 10.6);
+      r.regs = 0.5 * wd * wd + 2.0 * wd;
+      break;
+    case Opcode::Sqrt:
+      r.aluts = 0.55 * wd * wd + 2.0 * wd;
+      r.regs = 0.30 * wd * wd + 2.0 * wd;
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      r.aluts = wd * ceil_log2(wd) * 0.5;
+      r.regs = wd;
+      break;
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      r.aluts = std::ceil(wd / 2.0);
+      r.regs = wd;
+      break;
+    case Opcode::Not:
+      r.aluts = std::ceil(wd / 4.0);
+      r.regs = wd;
+      break;
+    case Opcode::CmpEq:
+    case Opcode::CmpNe:
+      r.aluts = std::ceil(wd / 2.0) + 1;
+      r.regs = 1;
+      break;
+    case Opcode::CmpLt:
+    case Opcode::CmpLe:
+    case Opcode::CmpGt:
+    case Opcode::CmpGe:
+      r.aluts = 0.7 * wd + 2;
+      r.regs = 1;
+      break;
+    case Opcode::Select:
+      r.aluts = wd;
+      r.regs = wd;
+      break;
+    case Opcode::Min:
+    case Opcode::Max:
+      r.aluts = 1.5 * wd + 2;
+      r.regs = wd;
+      break;
+    case Opcode::Abs:
+      r.aluts = wd;
+      r.regs = wd;
+      break;
+    case Opcode::Neg:
+      r.aluts = std::ceil(wd / 2.0);
+      r.regs = wd;
+      break;
+    case Opcode::Exp:
+    case Opcode::Recip:
+      // Integer variants are rejected by the verifier; keep a defined value.
+      r.aluts = 4.0 * wd;
+      r.regs = 4.0 * wd;
+      break;
+    case Opcode::Mov:
+      r.aluts = 0;
+      r.regs = wd;
+      break;
+  }
+  const double j = jitter(device, op, w, 3);
+  r.aluts = std::round(r.aluts * lut_factor * j);
+  r.regs = std::round(r.regs * j);
+  return r;
+}
+
+ResourceVec core_resources_const_operand(ir::Opcode op, const ScalarType& type,
+                                         std::int64_t constant,
+                                         const target::DeviceDesc& device) {
+  ResourceVec full = core_resources(op, type, device);
+  if (type.is_float()) return full;  // no strength reduction for floats
+  const auto uc = static_cast<std::uint64_t>(constant < 0 ? -constant : constant);
+  const int pop = std::popcount(uc);
+  const double wd = type.bits;
+  switch (op) {
+    case Opcode::Mul:
+      if (uc == 0) return {0, static_cast<double>(type.bits), 0, 0};
+      if (std::has_single_bit(uc)) {
+        // Power of two: pure wiring plus the output register.
+        return {0, wd, 0, 0};
+      }
+      if (pop <= 4) {
+        // Shift-add network: one adder per set bit beyond the first.
+        return {wd * (pop - 1), wd * pop, 0, 0};
+      }
+      return full;  // falls back to the DSP multiplier
+    case Opcode::Div:
+    case Opcode::Rem:
+      if (std::has_single_bit(uc) && uc != 0) {
+        return {op == Opcode::Div ? 0.0 : std::ceil(wd / 2.0), wd, 0, 0};
+      }
+      // Constant division via multiply-by-reciprocal + shift.
+      return {full.aluts * 0.12 + 8,
+              full.regs * 0.25 + 2 * wd,
+              0,
+              static_cast<double>(multiplier_dsps(type.bits, device))};
+    case Opcode::Add:
+    case Opcode::Sub:
+      if (uc == 0) return {0, wd, 0, 0};
+      return full;
+    default:
+      return full;
+  }
+}
+
+ResourceVec offset_buffer_resources(std::uint32_t bits, std::uint64_t depth_words,
+                                    const target::DeviceDesc& device) {
+  ResourceVec r;
+  if (depth_words == 0) return r;
+  const double total_bits = static_cast<double>(bits) * static_cast<double>(depth_words);
+  // Shallow delays stay in the register fabric; deeper ones spill to BRAM
+  // with a small addressing/control FSM.
+  if (total_bits <= 640) {
+    r.regs = total_bits;
+    r.aluts = static_cast<double>(bits);  // shift-enable fanout
+    return r;
+  }
+  r.bram_bits = total_bits;
+  r.aluts = 24 + ceil_log2(static_cast<double>(depth_words)) * 2.0;
+  r.regs = 2.0 * bits + 16;
+  (void)device;
+  return r;
+}
+
+ResourceVec stream_control_resources(std::uint32_t bits,
+                                     std::uint64_t addr_range_words,
+                                     const target::DeviceDesc& device) {
+  ResourceVec r;
+  const double addr_bits = std::max(1.0, ceil_log2(static_cast<double>(
+                                              std::max<std::uint64_t>(addr_range_words, 2))));
+  r.aluts = 18 + 1.5 * addr_bits + 0.25 * bits;  // counter + compare + handshake
+  r.regs = 12 + addr_bits + bits;                // address reg + skid buffer
+  (void)device;
+  return r;
+}
+
+}  // namespace tytra::fabric

@@ -1,0 +1,257 @@
+#include "tytra/frontend/lang.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "tytra/support/strings.hpp"
+
+namespace tytra::frontend {
+
+namespace {
+
+/// A named vector value during elaboration: its shape and, once mapped,
+/// the annotations applied per nesting level.
+struct VectorValue {
+  std::vector<std::uint64_t> dims;
+  std::vector<ParAnn> anns;     ///< empty until a map nest is applied
+  std::string kernel;           ///< set by the map application
+};
+
+struct Token {
+  std::string text;
+  int line{0};
+  int col{0};
+};
+
+class LineLexer {
+ public:
+  LineLexer(std::string_view line, int lineno) : line_(line), lineno_(lineno) {}
+
+  std::vector<Token> tokens() {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < line_.size()) {
+      const char c = line_[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < line_.size() && line_[i + 1] == '-') break;
+      const int col = static_cast<int>(i) + 1;
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::size_t j = i;
+        while (j < line_.size() &&
+               (std::isalnum(static_cast<unsigned char>(line_[j])) != 0 ||
+                line_[j] == '_')) {
+          ++j;
+        }
+        out.push_back({std::string(line_.substr(i, j - i)), lineno_, col});
+        i = j;
+        continue;
+      }
+      out.push_back({std::string(1, c), lineno_, col});
+      ++i;
+    }
+    return out;
+  }
+
+ private:
+  std::string_view line_;
+  int lineno_;
+};
+
+class Elaborator {
+ public:
+  tytra::Result<Program> run(std::string_view source) {
+    int lineno = 0;
+    std::string last_binding;
+    for (const auto raw : tytra::split(source, '\n')) {
+      ++lineno;
+      const auto toks = LineLexer(raw, lineno).tokens();
+      if (toks.empty()) continue;
+      auto r = line(toks);
+      if (!r.ok()) return r.diag();
+      if (!r.value().empty()) last_binding = r.value();
+    }
+    if (last_binding.empty()) {
+      return tytra::make_error("program has no bindings");
+    }
+    const auto it = vectors_.find(last_binding);
+    if (it == vectors_.end() || it->second.kernel.empty()) {
+      return tytra::make_error("final binding '" + last_binding +
+                               "' is not a mapped program");
+    }
+    Program program{it->second.kernel,
+                    Variant(it->second.dims, it->second.anns), last_binding,
+                    constants_};
+    return program;
+  }
+
+ private:
+  /// Handles one logical line; returns the bound name ("" for declarations).
+  tytra::Result<std::string> line(const std::vector<Token>& t) {
+    if (t.size() >= 3 && t[1].text == ":") return declaration(t);
+    if (t.size() >= 3 && t[1].text == "=") return binding(t);
+    return err(t[0], "expected 'name : Vect ...' or 'name = ...'");
+  }
+
+  static tytra::Diag err(const Token& at, const std::string& message) {
+    return tytra::make_error(message, {at.line, at.col});
+  }
+
+  /// name : Vect size t   (possibly nested: Vect a (Vect b t))
+  tytra::Result<std::string> declaration(const std::vector<Token>& t) {
+    const std::string name = t[0].text;
+    std::size_t i = 2;
+    std::vector<std::uint64_t> dims;
+    while (i < t.size() && t[i].text == "(") ++i;  // tolerate parens
+    while (i < t.size() && t[i].text == "Vect") {
+      ++i;
+      auto size = size_expr(t, i);
+      if (!size.ok()) return size.diag();
+      dims.push_back(size.value());
+      while (i < t.size() && t[i].text == "(") ++i;
+    }
+    if (dims.empty()) return err(t[0], "expected 'Vect <size> <type>'");
+    // remainder is the element type name (+ closing parens); ignored.
+    VectorValue v;
+    v.dims = std::move(dims);
+    vectors_[name] = std::move(v);
+    return std::string{};
+  }
+
+  /// size := term { '*' term };  term := integer | constant name
+  tytra::Result<std::uint64_t> size_expr(const std::vector<Token>& t,
+                                         std::size_t& i) {
+    auto term = [&](const Token& tok) -> std::optional<std::uint64_t> {
+      if (std::isdigit(static_cast<unsigned char>(tok.text[0])) != 0) {
+        return std::stoull(tok.text);
+      }
+      const auto it = constants_.find(tok.text);
+      if (it != constants_.end()) return it->second;
+      return std::nullopt;
+    };
+    if (i >= t.size()) return tytra::make_error("expected vector size");
+    auto first = term(t[i]);
+    if (!first) return err(t[i], "unknown size constant '" + t[i].text + "'");
+    std::uint64_t value = *first;
+    ++i;
+    while (i + 1 < t.size() && t[i].text == "*") {
+      auto next = term(t[i + 1]);
+      if (!next) return err(t[i + 1], "unknown size constant '" + t[i + 1].text + "'");
+      value *= *next;
+      i += 2;
+    }
+    return value;
+  }
+
+  /// name = <numeric> | reshapeTo k v | mapnest kernel v
+  tytra::Result<std::string> binding(const std::vector<Token>& t) {
+    const std::string name = t[0].text;
+    const std::size_t rhs = 2;
+    if (rhs >= t.size()) return err(t[0], "empty right-hand side");
+
+    // Numeric constant binding: im = 24
+    if (std::isdigit(static_cast<unsigned char>(t[rhs].text[0])) != 0 &&
+        t.size() == 3) {
+      constants_[name] = std::stoull(t[rhs].text);
+      return std::string{};
+    }
+
+    if (t[rhs].text == "reshapeTo") {
+      if (t.size() < rhs + 3) return err(t[rhs], "reshapeTo needs '<k> <vector>'");
+      std::uint64_t outer = 0;
+      if (std::isdigit(static_cast<unsigned char>(t[rhs + 1].text[0])) != 0) {
+        outer = std::stoull(t[rhs + 1].text);
+      } else {
+        const auto it = constants_.find(t[rhs + 1].text);
+        if (it == constants_.end()) {
+          return err(t[rhs + 1], "unknown constant '" + t[rhs + 1].text + "'");
+        }
+        outer = it->second;
+      }
+      const auto vit = vectors_.find(t[rhs + 2].text);
+      if (vit == vectors_.end()) {
+        return err(t[rhs + 2], "unknown vector '" + t[rhs + 2].text + "'");
+      }
+      const VectorValue& src = vit->second;
+      const std::uint64_t inner = src.dims.back();
+      if (outer == 0 || inner % outer != 0) {
+        return err(t[rhs + 1],
+                   "reshapeTo " + std::to_string(outer) +
+                       " does not preserve the size of a Vect " +
+                       std::to_string(inner) + " (type error)");
+      }
+      VectorValue out;
+      out.dims.assign(src.dims.begin(), src.dims.end() - 1);
+      out.dims.push_back(outer);
+      out.dims.push_back(inner / outer);
+      vectors_[name] = std::move(out);
+      return std::string{};
+    }
+
+    // Map nest: map / mappipe / mappar / mapseq, possibly parenthesized:
+    //   pst = mappar (mappipe p_sor) ppst
+    std::vector<ParAnn> anns;
+    std::size_t i = rhs;
+    std::string kernel;
+    while (i < t.size()) {
+      const std::string& w = t[i].text;
+      if (w == "(" || w == ")") {
+        ++i;
+        continue;
+      }
+      if (w == "map" || w == "mappipe") anns.push_back(ParAnn::Pipe);
+      else if (w == "mappar") anns.push_back(ParAnn::Par);
+      else if (w == "mapseq") anns.push_back(ParAnn::Seq);
+      else {
+        kernel = w;
+        ++i;
+        break;
+      }
+      ++i;
+    }
+    if (anns.empty() || kernel.empty()) {
+      return err(t[rhs], "expected a map nest applied to a kernel");
+    }
+    // Skip closing parens to the vector argument.
+    while (i < t.size() && t[i].text == ")") ++i;
+    if (i >= t.size()) return err(t.back(), "map nest needs a vector argument");
+    const auto vit = vectors_.find(t[i].text);
+    if (vit == vectors_.end()) {
+      return err(t[i], "unknown vector '" + t[i].text + "'");
+    }
+    const VectorValue& src = vit->second;
+    if (anns.size() != src.dims.size()) {
+      return err(t[i], "map nest depth " + std::to_string(anns.size()) +
+                           " does not match vector nesting depth " +
+                           std::to_string(src.dims.size()) + " (type error)");
+    }
+    VectorValue out;
+    out.dims = src.dims;
+    out.anns = std::move(anns);
+    out.kernel = kernel;
+    // Variant construction enforces the par-outside-pipe rule; convert its
+    // exception into a located diagnostic.
+    try {
+      Variant check(out.dims, out.anns);
+      (void)check;
+    } catch (const std::invalid_argument& e) {
+      return err(t[rhs], e.what());
+    }
+    vectors_[name] = std::move(out);
+    return name;
+  }
+
+  std::map<std::string, VectorValue> vectors_;
+  std::map<std::string, std::uint64_t> constants_;
+};
+
+}  // namespace
+
+tytra::Result<Program> parse_program(std::string_view source) {
+  return Elaborator().run(source);
+}
+
+}  // namespace tytra::frontend

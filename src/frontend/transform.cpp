@@ -1,0 +1,115 @@
+#include "tytra/frontend/transform.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace tytra::frontend {
+
+std::string_view par_ann_name(ParAnn ann) {
+  switch (ann) {
+    case ParAnn::Pipe: return "pipe";
+    case ParAnn::Par: return "par";
+    case ParAnn::Seq: return "seq";
+  }
+  return "?";
+}
+
+Variant::Variant(std::vector<std::uint64_t> dims, std::vector<ParAnn> anns)
+    : dims_(std::move(dims)), anns_(std::move(anns)) {
+  if (dims_.empty() || dims_.size() != anns_.size()) {
+    throw std::invalid_argument("Variant: dims/anns mismatch");
+  }
+  for (const auto d : dims_) {
+    if (d == 0) throw std::invalid_argument("Variant: zero dimension");
+  }
+  // Thread parallelism must enclose pipelines (Fig. 7): par only on the
+  // outermost levels.
+  bool seen_inner = false;
+  for (const auto a : anns_) {
+    if (a != ParAnn::Par) seen_inner = true;
+    else if (seen_inner) {
+      throw std::invalid_argument(
+          "Variant: par annotation inside a non-par level");
+    }
+  }
+}
+
+std::uint64_t Variant::flat_size() const {
+  return std::accumulate(dims_.begin(), dims_.end(), std::uint64_t{1},
+                         std::multiplies<>());
+}
+
+std::uint32_t Variant::lanes() const {
+  std::uint64_t lanes = 1;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (anns_[i] == ParAnn::Par) lanes *= dims_[i];
+  }
+  return static_cast<std::uint32_t>(lanes);
+}
+
+bool Variant::pipelined() const { return anns_.back() == ParAnn::Pipe; }
+
+std::string Variant::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    out += "map^" + std::string(par_ann_name(anns_[i])) + "[" +
+           std::to_string(dims_[i]) + "] (";
+  }
+  out += "f";
+  out += std::string(dims_.size(), ')');
+  return out;
+}
+
+Variant baseline_variant(std::uint64_t n) {
+  return Variant({n}, {ParAnn::Pipe});
+}
+
+Variant reshape_to(const Variant& v, std::uint64_t outer, ParAnn outer_ann) {
+  if (outer == 0 || v.dims().back() % outer != 0) {
+    throw std::invalid_argument(
+        "reshape_to: outer size must divide the inner dimension (size "
+        "preservation)");
+  }
+  std::vector<std::uint64_t> dims(v.dims().begin(), v.dims().end() - 1);
+  std::vector<ParAnn> anns(v.anns().begin(), v.anns().end() - 1);
+  dims.push_back(outer);
+  anns.push_back(outer_ann);
+  dims.push_back(v.dims().back() / outer);
+  anns.push_back(v.anns().back());
+  return Variant(std::move(dims), std::move(anns));
+}
+
+std::vector<Variant> enumerate_variants(std::uint64_t n,
+                                        std::uint32_t max_lanes,
+                                        bool include_seq) {
+  std::vector<Variant> out;
+  out.push_back(baseline_variant(n));
+  for (std::uint64_t lanes = 2; lanes <= max_lanes; ++lanes) {
+    if (n % lanes != 0) continue;
+    out.push_back(reshape_to(baseline_variant(n), lanes, ParAnn::Par));
+  }
+  if (include_seq) out.push_back(Variant({n}, {ParAnn::Seq}));
+  return out;
+}
+
+std::vector<std::vector<double>> reshape_vec(const std::vector<double>& flat,
+                                             std::uint64_t outer) {
+  if (outer == 0 || flat.size() % outer != 0) {
+    throw std::invalid_argument("reshape_vec: outer must divide the size");
+  }
+  const std::size_t inner = flat.size() / outer;
+  std::vector<std::vector<double>> nested(outer);
+  for (std::uint64_t k = 0; k < outer; ++k) {
+    nested[k].assign(flat.begin() + static_cast<std::ptrdiff_t>(k * inner),
+                     flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * inner));
+  }
+  return nested;
+}
+
+std::vector<double> flatten_vec(const std::vector<std::vector<double>>& nested) {
+  std::vector<double> flat;
+  for (const auto& row : nested) flat.insert(flat.end(), row.begin(), row.end());
+  return flat;
+}
+
+}  // namespace tytra::frontend

@@ -1,0 +1,261 @@
+#include "tytra/ir/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tytra::ir {
+
+// ---------------------------------------------------------------------------
+// Configuration tree
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ConfigNode build_node(const Module& mod, const Function& f) {
+  ConfigNode node;
+  node.func = &f;
+  node.kind = f.kind;
+  for (const auto* call : f.calls()) {
+    if (const Function* callee = mod.find_function(call->callee)) {
+      node.children.push_back(build_node(mod, *callee));
+    }
+  }
+  return node;
+}
+
+void format_node(std::ostringstream& os, const ConfigNode& node, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << func_kind_name(node.kind) << " @"
+     << (node.func != nullptr ? node.func->name : std::string("?")) << "\n";
+  for (const auto& child : node.children) format_node(os, child, indent + 1);
+}
+
+}  // namespace
+
+std::size_t ConfigNode::leaf_count() const {
+  if (children.empty()) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children) n += c.leaf_count();
+  return n;
+}
+
+ConfigNode build_config_tree(const Module& module) {
+  const Function* main = module.entry();
+  if (main == nullptr) return {};
+  ConfigNode root = build_node(module, *main);
+  // @main is a plain wrapper; elide it when it has exactly one child.
+  if (root.children.size() == 1) return root.children.front();
+  return root;
+}
+
+std::string format_config_tree(const ConfigNode& root) {
+  std::ostringstream os;
+  format_node(os, root, 0);
+  return os.str();
+}
+
+std::string_view config_class_name(ConfigClass c) {
+  switch (c) {
+    case ConfigClass::C1: return "C1";
+    case ConfigClass::C2: return "C2";
+    case ConfigClass::C3: return "C3";
+    case ConfigClass::C4: return "C4";
+    case ConfigClass::C5: return "C5";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint32_t max_port_lanes(const Module& mod) {
+  std::uint32_t dv = 1;
+  for (const auto& p : mod.ports) dv = std::max<std::uint32_t>(dv, p.type.lanes);
+  return dv;
+}
+
+}  // namespace
+
+ConfigClass classify_config(const Module& module) {
+  const ConfigNode tree = build_config_tree(module);
+  const std::uint32_t dv = max_port_lanes(module);
+  if (tree.kind == FuncKind::Seq) {
+    return dv > 1 ? ConfigClass::C5 : ConfigClass::C4;
+  }
+  if (tree.kind == FuncKind::Par) {
+    return ConfigClass::C1;
+  }
+  return dv > 1 ? ConfigClass::C3 : ConfigClass::C2;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+FunctionSchedule schedule_function(const Module& module, const Function& function) {
+  FunctionSchedule sched;
+  for (const auto& p : function.params) sched.ready_at[p.name] = 0;
+
+  auto operand_ready = [&](const Operand& op) -> int {
+    if (op.kind == Operand::Kind::Local) {
+      const auto it = sched.ready_at.find(op.name);
+      return it != sched.ready_at.end() ? it->second : 0;
+    }
+    return 0;  // constants, ports and accumulators are always ready
+  };
+
+  int depth = 0;
+  for (const auto& item : function.body) {
+    if (const auto* off = std::get_if<OffsetDecl>(&item)) {
+      // Offset streams are produced by the stream-control buffers ahead of
+      // the datapath; they are ready at cycle 0 of the PE.
+      sched.ready_at[off->result] = 0;
+      continue;
+    }
+    if (const auto* instr = std::get_if<Instr>(&item)) {
+      int ready = 0;
+      for (const auto& a : instr->args) ready = std::max(ready, operand_ready(a));
+      const int latency = op_latency(instr->op, instr->type.scalar);
+      sched.issue_at.push_back(ready);
+      const int avail = ready + latency;
+      if (!instr->result_global) sched.ready_at[instr->result] = avail;
+      depth = std::max(depth, avail);
+      continue;
+    }
+    const auto& call = std::get<Call>(item);
+    const Function* callee = module.find_function(call.callee);
+    if (callee == nullptr) continue;
+    if (callee->kind == FuncKind::Comb) {
+      depth = std::max(depth, 1);  // single-cycle custom combinatorial block
+    } else {
+      // Coarse-grained pipeline: the child's depth adds to ours.
+      const FunctionSchedule child = schedule_function(module, *callee);
+      if (function.kind == FuncKind::Par) {
+        depth = std::max(depth, child.depth);
+      } else {
+        depth += child.depth;
+      }
+    }
+  }
+  sched.depth = depth;
+  return sched;
+}
+
+int pipeline_depth(const Module& module) {
+  const Function* main = module.entry();
+  if (main == nullptr) return 0;
+  return schedule_function(module, *main).depth;
+}
+
+// ---------------------------------------------------------------------------
+// Parameter extraction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Collects the distinct PE (leaf pipe/seq) bodies reachable from `f`,
+/// visiting every call (so replicated lanes revisit the same body).
+void visit_pes(const Module& mod, const Function& f,
+               std::vector<const Function*>& pes) {
+  const auto calls = f.calls();
+  bool has_pe_children = false;
+  for (const auto* call : calls) {
+    const Function* callee = mod.find_function(call->callee);
+    if (callee == nullptr) continue;
+    if (callee->kind != FuncKind::Comb) has_pe_children = true;
+    visit_pes(mod, *callee, pes);
+  }
+  if (!has_pe_children &&
+      (f.kind == FuncKind::Pipe || f.kind == FuncKind::Seq)) {
+    pes.push_back(&f);
+  }
+}
+
+double instr_count_with_children(const Module& mod, const Function& f) {
+  double count = static_cast<double>(f.instructions().size());
+  for (const auto* call : f.calls()) {
+    const Function* callee = mod.find_function(call->callee);
+    if (callee != nullptr) count += instr_count_with_children(mod, *callee);
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint32_t lane_count(const Module& module) {
+  const ConfigNode tree = build_config_tree(module);
+  if (tree.kind != FuncKind::Par) return 1;
+  std::uint32_t lanes = 0;
+  for (const auto& child : tree.children) {
+    if (child.kind == FuncKind::Pipe || child.kind == FuncKind::Seq) ++lanes;
+  }
+  return std::max<std::uint32_t>(lanes, 1);
+}
+
+double instructions_per_pe(const Module& module) {
+  const Function* main = module.entry();
+  if (main == nullptr) return 0.0;
+  const double total = instr_count_with_children(module, *main);
+  const double lanes = lane_count(module);
+  return lanes > 0 ? total / lanes : total;
+}
+
+DesignParams extract_params(const Module& module) {
+  DesignParams params;
+  params.ngs = module.meta.global_size;
+  params.nki = module.meta.nki;
+  params.form = module.meta.form;
+  params.fd = module.meta.freq_hz;
+  params.dv = max_port_lanes(module);
+  params.knl = lane_count(module);
+  // Each lane is serviced by its own stream objects (Fig. 14), so the
+  // words-per-tuple of one work-item is the per-lane port count.
+  params.nwpt =
+      static_cast<double>(module.ports.size()) / std::max<std::uint32_t>(params.knl, 1);
+  params.kpd = pipeline_depth(module);
+  params.ni = std::max(1.0, instructions_per_pe(module));
+
+  // Noff: the largest stream offset anywhere, plus port initial offsets.
+  std::uint64_t noff = 0;
+  for (const auto& f : module.functions) {
+    for (const auto* off : f.offsets()) {
+      noff = std::max<std::uint64_t>(
+          noff, static_cast<std::uint64_t>(std::llabs(off->offset)));
+    }
+  }
+  for (const auto& p : module.ports) {
+    noff = std::max<std::uint64_t>(
+        noff, static_cast<std::uint64_t>(std::llabs(p.init_offset)));
+  }
+  params.noff = noff;
+
+  // NTO: for pipelined PEs the initiation interval per streamed word; for
+  // sequential PEs the mean per-instruction cycle count.
+  const ConfigNode tree = build_config_tree(module);
+  std::vector<const Function*> pes;
+  if (const Function* main = module.entry()) visit_pes(module, *main, pes);
+  const bool sequential =
+      tree.kind == FuncKind::Seq ||
+      (!pes.empty() && pes.front()->kind == FuncKind::Seq);
+  if (sequential) {
+    double cycles = 0;
+    double n = 0;
+    for (const auto* pe : pes) {
+      for (const auto* instr : pe->instructions()) {
+        cycles += op_latency(instr->op, instr->type.scalar);
+        n += 1;
+      }
+    }
+    params.nto = n > 0 ? cycles / n : 1.0;
+  } else {
+    params.nto = module.meta.ii;
+    // For a pipeline the compute term in the EKIT expressions is
+    // NGS*NWPT*NTO*NI/(FD*KNL*DV) with NWPT*NTO*NI = cycles per work-item:
+    // the pipeline consumes the NWPT-word tuple word-serially at II cycles
+    // per word, so the per-item cost carried by NI is 1.
+    params.ni = 1.0;
+  }
+  return params;
+}
+
+}  // namespace tytra::ir

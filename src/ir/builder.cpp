@@ -1,0 +1,209 @@
+#include "tytra/ir/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tytra::ir {
+
+FunctionBuilder::FunctionBuilder(std::string name, FuncKind kind) {
+  func_.name = std::move(name);
+  func_.kind = kind;
+}
+
+std::string FunctionBuilder::fresh_name() {
+  return "t" + std::to_string(next_id_++);
+}
+
+void FunctionBuilder::note_defined(const std::string& name) {
+  if (std::find(defined_.begin(), defined_.end(), name) != defined_.end()) {
+    throw std::invalid_argument("FunctionBuilder: redefinition of %" + name);
+  }
+  defined_.push_back(name);
+}
+
+std::string FunctionBuilder::param(Type type, std::string name) {
+  note_defined(name);
+  func_.params.push_back({type, name});
+  return name;
+}
+
+std::string FunctionBuilder::offset(const std::string& base, std::int64_t off,
+                                    std::string name) {
+  if (std::find(defined_.begin(), defined_.end(), base) == defined_.end()) {
+    throw std::invalid_argument("FunctionBuilder: offset of unknown value %" + base);
+  }
+  // Find the base type among params / previous results.
+  Type type;
+  bool found = false;
+  for (const auto& p : func_.params) {
+    if (p.name == base) {
+      type = p.type;
+      found = true;
+    }
+  }
+  if (!found) {
+    for (const auto& item : func_.body) {
+      if (const auto* o = std::get_if<OffsetDecl>(&item); o != nullptr && o->result == base) {
+        type = o->type;
+        found = true;
+      }
+      if (const auto* i = std::get_if<Instr>(&item); i != nullptr && i->result == base) {
+        type = i->type;
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("FunctionBuilder: cannot infer type of %" + base);
+  }
+  if (name.empty()) {
+    name = base + (off >= 0 ? "_p" : "_n") + std::to_string(off >= 0 ? off : -off);
+  }
+  note_defined(name);
+  OffsetDecl decl;
+  decl.type = type;
+  decl.result = name;
+  decl.base = base;
+  decl.offset = off;
+  func_.body.emplace_back(std::move(decl));
+  return name;
+}
+
+std::string FunctionBuilder::instr(Opcode op, Type type,
+                                   std::vector<Operand> args, std::string name) {
+  const OpInfo& info = op_info(op);
+  if (static_cast<int>(args.size()) != info.arity) {
+    throw std::invalid_argument(
+        "FunctionBuilder: op '" + std::string(info.name) + "' expects " +
+        std::to_string(info.arity) + " operands, got " + std::to_string(args.size()));
+  }
+  if (name.empty()) name = fresh_name();
+  note_defined(name);
+  Instr instr;
+  instr.op = op;
+  instr.type = type;
+  instr.result = name;
+  instr.args = std::move(args);
+  func_.body.emplace_back(std::move(instr));
+  return name;
+}
+
+void FunctionBuilder::store(Type type, const std::string& target,
+                            Operand value) {
+  Instr instr;
+  instr.op = Opcode::Mov;
+  instr.type = type;
+  instr.result = target;
+  instr.result_global = true;
+  instr.args.push_back(std::move(value));
+  func_.body.emplace_back(std::move(instr));
+}
+
+void FunctionBuilder::reduce(Opcode op, Type type, const std::string& global,
+                             std::vector<Operand> args) {
+  args.push_back(Operand::global(global));
+  const OpInfo& info = op_info(op);
+  if (static_cast<int>(args.size()) != info.arity) {
+    throw std::invalid_argument(
+        "FunctionBuilder: reduction op '" + std::string(info.name) +
+        "' expects " + std::to_string(info.arity) + " operands including the accumulator");
+  }
+  Instr instr;
+  instr.op = op;
+  instr.type = type;
+  instr.result = global;
+  instr.result_global = true;
+  instr.args = std::move(args);
+  func_.body.emplace_back(std::move(instr));
+}
+
+void FunctionBuilder::call(std::string callee, std::vector<Operand> args,
+                           FuncKind kind) {
+  Call call;
+  call.callee = std::move(callee);
+  call.args = std::move(args);
+  call.kind_annot = kind;
+  func_.body.emplace_back(std::move(call));
+}
+
+ModuleBuilder::ModuleBuilder(std::string name) { mod_.name = std::move(name); }
+
+ModuleBuilder& ModuleBuilder::set_ndrange(std::uint64_t ngs) {
+  mod_.meta.global_size = ngs;
+  return *this;
+}
+ModuleBuilder& ModuleBuilder::set_nki(std::uint32_t nki) {
+  mod_.meta.nki = nki;
+  return *this;
+}
+ModuleBuilder& ModuleBuilder::set_form(ExecForm form) {
+  mod_.meta.form = form;
+  return *this;
+}
+ModuleBuilder& ModuleBuilder::set_freq(double hz) {
+  mod_.meta.freq_hz = hz;
+  return *this;
+}
+ModuleBuilder& ModuleBuilder::set_ii(std::uint32_t ii) {
+  mod_.meta.ii = ii;
+  return *this;
+}
+
+void ModuleBuilder::add_port(const std::string& name, Type type, StreamDir dir,
+                             AccessPattern pattern, std::uint64_t stride,
+                             std::uint64_t size_words) {
+  if (mod_.meta.global_size == 0) {
+    throw std::invalid_argument(
+        "ModuleBuilder: set_ndrange must precede add_*_port (memory objects "
+        "are sized to the NDRange)");
+  }
+  MemObject mem;
+  mem.name = "m_" + name;
+  mem.elem = type.scalar;
+  mem.size_words =
+      size_words != 0 ? size_words : mod_.meta.global_size * type.lanes;
+  mem.space = AddrSpace::Global;
+  mod_.memobjs.push_back(mem);
+
+  StreamObject so;
+  so.name = "strobj_" + name;
+  so.memobj = mem.name;
+  so.dir = dir;
+  so.pattern = pattern;
+  so.stride_words = stride;
+  mod_.streamobjs.push_back(so);
+
+  PortBinding port;
+  port.name = name;
+  port.space = AddrSpace::Global;
+  port.type = type;
+  port.dir = dir;
+  port.pattern = pattern;
+  port.streamobj = so.name;
+  mod_.ports.push_back(port);
+}
+
+ModuleBuilder& ModuleBuilder::add_input_port(const std::string& name, Type type,
+                                             AccessPattern pattern,
+                                             std::uint64_t stride,
+                                             std::uint64_t size_words) {
+  add_port(name, type, StreamDir::In, pattern, stride, size_words);
+  return *this;
+}
+
+ModuleBuilder& ModuleBuilder::add_output_port(const std::string& name, Type type,
+                                              AccessPattern pattern,
+                                              std::uint64_t stride,
+                                              std::uint64_t size_words) {
+  add_port(name, type, StreamDir::Out, pattern, stride, size_words);
+  return *this;
+}
+
+ModuleBuilder& ModuleBuilder::add(Function function) {
+  mod_.functions.push_back(std::move(function));
+  return *this;
+}
+
+Module ModuleBuilder::take() && { return std::move(mod_); }
+
+}  // namespace tytra::ir

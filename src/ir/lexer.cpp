@@ -1,0 +1,178 @@
+#include "tytra/ir/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace tytra::ir {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
+}
+bool is_punct_char(char c) {
+  return c == '(' || c == ')' || c == '{' || c == '}' || c == ',' || c == '=' ||
+         c == '!' || c == '+' || c == '-' || c == '*' || c == '<' || c == '>' ||
+         c == '/';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] tytra::SourceLoc loc() const { return {line_, col_}; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_{0};
+  int line_{1};
+  int col_{1};
+};
+
+}  // namespace
+
+tytra::Result<std::vector<Token>> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  while (!cur.at_end()) {
+    const char c = cur.peek();
+    const tytra::SourceLoc loc = cur.loc();
+
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.advance();
+      continue;
+    }
+    if (c == ';') {  // comment to end of line
+      while (!cur.at_end() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '%' || c == '@') {
+      cur.advance();
+      const std::size_t start = cur.pos();
+      if (!is_ident_start(cur.peek()) &&
+          std::isdigit(static_cast<unsigned char>(cur.peek())) == 0) {
+        return tytra::make_error("expected name after sigil", loc);
+      }
+      while (!cur.at_end() && is_ident_char(cur.peek())) cur.advance();
+      Token t;
+      t.kind = c == '%' ? TokKind::LocalName : TokKind::GlobalName;
+      t.text = std::string(cur.slice(start));
+      t.loc = loc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      cur.advance();
+      const std::size_t start = cur.pos();
+      while (!cur.at_end() && cur.peek() != '"' && cur.peek() != '\n') cur.advance();
+      if (cur.peek() != '"') return tytra::make_error("unterminated string", loc);
+      Token t;
+      t.kind = TokKind::String;
+      t.text = std::string(cur.slice(start));
+      t.loc = loc;
+      cur.advance();  // closing quote
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = cur.pos();
+      bool is_float = false;
+      bool hex = false;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        cur.advance();
+        cur.advance();
+        hex = true;
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek())) != 0) cur.advance();
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) cur.advance();
+        if (cur.peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(cur.peek(1))) != 0) {
+          is_float = true;
+          cur.advance();
+          while (std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) cur.advance();
+        }
+        if (cur.peek() == 'e' || cur.peek() == 'E') {
+          const char sign = cur.peek(1);
+          if (std::isdigit(static_cast<unsigned char>(sign)) != 0 ||
+              ((sign == '+' || sign == '-') &&
+               std::isdigit(static_cast<unsigned char>(cur.peek(2))) != 0)) {
+            is_float = true;
+            cur.advance();
+            if (cur.peek() == '+' || cur.peek() == '-') cur.advance();
+            while (std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) cur.advance();
+          }
+        }
+      }
+      const std::string_view text = cur.slice(start);
+      Token t;
+      t.loc = loc;
+      t.text = std::string(text);
+      if (is_float) {
+        t.kind = TokKind::Float;
+        t.fval = std::stod(t.text);
+      } else {
+        t.kind = TokKind::Integer;
+        std::int64_t value = 0;
+        const std::string_view digits = hex ? text.substr(2) : text;
+        const auto [ptr, ec] = std::from_chars(
+            digits.data(), digits.data() + digits.size(), value, hex ? 16 : 10);
+        if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+          return tytra::make_error("bad integer literal '" + t.text + "'", loc);
+        }
+        t.ival = value;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = cur.pos();
+      while (!cur.at_end() && is_ident_char(cur.peek())) cur.advance();
+      Token t;
+      t.kind = TokKind::Ident;
+      t.text = std::string(cur.slice(start));
+      t.loc = loc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (is_punct_char(c)) {
+      cur.advance();
+      Token t;
+      t.kind = TokKind::Punct;
+      t.text = std::string(1, c);
+      t.loc = loc;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    return tytra::make_error(std::string("unexpected character '") + c + "'", loc);
+  }
+
+  Token end;
+  end.kind = TokKind::End;
+  end.loc = cur.loc();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace tytra::ir

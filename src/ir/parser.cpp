@@ -1,0 +1,505 @@
+#include "tytra/ir/parser.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "tytra/ir/lexer.hpp"
+#include "tytra/support/strings.hpp"
+
+namespace tytra::ir {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  tytra::Result<ParseOutput> run() {
+    while (!at_end()) {
+      if (peek().kind == TokKind::Punct && peek().is_punct('!')) {
+        if (auto r = parse_directive(); !r.ok()) return r.diag();
+      } else if (peek().is_ident("memobj")) {
+        if (auto r = parse_memobj(); !r.ok()) return r.diag();
+      } else if (peek().is_ident("stream")) {
+        if (auto r = parse_streamobj(); !r.ok()) return r.diag();
+      } else if (peek().is_ident("define")) {
+        if (auto r = parse_funcdef(); !r.ok()) return r.diag();
+      } else if (peek().kind == TokKind::GlobalName) {
+        if (auto r = parse_portbind(); !r.ok()) return r.diag();
+      } else {
+        return err("unexpected token '" + peek().text + "' at module scope");
+      }
+    }
+    return ParseOutput{std::move(out_), std::move(warnings_)};
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  [[nodiscard]] bool at_end() const { return peek().kind == TokKind::End; }
+
+  [[nodiscard]] tytra::Diag err(std::string message) const {
+    return tytra::make_error(std::move(message), peek().loc);
+  }
+
+  tytra::Result<bool> expect_punct(char c) {
+    if (!peek().is_punct(c)) {
+      return err(std::string("expected '") + c + "', got '" + peek().text + "'");
+    }
+    advance();
+    return true;
+  }
+  tytra::Result<bool> expect_ident(std::string_view s) {
+    if (!peek().is_ident(s)) {
+      return err("expected '" + std::string(s) + "', got '" + peek().text + "'");
+    }
+    advance();
+    return true;
+  }
+  tytra::Result<std::string> expect_global() {
+    if (peek().kind != TokKind::GlobalName) {
+      return err("expected @name, got '" + peek().text + "'");
+    }
+    return advance().text;
+  }
+  tytra::Result<std::string> expect_local() {
+    if (peek().kind != TokKind::LocalName) {
+      return err("expected %name, got '" + peek().text + "'");
+    }
+    return advance().text;
+  }
+  tytra::Result<std::int64_t> expect_int() {
+    if (peek().kind != TokKind::Integer) {
+      return err("expected integer, got '" + peek().text + "'");
+    }
+    return advance().ival;
+  }
+
+  // --- types ---------------------------------------------------------------
+  tytra::Result<Type> parse_type() {
+    if (peek().is_punct('<')) {
+      advance();
+      auto lanes = expect_int();
+      if (!lanes.ok()) return lanes.diag();
+      if (auto r = expect_ident("x"); !r.ok()) return r.diag();
+      if (peek().kind != TokKind::Ident) return err("expected scalar type");
+      auto scalar = parse_scalar_type(advance().text);
+      if (!scalar.ok()) return scalar.diag();
+      if (auto r = expect_punct('>'); !r.ok()) return r.diag();
+      if (lanes.value() < 1 || lanes.value() > 1024) {
+        return err("vector lanes out of range");
+      }
+      return Type::vector_of(scalar.value(),
+                             static_cast<std::uint16_t>(lanes.value()));
+    }
+    if (peek().kind != TokKind::Ident) {
+      return err("expected type, got '" + peek().text + "'");
+    }
+    const tytra::SourceLoc loc = peek().loc;
+    auto scalar = parse_scalar_type(advance().text);
+    if (!scalar.ok()) {
+      auto d = scalar.diag();
+      return tytra::make_error(d.message, loc);
+    }
+    return Type::scalar_of(scalar.value());
+  }
+
+  // --- module-scope productions -------------------------------------------
+  tytra::Result<bool> parse_directive() {
+    advance();  // '!'
+    if (peek().kind != TokKind::Ident) return err("expected directive key after '!'");
+    const std::string key = tytra::to_lower(advance().text);
+    if (auto r = expect_punct('='); !r.ok()) return r.diag();
+
+    if (key == "form") {
+      if (peek().kind != TokKind::Ident) return err("expected A/B/C for !form");
+      const std::string v = tytra::to_lower(advance().text);
+      if (v == "a") out_.meta.form = ExecForm::A;
+      else if (v == "b") out_.meta.form = ExecForm::B;
+      else if (v == "c") out_.meta.form = ExecForm::C;
+      else return err("bad !form value '" + v + "'");
+      return true;
+    }
+    if (key == "name") {
+      if (peek().kind != TokKind::Ident && peek().kind != TokKind::String) {
+        return err("expected name for !name");
+      }
+      out_.name = advance().text;
+      return true;
+    }
+    double value = 0.0;
+    if (peek().kind == TokKind::Integer) value = static_cast<double>(advance().ival);
+    else if (peek().kind == TokKind::Float) value = advance().fval;
+    else return err("expected numeric value for !" + key);
+
+    if (key == "ngs") out_.meta.global_size = static_cast<std::uint64_t>(value);
+    else if (key == "nki") out_.meta.nki = static_cast<std::uint32_t>(value);
+    else if (key == "fd" || key == "freq") out_.meta.freq_hz = value;
+    else if (key == "ii") out_.meta.ii = static_cast<std::uint32_t>(value);
+    else constants_[key] = static_cast<std::int64_t>(value);
+    return true;
+  }
+
+  tytra::Result<bool> parse_memobj() {
+    advance();  // 'memobj'
+    MemObject m;
+    m.loc = peek().loc;
+    auto name = expect_global();
+    if (!name.ok()) return name.diag();
+    m.name = name.value();
+    if (peek().kind != TokKind::Ident) return err("expected address space name");
+    const std::string space = tytra::to_lower(advance().text);
+    if (space == "private") m.space = AddrSpace::Private;
+    else if (space == "global") m.space = AddrSpace::Global;
+    else if (space == "local") m.space = AddrSpace::Local;
+    else if (space == "constant") m.space = AddrSpace::Constant;
+    else return err("unknown address space '" + space + "'");
+    auto type = parse_type();
+    if (!type.ok()) return type.diag();
+    m.elem = type.value().scalar;
+    if (auto r = expect_ident("x"); !r.ok()) return r.diag();
+    auto size = expect_int();
+    if (!size.ok()) return size.diag();
+    m.size_words = static_cast<std::uint64_t>(size.value());
+    out_.memobjs.push_back(std::move(m));
+    return true;
+  }
+
+  tytra::Result<bool> parse_streamobj() {
+    advance();  // 'stream'
+    StreamObject s;
+    s.loc = peek().loc;
+    auto name = expect_global();
+    if (!name.ok()) return name.diag();
+    s.name = name.value();
+    if (peek().is_ident("reads")) s.dir = StreamDir::In;
+    else if (peek().is_ident("writes")) s.dir = StreamDir::Out;
+    else return err("expected 'reads' or 'writes'");
+    advance();
+    auto mem = expect_global();
+    if (!mem.ok()) return mem.diag();
+    s.memobj = mem.value();
+    if (peek().is_ident("pattern")) {
+      advance();
+      if (peek().is_ident("cont") || peek().is_ident("contiguous")) {
+        advance();
+        s.pattern = AccessPattern::Contiguous;
+      } else if (peek().is_ident("strided")) {
+        advance();
+        s.pattern = AccessPattern::Strided;
+        auto stride = expect_int();
+        if (!stride.ok()) return stride.diag();
+        s.stride_words = static_cast<std::uint64_t>(stride.value());
+      } else {
+        return err("expected 'cont' or 'strided N' after 'pattern'");
+      }
+    }
+    out_.streamobjs.push_back(std::move(s));
+    return true;
+  }
+
+  tytra::Result<bool> parse_portbind() {
+    PortBinding p;
+    p.loc = peek().loc;
+    auto qual = expect_global();
+    if (!qual.ok()) return qual.diag();
+    // Strip a "main." qualifier if present.
+    std::string name = qual.value();
+    if (const auto dot = name.rfind('.'); dot != std::string::npos) {
+      name = name.substr(dot + 1);
+    }
+    p.name = std::move(name);
+    if (auto r = expect_punct('='); !r.ok()) return r.diag();
+    if (!peek().is_ident("addrSpace") && !peek().is_ident("addrspace")) {
+      return err("expected 'addrSpace(N)' in port binding");
+    }
+    advance();
+    if (auto r = expect_punct('('); !r.ok()) return r.diag();
+    auto space = expect_int();
+    if (!space.ok()) return space.diag();
+    if (auto r = expect_punct(')'); !r.ok()) return r.diag();
+    if (space.value() >= 0 && space.value() <= 3) {
+      p.space = static_cast<AddrSpace>(space.value());
+    } else {
+      warnings_.warning("address space " + std::to_string(space.value()) +
+                            " out of range; assuming global",
+                        p.loc);
+      p.space = AddrSpace::Global;
+    }
+    auto type = parse_type();
+    if (!type.ok()) return type.diag();
+    p.type = type.value();
+    if (auto r = expect_punct(','); !r.ok()) return r.diag();
+
+    // !"istream", !"CONT", !0, !"strobj"
+    auto dir = parse_bang_string();
+    if (!dir.ok()) return dir.diag();
+    const std::string dirv = tytra::to_lower(dir.value());
+    if (dirv == "istream") p.dir = StreamDir::In;
+    else if (dirv == "ostream") p.dir = StreamDir::Out;
+    else return err("expected istream/ostream, got '" + dir.value() + "'");
+    if (auto r = expect_punct(','); !r.ok()) return r.diag();
+
+    auto pat = parse_bang_string();
+    if (!pat.ok()) return pat.diag();
+    const std::string patv = tytra::to_lower(pat.value());
+    if (patv == "cont" || patv == "contiguous") p.pattern = AccessPattern::Contiguous;
+    else if (patv == "strided") p.pattern = AccessPattern::Strided;
+    else return err("expected CONT/STRIDED, got '" + pat.value() + "'");
+    if (auto r = expect_punct(','); !r.ok()) return r.diag();
+
+    if (auto r = expect_punct('!'); !r.ok()) return r.diag();
+    std::int64_t off_sign = 1;
+    if (peek().is_punct('-')) {
+      off_sign = -1;
+      advance();
+    } else if (peek().is_punct('+')) {
+      advance();
+    }
+    auto off = expect_int();
+    if (!off.ok()) return off.diag();
+    p.init_offset = off_sign * off.value();
+
+    if (peek().is_punct(',')) {
+      advance();
+      auto strobj = parse_bang_string();
+      if (!strobj.ok()) return strobj.diag();
+      p.streamobj = strobj.value();
+    }
+    out_.ports.push_back(std::move(p));
+    return true;
+  }
+
+  tytra::Result<std::string> parse_bang_string() {
+    if (auto r = expect_punct('!'); !r.ok()) return r.diag();
+    if (peek().kind != TokKind::String) {
+      return err("expected string after '!'");
+    }
+    return advance().text;
+  }
+
+  // --- functions -----------------------------------------------------------
+  tytra::Result<bool> parse_funcdef() {
+    advance();  // 'define'
+    if (auto r = expect_ident("void"); !r.ok()) return r.diag();
+    Function f;
+    f.loc = peek().loc;
+    auto name = expect_global();
+    if (!name.ok()) return name.diag();
+    f.name = name.value();
+    if (auto r = expect_punct('('); !r.ok()) return r.diag();
+    while (!peek().is_punct(')')) {
+      auto type = parse_type();
+      if (!type.ok()) return type.diag();
+      auto pname = expect_local();
+      if (!pname.ok()) return pname.diag();
+      f.params.push_back({type.value(), pname.value()});
+      if (peek().is_punct(',')) advance();
+      else break;
+    }
+    if (auto r = expect_punct(')'); !r.ok()) return r.diag();
+    // The kind keyword is optional (the paper's @main omits it); the
+    // default is pipe.
+    f.kind = FuncKind::Pipe;
+    if (peek().kind == TokKind::Ident) {
+      const auto kind = func_kind_from_name(peek().text);
+      if (!kind) return err("unknown function kind '" + peek().text + "'");
+      advance();
+      f.kind = *kind;
+    }
+    if (auto r = expect_punct('{'); !r.ok()) return r.diag();
+    while (!peek().is_punct('}')) {
+      if (at_end()) return err("unterminated function body");
+      auto item = parse_body_item();
+      if (!item.ok()) return item.diag();
+      f.body.push_back(std::move(item).take());
+    }
+    advance();  // '}'
+    out_.functions.push_back(std::move(f));
+    return true;
+  }
+
+  tytra::Result<BodyItem> parse_body_item() {
+    if (peek().is_ident("call")) return parse_call();
+    return parse_instr_or_offset();
+  }
+
+  tytra::Result<BodyItem> parse_call() {
+    Call call;
+    call.loc = peek().loc;
+    advance();  // 'call'
+    auto callee = expect_global();
+    if (!callee.ok()) return callee.diag();
+    call.callee = callee.value();
+    if (auto r = expect_punct('('); !r.ok()) return r.diag();
+    while (!peek().is_punct(')')) {
+      auto op = parse_operand();
+      if (!op.ok()) return op.diag();
+      call.args.push_back(std::move(op).take());
+      if (peek().is_punct(',')) advance();
+      else break;
+    }
+    if (auto r = expect_punct(')'); !r.ok()) return r.diag();
+    if (peek().kind != TokKind::Ident) return err("expected kind after call");
+    const auto kind = func_kind_from_name(peek().text);
+    if (!kind) return err("unknown call kind '" + peek().text + "'");
+    advance();
+    call.kind_annot = *kind;
+    return BodyItem{std::move(call)};
+  }
+
+  tytra::Result<BodyItem> parse_instr_or_offset() {
+    const tytra::SourceLoc loc = peek().loc;
+    auto res_type = parse_type();
+    if (!res_type.ok()) return res_type.diag();
+    bool result_global = false;
+    std::string result;
+    if (peek().kind == TokKind::LocalName) {
+      result = advance().text;
+    } else if (peek().kind == TokKind::GlobalName) {
+      result_global = true;
+      result = advance().text;
+    } else {
+      return err("expected result name");
+    }
+    if (auto r = expect_punct('='); !r.ok()) return r.diag();
+
+    // Offset declaration:  <type> %r = <type> %base, !offset, !<expr>
+    // Instruction:         <type> %r = <op> <type> <operand>, ...
+    if (peek().kind == TokKind::Ident &&
+        !opcode_from_name(peek().text).has_value()) {
+      auto base_type = parse_type();
+      if (!base_type.ok()) return base_type.diag();
+      OffsetDecl off;
+      off.loc = loc;
+      off.type = base_type.value();
+      off.result = std::move(result);
+      auto base = expect_local();
+      if (!base.ok()) return base.diag();
+      off.base = base.value();
+      if (auto r = expect_punct(','); !r.ok()) return r.diag();
+      if (auto r = expect_punct('!'); !r.ok()) return r.diag();
+      if (auto r = expect_ident("offset"); !r.ok()) return r.diag();
+      if (auto r = expect_punct(','); !r.ok()) return r.diag();
+      if (auto r = expect_punct('!'); !r.ok()) return r.diag();
+      auto value = parse_offset_expr();
+      if (!value.ok()) return value.diag();
+      off.offset = value.value();
+      if (result_global) return err("offset result cannot be a global");
+      return BodyItem{std::move(off)};
+    }
+
+    if (peek().kind != TokKind::Ident) {
+      return err("expected opcode, got '" + peek().text + "'");
+    }
+    const auto op = opcode_from_name(peek().text);
+    if (!op) return err("unknown opcode '" + peek().text + "'");
+    advance();
+    Instr instr;
+    instr.loc = loc;
+    instr.op = *op;
+    instr.result = std::move(result);
+    instr.result_global = result_global;
+    auto op_type = parse_type();
+    if (!op_type.ok()) return op_type.diag();
+    instr.type = op_type.value();
+    while (true) {
+      auto operand = parse_operand();
+      if (!operand.ok()) return operand.diag();
+      instr.args.push_back(std::move(operand).take());
+      if (peek().is_punct(',')) advance();
+      else break;
+    }
+    return BodyItem{std::move(instr)};
+  }
+
+  /// offexpr := ['+'|'-'] offterm { '*' offterm }
+  tytra::Result<std::int64_t> parse_offset_expr() {
+    std::int64_t sign = 1;
+    if (peek().is_punct('+')) advance();
+    else if (peek().is_punct('-')) {
+      sign = -1;
+      advance();
+    }
+    auto term = parse_offset_term();
+    if (!term.ok()) return term.diag();
+    std::int64_t value = term.value();
+    while (peek().is_punct('*')) {
+      advance();
+      auto next = parse_offset_term();
+      if (!next.ok()) return next.diag();
+      value *= next.value();
+    }
+    return sign * value;
+  }
+
+  tytra::Result<std::int64_t> parse_offset_term() {
+    if (peek().kind == TokKind::Integer) return advance().ival;
+    if (peek().kind == TokKind::Ident) {
+      const std::string key = tytra::to_lower(peek().text);
+      const auto it = constants_.find(key);
+      if (it == constants_.end()) {
+        return err("unknown symbolic constant '" + peek().text +
+                   "' in offset (define it with !" + peek().text + " = N)");
+      }
+      advance();
+      return it->second;
+    }
+    return err("expected integer or constant in offset expression");
+  }
+
+  tytra::Result<Operand> parse_operand() {
+    if (peek().kind == TokKind::LocalName) return Operand::local(advance().text);
+    if (peek().kind == TokKind::GlobalName) {
+      std::string name = advance().text;
+      if (const auto dot = name.rfind('.'); dot != std::string::npos) {
+        name = name.substr(dot + 1);
+      }
+      return Operand::global(std::move(name));
+    }
+    double sign = 1.0;
+    if (peek().is_punct('-')) {
+      sign = -1.0;
+      advance();
+    }
+    if (peek().kind == TokKind::Integer) {
+      return Operand::const_int(static_cast<std::int64_t>(sign) * advance().ival);
+    }
+    if (peek().kind == TokKind::Float) {
+      return Operand::const_float(sign * advance().fval);
+    }
+    return err("expected operand, got '" + peek().text + "'");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_{0};
+  Module out_;
+  tytra::DiagBag warnings_;
+  std::map<std::string, std::int64_t> constants_;
+};
+
+}  // namespace
+
+tytra::Result<ParseOutput> parse_module(std::string_view source) {
+  auto tokens = lex(source);
+  if (!tokens.ok()) return tokens.diag();
+  Parser parser(std::move(tokens).take());
+  return parser.run();
+}
+
+Module parse_module_or_die(std::string_view source) {
+  auto result = parse_module(source);
+  if (!result.ok()) {
+    std::fprintf(stderr, "TyTra-IR parse failed: %s\n",
+                 result.error_message().c_str());
+    std::abort();
+  }
+  return std::move(result).take().module;
+}
+
+}  // namespace tytra::ir

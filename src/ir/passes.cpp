@@ -1,0 +1,225 @@
+#include "tytra/ir/passes.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace tytra::ir {
+
+namespace {
+
+/// Constant value of an operand, if it is one.
+bool const_value(const Operand& op, double& out) {
+  if (op.kind == Operand::Kind::ConstInt) {
+    out = static_cast<double>(op.ival);
+    return true;
+  }
+  if (op.kind == Operand::Kind::ConstFloat) {
+    out = op.fval;
+    return true;
+  }
+  return false;
+}
+
+/// Evaluates `op` over constant operands; false when not foldable.
+bool fold_op(Opcode op, const Type& type, const std::vector<double>& vals,
+             double& out) {
+  const bool integer = !type.scalar.is_float();
+  const auto a = vals.size() > 0 ? vals[0] : 0.0;
+  const auto b = vals.size() > 1 ? vals[1] : 0.0;
+  const auto c = vals.size() > 2 ? vals[2] : 0.0;
+  const auto ia = static_cast<std::int64_t>(a);
+  const auto ib = static_cast<std::int64_t>(b);
+  switch (op) {
+    case Opcode::Add: out = a + b; return true;
+    case Opcode::Sub: out = a - b; return true;
+    case Opcode::Mul: out = a * b; return true;
+    case Opcode::Div:
+      if (b == 0) return false;
+      out = integer ? static_cast<double>(ia / ib) : a / b;
+      return true;
+    case Opcode::Rem:
+      if (ib == 0 || !integer) return false;
+      out = static_cast<double>(ia % ib);
+      return true;
+    case Opcode::Shl: out = static_cast<double>(ia << (ib & 63)); return true;
+    case Opcode::LShr:
+      out = static_cast<double>(static_cast<std::uint64_t>(ia) >> (ib & 63));
+      return true;
+    case Opcode::AShr: out = static_cast<double>(ia >> (ib & 63)); return true;
+    case Opcode::And: out = static_cast<double>(ia & ib); return true;
+    case Opcode::Or: out = static_cast<double>(ia | ib); return true;
+    case Opcode::Xor: out = static_cast<double>(ia ^ ib); return true;
+    case Opcode::Not: out = static_cast<double>(~ia); return true;
+    case Opcode::Min: out = std::min(a, b); return true;
+    case Opcode::Max: out = std::max(a, b); return true;
+    case Opcode::Abs: out = std::abs(a); return true;
+    case Opcode::Neg: out = -a; return true;
+    case Opcode::Mac: out = a * b + c; return true;
+    case Opcode::Mov: out = a; return true;
+    case Opcode::CmpEq: out = a == b ? 1 : 0; return true;
+    case Opcode::CmpNe: out = a != b ? 1 : 0; return true;
+    case Opcode::CmpLt: out = a < b ? 1 : 0; return true;
+    case Opcode::CmpLe: out = a <= b ? 1 : 0; return true;
+    case Opcode::CmpGt: out = a > b ? 1 : 0; return true;
+    case Opcode::CmpGe: out = a >= b ? 1 : 0; return true;
+    default:
+      return false;  // sqrt/exp/recip/select: keep exact hardware semantics
+  }
+}
+
+Operand make_const(const Type& type, double value) {
+  if (type.scalar.is_float()) return Operand::const_float(value);
+  return Operand::const_int(static_cast<std::int64_t>(value));
+}
+
+/// Replaces uses of `name` with `replacement` in the remaining body.
+void replace_uses(Function& f, std::size_t from_index, const std::string& name,
+                  const Operand& replacement) {
+  for (std::size_t i = from_index; i < f.body.size(); ++i) {
+    if (auto* instr = std::get_if<Instr>(&f.body[i])) {
+      for (auto& a : instr->args) {
+        if (a.kind == Operand::Kind::Local && a.name == name) a = replacement;
+      }
+    } else if (auto* call = std::get_if<Call>(&f.body[i])) {
+      for (auto& a : call->args) {
+        if (a.kind == Operand::Kind::Local && a.name == name) a = replacement;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PassStats fold_constants(Module& module) {
+  PassStats stats;
+  for (auto& f : module.functions) {
+    for (std::size_t i = 0; i < f.body.size(); ++i) {
+      auto* instr = std::get_if<Instr>(&f.body[i]);
+      if (instr == nullptr || instr->result_global) continue;
+      std::vector<double> vals;
+      bool all_const = true;
+      for (const auto& a : instr->args) {
+        double v = 0;
+        if (!const_value(a, v)) {
+          all_const = false;
+          break;
+        }
+        vals.push_back(v);
+      }
+      if (!all_const) continue;
+      double folded = 0;
+      if (!fold_op(instr->op, instr->type, vals, folded)) continue;
+      replace_uses(f, i + 1, instr->result, make_const(instr->type, folded));
+      f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
+      --i;
+      ++stats.folded;
+    }
+  }
+  return stats;
+}
+
+PassStats eliminate_common_subexpressions(Module& module) {
+  PassStats stats;
+  for (auto& f : module.functions) {
+    using Key = std::tuple<Opcode, std::uint8_t, std::uint16_t, std::uint16_t,
+                           std::string>;
+    std::map<Key, std::string> seen;
+    for (std::size_t i = 0; i < f.body.size(); ++i) {
+      auto* instr = std::get_if<Instr>(&f.body[i]);
+      if (instr == nullptr || instr->result_global) continue;
+      std::string operands;
+      bool commutable = op_info(instr->op).commutative &&
+                        instr->args.size() == 2;
+      std::vector<std::string> parts;
+      for (const auto& a : instr->args) {
+        std::string p;
+        switch (a.kind) {
+          case Operand::Kind::Local: p = "%" + a.name; break;
+          case Operand::Kind::Global: p = "@" + a.name; break;
+          case Operand::Kind::ConstInt: p = "#" + std::to_string(a.ival); break;
+          case Operand::Kind::ConstFloat: p = "~" + std::to_string(a.fval); break;
+        }
+        parts.push_back(std::move(p));
+      }
+      if (commutable && parts[1] < parts[0]) std::swap(parts[0], parts[1]);
+      for (const auto& p : parts) operands += p + ",";
+      Key key{instr->op, static_cast<std::uint8_t>(instr->type.scalar.kind),
+              instr->type.scalar.bits, instr->type.lanes, operands};
+      const auto it = seen.find(key);
+      if (it == seen.end()) {
+        seen.emplace(std::move(key), instr->result);
+        continue;
+      }
+      replace_uses(f, i + 1, instr->result, Operand::local(it->second));
+      f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
+      --i;
+      ++stats.merged;
+    }
+  }
+  return stats;
+}
+
+PassStats eliminate_dead_code(Module& module) {
+  PassStats stats;
+  for (auto& f : module.functions) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::set<std::string> used;
+      for (const auto& item : f.body) {
+        if (const auto* instr = std::get_if<Instr>(&item)) {
+          for (const auto& a : instr->args) {
+            if (a.kind == Operand::Kind::Local) used.insert(a.name);
+          }
+        } else if (const auto* call = std::get_if<Call>(&item)) {
+          for (const auto& a : call->args) {
+            if (a.kind == Operand::Kind::Local) used.insert(a.name);
+          }
+        } else if (const auto* off = std::get_if<OffsetDecl>(&item)) {
+          used.insert(off->base);
+        }
+      }
+      for (std::size_t i = 0; i < f.body.size(); ++i) {
+        if (const auto* instr = std::get_if<Instr>(&f.body[i])) {
+          // Global writes (stream outs / reductions) are live by definition.
+          if (!instr->result_global && used.count(instr->result) == 0) {
+            f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
+            ++stats.removed;
+            changed = true;
+            break;
+          }
+        } else if (const auto* off = std::get_if<OffsetDecl>(&f.body[i])) {
+          if (used.count(off->result) == 0) {
+            f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
+            ++stats.removed;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+PassStats optimize(Module& module) {
+  PassStats total;
+  for (int round = 0; round < 8; ++round) {
+    PassStats stats;
+    const PassStats f = fold_constants(module);
+    const PassStats c = eliminate_common_subexpressions(module);
+    const PassStats d = eliminate_dead_code(module);
+    stats.folded = f.folded;
+    stats.merged = c.merged;
+    stats.removed = d.removed;
+    total.folded += stats.folded;
+    total.merged += stats.merged;
+    total.removed += stats.removed;
+    if (stats.total() == 0) break;
+  }
+  return total;
+}
+
+}  // namespace tytra::ir

@@ -1,0 +1,115 @@
+#include "tytra/ir/printer.hpp"
+
+#include <sstream>
+
+namespace tytra::ir {
+
+namespace {
+
+void print_body_item(std::ostringstream& os, const BodyItem& item) {
+  if (const auto* off = std::get_if<OffsetDecl>(&item)) {
+    os << "  " << off->type.to_string() << " %" << off->result << " = "
+       << off->type.to_string() << " %" << off->base << ", !offset, !"
+       << (off->offset >= 0 ? "+" : "") << off->offset << "\n";
+    return;
+  }
+  if (const auto* instr = std::get_if<Instr>(&item)) {
+    os << "  " << instr->type.to_string() << " "
+       << (instr->result_global ? "@" : "%") << instr->result << " = "
+       << opcode_name(instr->op) << " " << instr->type.to_string() << " ";
+    for (std::size_t i = 0; i < instr->args.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << print_operand(instr->args[i]);
+    }
+    os << "\n";
+    return;
+  }
+  const auto& call = std::get<Call>(item);
+  os << "  call @" << call.callee << "(";
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << print_operand(call.args[i]);
+  }
+  os << ") " << func_kind_name(call.kind_annot) << "\n";
+}
+
+}  // namespace
+
+std::string print_operand(const Operand& operand) {
+  switch (operand.kind) {
+    case Operand::Kind::Local: return "%" + operand.name;
+    case Operand::Kind::Global: return "@" + operand.name;
+    case Operand::Kind::ConstInt: return std::to_string(operand.ival);
+    case Operand::Kind::ConstFloat: {
+      std::ostringstream os;
+      os << operand.fval;
+      std::string text = os.str();
+      // Guarantee the token re-lexes as a float.
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos) {
+        text += ".0";
+      }
+      return text;
+    }
+  }
+  return "?";
+}
+
+std::string print_function(const Function& function) {
+  std::ostringstream os;
+  os << "define void @" << function.name << "(";
+  for (std::size_t i = 0; i < function.params.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << function.params[i].type.to_string() << " %" << function.params[i].name;
+  }
+  os << ") " << func_kind_name(function.kind) << " {\n";
+  for (const auto& item : function.body) print_body_item(os, item);
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& module) {
+  std::ostringstream os;
+  os << "; TyTra-IR module\n";
+  os << "!name = " << module.name << "\n";
+  if (module.meta.global_size != 0) os << "!ngs = " << module.meta.global_size << "\n";
+  if (module.meta.nki != 1) os << "!nki = " << module.meta.nki << "\n";
+  os << "!form = " << exec_form_name(module.meta.form) << "\n";
+  if (module.meta.freq_hz > 0) os << "!fd = " << module.meta.freq_hz << "\n";
+  if (module.meta.ii != 1) os << "!ii = " << module.meta.ii << "\n";
+
+  if (!module.memobjs.empty() || !module.streamobjs.empty()) {
+    os << "\n; **** MANAGE-IR ****\n";
+  }
+  for (const auto& m : module.memobjs) {
+    os << "memobj @" << m.name << " " << addr_space_name(m.space) << " "
+       << m.elem.to_string() << " x " << m.size_words << "\n";
+  }
+  for (const auto& s : module.streamobjs) {
+    os << "stream @" << s.name << " "
+       << (s.dir == StreamDir::In ? "reads" : "writes") << " @" << s.memobj;
+    if (s.pattern == AccessPattern::Strided) {
+      os << " pattern strided " << s.stride_words;
+    } else {
+      os << " pattern cont";
+    }
+    os << "\n";
+  }
+
+  os << "\n; **** COMPUTE-IR ****\n";
+  for (const auto& p : module.ports) {
+    os << "@main." << p.name << " = addrSpace("
+       << static_cast<int>(p.space) << ") " << p.type.to_string() << ", !\""
+       << (p.dir == StreamDir::In ? "istream" : "ostream") << "\", !\""
+       << (p.pattern == AccessPattern::Contiguous ? "CONT" : "STRIDED")
+       << "\", !" << p.init_offset;
+    if (!p.streamobj.empty()) os << ", !\"" << p.streamobj << "\"";
+    os << "\n";
+  }
+  for (const auto& f : module.functions) {
+    os << "\n" << print_function(f);
+  }
+  return os.str();
+}
+
+}  // namespace tytra::ir

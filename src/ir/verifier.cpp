@@ -1,0 +1,333 @@
+#include "tytra/ir/verifier.hpp"
+
+#include <set>
+#include <string>
+
+namespace tytra::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& module) : mod_(module) {}
+
+  tytra::DiagBag run() {
+    check_entry();
+    check_manage_ir();
+    for (const auto& f : mod_.functions) check_function(f);
+    check_call_graph();
+    return std::move(diags_);
+  }
+
+ private:
+  void check_entry() {
+    const Function* main = mod_.entry();
+    if (main == nullptr) {
+      diags_.error("module has no @main entry function");
+      return;
+    }
+    if (!main->params.empty()) {
+      diags_.error("@main must take no parameters", main->loc);
+    }
+    std::set<std::string> names;
+    for (const auto& f : mod_.functions) {
+      if (!names.insert(f.name).second) {
+        diags_.error("duplicate function @" + f.name, f.loc);
+      }
+    }
+  }
+
+  void check_manage_ir() {
+    std::set<std::string> memnames;
+    for (const auto& m : mod_.memobjs) {
+      if (!memnames.insert(m.name).second) {
+        diags_.error("duplicate memobj @" + m.name, m.loc);
+      }
+      if (m.size_words == 0) {
+        diags_.error("memobj @" + m.name + " has zero size", m.loc);
+      }
+    }
+    std::set<std::string> streamnames;
+    for (const auto& s : mod_.streamobjs) {
+      if (!streamnames.insert(s.name).second) {
+        diags_.error("duplicate stream object @" + s.name, s.loc);
+      }
+      if (mod_.find_memobj(s.memobj) == nullptr) {
+        diags_.error("stream @" + s.name + " references unknown memobj @" + s.memobj,
+                     s.loc);
+      }
+      if (s.pattern == AccessPattern::Strided && s.stride_words == 0) {
+        diags_.error("stream @" + s.name + " has zero stride", s.loc);
+      }
+    }
+    std::set<std::string> portnames;
+    for (const auto& p : mod_.ports) {
+      if (!portnames.insert(p.name).second) {
+        diags_.error("duplicate port @main." + p.name, p.loc);
+      }
+      if (!p.streamobj.empty() && !mod_.streamobjs.empty() &&
+          mod_.find_streamobj(p.streamobj) == nullptr) {
+        diags_.error("port @main." + p.name + " references unknown stream object \"" +
+                         p.streamobj + "\"",
+                     p.loc);
+      }
+    }
+    if (mod_.meta.global_size == 0) {
+      diags_.warning("module has no !ngs (NDRange global size); throughput "
+                     "estimation will be degenerate");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  void check_function(const Function& f) {
+    switch (f.kind) {
+      case FuncKind::Pipe: check_pipe_or_seq(f); break;
+      case FuncKind::Seq: check_pipe_or_seq(f); break;
+      case FuncKind::Comb: check_comb(f); break;
+      case FuncKind::Par: check_par(f); break;
+    }
+  }
+
+  void check_par(const Function& f) {
+    for (const auto& item : f.body) {
+      if (!std::holds_alternative<Call>(item)) {
+        diags_.error("par function @" + f.name +
+                         " may only contain calls (thread-parallel children)",
+                     f.loc);
+        return;
+      }
+    }
+    if (f.body.empty()) {
+      diags_.error("par function @" + f.name + " has no children", f.loc);
+    }
+  }
+
+  void check_comb(const Function& f) {
+    for (const auto& item : f.body) {
+      if (const auto* instr = std::get_if<Instr>(&item)) {
+        switch (instr->op) {
+          case Opcode::Div:
+          case Opcode::Rem:
+          case Opcode::Sqrt:
+          case Opcode::Exp:
+          case Opcode::Recip:
+            diags_.error("comb function @" + f.name + " uses multi-cycle op '" +
+                             std::string(opcode_name(instr->op)) +
+                             "' (not realizable in a single cycle)",
+                         instr->loc);
+            break;
+          default:
+            break;
+        }
+      } else if (std::holds_alternative<Call>(item)) {
+        diags_.error("comb function @" + f.name + " may not call other functions",
+                     f.loc);
+      } else {
+        diags_.error("comb function @" + f.name + " may not declare stream offsets",
+                     f.loc);
+      }
+    }
+    check_ssa(f);
+  }
+
+  void check_pipe_or_seq(const Function& f) {
+    for (const auto& item : f.body) {
+      if (const auto* call = std::get_if<Call>(&item)) {
+        // @main is the structural entry wrapper and may call anything.
+        if (f.kind == FuncKind::Pipe && f.name != "main" &&
+            call->kind_annot == FuncKind::Par) {
+          diags_.error("pipe function @" + f.name +
+                           " cannot contain a par call (thread parallelism "
+                           "must enclose pipelines, Fig. 7)",
+                       call->loc);
+        }
+      }
+    }
+    check_ssa(f);
+  }
+
+  void check_ssa(const Function& f) {
+    std::set<std::string> defined;
+    for (const auto& p : f.params) defined.insert(p.name);
+
+    auto check_operand = [&](const Operand& op, const tytra::SourceLoc& loc) {
+      if (op.kind == Operand::Kind::Local && defined.count(op.name) == 0) {
+        diags_.error("use of undefined value %" + op.name + " in @" + f.name, loc);
+      }
+      // Globals are kernel ports or reduction accumulators; a global operand
+      // must match a port or a previously-written accumulator.
+      if (op.kind == Operand::Kind::Global && mod_.find_port(op.name) == nullptr &&
+          global_accs_.count(op.name) == 0) {
+        // Reading an accumulator before any write is allowed (initial 0),
+        // but only if some instruction in the module writes it.
+        if (!global_written_somewhere(op.name)) {
+          diags_.error("use of unknown global @" + op.name + " in @" + f.name, loc);
+        }
+      }
+    };
+
+    for (const auto& item : f.body) {
+      if (const auto* off = std::get_if<OffsetDecl>(&item)) {
+        if (defined.count(off->base) == 0) {
+          diags_.error("offset of undefined stream %" + off->base + " in @" + f.name,
+                       off->loc);
+        }
+        if (f.kind != FuncKind::Pipe) {
+          diags_.error("stream offsets are only valid in pipe functions (@" +
+                           f.name + ")",
+                       off->loc);
+        }
+        if (!defined.insert(off->result).second) {
+          diags_.error("redefinition of %" + off->result + " in @" + f.name,
+                       off->loc);
+        }
+        continue;
+      }
+      if (const auto* instr = std::get_if<Instr>(&item)) {
+        const OpInfo& info = op_info(instr->op);
+        if (static_cast<int>(instr->args.size()) != info.arity) {
+          diags_.error("op '" + std::string(info.name) + "' expects " +
+                           std::to_string(info.arity) + " operands, got " +
+                           std::to_string(instr->args.size()),
+                       instr->loc);
+        }
+        if (instr->type.scalar.is_float() && !info.float_ok) {
+          diags_.error("op '" + std::string(info.name) +
+                           "' is not defined for float types",
+                       instr->loc);
+        }
+        if (!instr->type.scalar.is_float() && !info.integer_ok) {
+          diags_.error("op '" + std::string(info.name) +
+                           "' is only defined for float types",
+                       instr->loc);
+        }
+        for (const auto& a : instr->args) check_operand(a, instr->loc);
+        if (instr->result_global) {
+          // Writing a global that names one of the function's own
+          // parameters streams through that parameter's binding (the lane
+          // replication pattern of Fig. 14).
+          bool is_param = false;
+          for (const auto& p : f.params) {
+            if (p.name == instr->result) is_param = true;
+          }
+          if (is_param) continue;
+          const PortBinding* port = mod_.find_port(instr->result);
+          if (port != nullptr) {
+            // Writing a global that names a port streams the value out.
+            if (port->dir != StreamDir::Out) {
+              diags_.error("instruction writes input port @" + instr->result,
+                           instr->loc);
+            }
+            if (!written_ports_.insert(instr->result).second) {
+              diags_.error("output port @" + instr->result + " written twice",
+                           instr->loc);
+            }
+          } else {
+            // Reduction onto a global accumulator; the accumulator must
+            // also appear among the operands (r = op(x, r)).
+            bool reads_self = false;
+            for (const auto& a : instr->args) {
+              if (a.kind == Operand::Kind::Global && a.name == instr->result) {
+                reads_self = true;
+              }
+            }
+            if (!reads_self) {
+              diags_.warning("reduction @" + instr->result +
+                                 " does not read its own accumulator",
+                             instr->loc);
+            }
+            global_accs_.insert(instr->result);
+          }
+        } else {
+          if (!defined.insert(instr->result).second) {
+            diags_.error("redefinition of %" + instr->result + " in @" + f.name,
+                         instr->loc);
+          }
+        }
+        continue;
+      }
+      const auto& call = std::get<Call>(item);
+      // Call arguments name streams: locals must be defined here; globals
+      // may be ports or externally-bound streams, so they are not checked.
+      for (const auto& a : call.args) {
+        if (a.kind == Operand::Kind::Local && defined.count(a.name) == 0) {
+          diags_.error("use of undefined value %" + a.name + " in call from @" +
+                           f.name,
+                       call.loc);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool global_written_somewhere(const std::string& name) const {
+    for (const auto& f : mod_.functions) {
+      for (const auto& item : f.body) {
+        if (const auto* instr = std::get_if<Instr>(&item)) {
+          if (instr->result_global && instr->result == name) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void check_call_graph() {
+    for (const auto& f : mod_.functions) {
+      for (const auto* call : f.calls()) {
+        const Function* callee = mod_.find_function(call->callee);
+        if (callee == nullptr) {
+          diags_.error("call to unknown function @" + call->callee, call->loc);
+          continue;
+        }
+        if (callee->kind != call->kind_annot) {
+          diags_.error("call annotates @" + call->callee + " as '" +
+                           std::string(func_kind_name(call->kind_annot)) +
+                           "' but it is defined as '" +
+                           std::string(func_kind_name(callee->kind)) + "'",
+                       call->loc);
+        }
+        if (call->args.size() != callee->params.size()) {
+          diags_.error("call to @" + call->callee + " passes " +
+                           std::to_string(call->args.size()) + " args, expected " +
+                           std::to_string(callee->params.size()),
+                       call->loc);
+        }
+        if (callee == &f) {
+          diags_.error("recursive call in @" + f.name +
+                           " (IR functions form a hierarchy, not a call graph)",
+                       call->loc);
+        }
+      }
+    }
+    // Reject deeper cycles with a DFS from every node.
+    for (const auto& f : mod_.functions) {
+      std::set<const Function*> path;
+      if (has_cycle(&f, path)) {
+        diags_.error("cyclic call structure involving @" + f.name, f.loc);
+        break;
+      }
+    }
+  }
+
+  bool has_cycle(const Function* f, std::set<const Function*>& path) {
+    if (!path.insert(f).second) return true;
+    for (const auto* call : f->calls()) {
+      const Function* callee = mod_.find_function(call->callee);
+      if (callee != nullptr && has_cycle(callee, path)) return true;
+    }
+    path.erase(f);
+    return false;
+  }
+
+  const Module& mod_;
+  tytra::DiagBag diags_;
+  std::set<std::string> global_accs_;
+  std::set<std::string> written_ports_;
+};
+
+}  // namespace
+
+tytra::DiagBag verify(const Module& module) { return Verifier(module).run(); }
+
+bool verify_ok(const Module& module) { return !verify(module).has_errors(); }
+
+}  // namespace tytra::ir

@@ -1,0 +1,52 @@
+#include "tytra/kernels/streams.hpp"
+
+#include <stdexcept>
+
+namespace tytra::kernels {
+
+std::string lane_port_name(const std::string& base, std::uint32_t lane) {
+  return base + "_l" + std::to_string(lane);
+}
+
+sim::StreamMap partition_streams(const sim::StreamMap& full,
+                                 std::uint32_t lanes) {
+  if (lanes <= 1) return full;
+  sim::StreamMap out;
+  for (const auto& [name, data] : full) {
+    if (data.size() % lanes != 0) {
+      throw std::invalid_argument("partition_streams: stream '" + name +
+                                  "' length not divisible by lane count");
+    }
+    const std::size_t chunk = data.size() / lanes;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      out[lane_port_name(name, l)] =
+          std::vector<double>(data.begin() + static_cast<std::ptrdiff_t>(l * chunk),
+                              data.begin() + static_cast<std::ptrdiff_t>((l + 1) * chunk));
+    }
+  }
+  return out;
+}
+
+std::vector<double> gather_output(const sim::StreamMap& outputs,
+                                  const std::string& base,
+                                  std::uint32_t lanes) {
+  if (lanes <= 1) {
+    const auto it = outputs.find(base);
+    if (it == outputs.end()) {
+      throw std::invalid_argument("gather_output: missing stream '" + base + "'");
+    }
+    return it->second;
+  }
+  std::vector<double> out;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    const auto it = outputs.find(lane_port_name(base, l));
+    if (it == outputs.end()) {
+      throw std::invalid_argument("gather_output: missing lane stream '" +
+                                  lane_port_name(base, l) + "'");
+    }
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+}  // namespace tytra::kernels

@@ -1,0 +1,73 @@
+#include "tytra/membench/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tytra::membench {
+
+DramModel::DramModel(const target::DramParams& params, double bank_overlap)
+    : params_(params), bank_overlap_(bank_overlap) {}
+
+double DramModel::peak_bw() const {
+  return params_.io_clock_hz * params_.bus_bytes;
+}
+
+double DramModel::transfer_seconds(std::uint64_t bytes,
+                                   ir::AccessPattern pattern,
+                                   std::uint64_t stride_bytes,
+                                   std::uint32_t access_bytes) const {
+  if (bytes == 0) return params_.setup_seconds;
+  double cycles = 0;
+  if (pattern == ir::AccessPattern::Contiguous ||
+      stride_bytes <= params_.burst_bytes) {
+    // Streaming: every bus beat carries useful data; the residual cost of
+    // row activations not hidden by bank interleaving is spread over the
+    // beats of a row.
+    const double beats =
+        std::ceil(static_cast<double>(bytes) / params_.bus_bytes);
+    const double beats_per_row =
+        static_cast<double>(params_.row_bytes) / params_.bus_bytes;
+    const double miss_overhead =
+        params_.row_miss_cycles * (1.0 - bank_overlap_) / beats_per_row;
+    cycles = beats * (1.0 + miss_overhead);
+  } else {
+    // Strided beyond a burst: each access opens a fresh row and discards
+    // most of the fetched burst.
+    const double accesses =
+        std::ceil(static_cast<double>(bytes) / std::max<std::uint32_t>(access_bytes, 1));
+    const double burst_beats =
+        static_cast<double>(params_.burst_bytes) / params_.bus_bytes;
+    cycles = accesses * (burst_beats + params_.row_miss_cycles);
+  }
+  return cycles / params_.io_clock_hz + params_.setup_seconds;
+}
+
+double DramModel::sustained_bw(std::uint64_t bytes, ir::AccessPattern pattern,
+                               std::uint64_t stride_bytes,
+                               std::uint32_t access_bytes) const {
+  const double t = transfer_seconds(bytes, pattern, stride_bytes, access_bytes);
+  return t > 0 ? static_cast<double>(bytes) / t : 0.0;
+}
+
+double DramModel::sustained_bw_random(std::uint64_t bytes,
+                                      std::uint32_t access_bytes) const {
+  // Random word access defeats both the row buffer and burst reuse: model
+  // it as strided access with a stride beyond one row.
+  return sustained_bw(bytes, ir::AccessPattern::Strided,
+                      params_.row_bytes + params_.burst_bytes, access_bytes);
+}
+
+HostLinkModel::HostLinkModel(const target::HostLinkParams& params)
+    : params_(params) {}
+
+double HostLinkModel::transfer_seconds(std::uint64_t bytes) const {
+  const double effective = params_.peak_bw * params_.efficiency;
+  return static_cast<double>(bytes) / effective + params_.latency_seconds;
+}
+
+double HostLinkModel::sustained_bw(std::uint64_t bytes) const {
+  const double t = transfer_seconds(bytes);
+  return t > 0 ? static_cast<double>(bytes) / t : 0.0;
+}
+
+}  // namespace tytra::membench

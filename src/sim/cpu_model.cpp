@@ -1,0 +1,23 @@
+#include "tytra/sim/cpu_model.hpp"
+
+#include <algorithm>
+
+namespace tytra::sim {
+
+double cpu_kernel_seconds(std::uint64_t items, const CpuKernelCost& cost,
+                          const CpuParams& params) {
+  const double n = static_cast<double>(items);
+  const double compute = n * cost.ops_per_item / (params.ipc * params.freq_hz);
+  const double working_set = n * cost.bytes_per_item;
+  const double bw =
+      working_set <= params.cache_bytes ? params.cache_bw : params.mem_bw;
+  const double memory = working_set / bw;
+  return std::max(compute, memory) + params.call_overhead_seconds;
+}
+
+double cpu_total_seconds(std::uint64_t items, std::uint32_t nki,
+                         const CpuKernelCost& cost, const CpuParams& params) {
+  return static_cast<double>(nki) * cpu_kernel_seconds(items, cost, params);
+}
+
+}  // namespace tytra::sim

@@ -1,0 +1,117 @@
+#include "tytra/sim/cycle_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tytra/ir/analysis.hpp"
+
+namespace tytra::sim {
+
+namespace {
+
+/// Fixed control-FSM startup cycles per kernel instance.
+constexpr double kControlStartupCycles = 12.0;
+
+/// Fractional pipeline-bubble overhead in steady state (arbitration,
+/// occasional stream-control stalls).
+constexpr double kBubbleFraction = 0.015;
+
+/// Additional bubble fraction per offset stream (window management at
+/// stream boundaries).
+constexpr double kPerOffsetBubble = 0.006;
+
+}  // namespace
+
+TimingResult simulate_timing(const ir::Module& module,
+                             const target::DeviceDesc& device,
+                             const TimingOptions& options) {
+  TimingResult out;
+  const ir::DesignParams p = ir::extract_params(module);
+  if (p.ngs == 0) return out;
+
+  double fd = options.freq_hz;
+  if (fd <= 0) fd = p.fd;
+  if (fd <= 0) fd = device.default_freq_hz;
+  out.freq_hz = fd;
+
+  const double ngs = static_cast<double>(p.ngs);
+  const double word_bytes = device.word_bytes;
+  const double total_bytes = ngs * p.nwpt * word_bytes;
+
+  // Count offset streams (bubble sources).
+  double n_offsets = 0;
+  for (const auto& f : module.functions) {
+    n_offsets += static_cast<double>(f.offsets().size());
+  }
+
+  // --- Device-side cycles for one kernel instance --------------------------
+  const membench::DramModel dram(device.dram);
+
+  // Steady state: per-lane word-serial feed at II cycles per word, all
+  // lanes running concurrently, throttled by aggregate DRAM bandwidth.
+  const double items_per_lane = ngs / (p.knl * p.dv);
+  const double feed_cycles = items_per_lane * p.nwpt * p.nto;
+
+  // Strided ports stream slower; compute an effective aggregate rate.
+  double worst_port_bw = dram.peak_bw();
+  for (const auto& port : module.ports) {
+    std::uint64_t stride = 1;
+    if (const auto* so = module.find_streamobj(port.streamobj)) {
+      stride = so->stride_words;
+    }
+    // Evaluate at the total transfer size: the port streams run
+    // concurrently and form one long aggregate DRAM transfer.
+    const double bw = dram.sustained_bw(
+        static_cast<std::uint64_t>(std::max(1.0, total_bytes)), port.pattern,
+        stride * device.word_bytes, device.word_bytes);
+    // All ports share the memory system; the slowest pattern bounds it.
+    worst_port_bw = std::min(worst_port_bw, bw);
+  }
+  const double mem_seconds =
+      module.meta.form == ir::ExecForm::C
+          ? 0.0
+          : total_bytes / std::max(1.0, worst_port_bw);
+  const double mem_cycles = mem_seconds * fd;
+
+  double steady_cycles = std::max(feed_cycles, mem_cycles);
+  steady_cycles *= 1.0 + kBubbleFraction + kPerOffsetBubble * n_offsets;
+
+  // Offset-buffer priming: the deepest window fills before the first
+  // work-item, with words arriving at the steady streaming rate (the
+  // buffers are fed from the same streams, not a separate transaction).
+  const double prime_cycles =
+      p.noff > 0 ? static_cast<double>(p.noff) * word_bytes /
+                       std::max(1.0, worst_port_bw) * fd
+                 : 0.0;
+
+  // Fill + drain: the pipeline must fill before the first result and drain
+  // after the last work-item enters.
+  const double fill_drain_cycles = 2.0 * static_cast<double>(p.kpd);
+
+  out.cycles_per_instance =
+      kControlStartupCycles + prime_cycles + fill_drain_cycles + steady_cycles;
+
+  // --- Host side ------------------------------------------------------------
+  const membench::HostLinkModel host(device.host);
+  const double streams = static_cast<double>(module.ports.size());
+  const double per_call_overhead =
+      options.call_overhead_seconds + options.per_stream_overhead_seconds * streams;
+
+  double host_seconds_total = 0;
+  const auto bytes_u = static_cast<std::uint64_t>(total_bytes);
+  if (module.meta.form == ir::ExecForm::A) {
+    host_seconds_total = static_cast<double>(p.nki) * host.transfer_seconds(bytes_u);
+  } else {
+    host_seconds_total = host.transfer_seconds(bytes_u);  // once, then resident
+  }
+
+  const double device_seconds_instance = out.cycles_per_instance / fd;
+  out.device_seconds =
+      static_cast<double>(p.nki) * (device_seconds_instance + per_call_overhead);
+  out.host_seconds = host_seconds_total;
+  out.total_seconds = out.device_seconds + out.host_seconds;
+  out.seconds_per_instance = out.total_seconds / std::max<std::uint32_t>(p.nki, 1);
+  return out;
+}
+
+}  // namespace tytra::sim

@@ -1,0 +1,379 @@
+#include "tytra/sim/functional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tytra::sim {
+
+namespace {
+
+using ir::FuncKind;
+using ir::Function;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Operand;
+using ir::ScalarKind;
+
+/// Binding of a PE's parameter names to stream (port) names.
+using Binding = std::map<std::string, std::string>;
+
+double eval_int_op(Opcode op, std::int64_t a, std::int64_t b, std::int64_t c) {
+  switch (op) {
+    case Opcode::Add: return static_cast<double>(a + b);
+    case Opcode::Sub: return static_cast<double>(a - b);
+    case Opcode::Mul: return static_cast<double>(a * b);
+    case Opcode::Div: return b != 0 ? static_cast<double>(a / b) : 0.0;
+    case Opcode::Rem: return b != 0 ? static_cast<double>(a % b) : 0.0;
+    case Opcode::Shl: return static_cast<double>(a << (b & 63));
+    case Opcode::LShr:
+      return static_cast<double>(static_cast<std::uint64_t>(a) >> (b & 63));
+    case Opcode::AShr: return static_cast<double>(a >> (b & 63));
+    case Opcode::And: return static_cast<double>(a & b);
+    case Opcode::Or: return static_cast<double>(a | b);
+    case Opcode::Xor: return static_cast<double>(a ^ b);
+    case Opcode::Not: return static_cast<double>(~a);
+    case Opcode::CmpEq: return a == b ? 1.0 : 0.0;
+    case Opcode::CmpNe: return a != b ? 1.0 : 0.0;
+    case Opcode::CmpLt: return a < b ? 1.0 : 0.0;
+    case Opcode::CmpLe: return a <= b ? 1.0 : 0.0;
+    case Opcode::CmpGt: return a > b ? 1.0 : 0.0;
+    case Opcode::CmpGe: return a >= b ? 1.0 : 0.0;
+    case Opcode::Select: return a != 0 ? static_cast<double>(b) : static_cast<double>(c);
+    case Opcode::Min: return static_cast<double>(std::min(a, b));
+    case Opcode::Max: return static_cast<double>(std::max(a, b));
+    case Opcode::Abs: return static_cast<double>(a < 0 ? -a : a);
+    case Opcode::Neg: return static_cast<double>(-a);
+    case Opcode::Mac: return static_cast<double>(a * b + c);
+    case Opcode::Sqrt:
+      return a >= 0 ? std::floor(std::sqrt(static_cast<double>(a))) : 0.0;
+    case Opcode::Mov: return static_cast<double>(a);
+    case Opcode::Exp:
+    case Opcode::Recip:
+      return 0.0;  // rejected by the verifier for integer types
+  }
+  return 0.0;
+}
+
+/// Fixed-point semantics on raw (scaled-integer) values: multiplication
+/// re-normalizes by the fractional width, division pre-scales the
+/// numerator, everything else is plain integer arithmetic on raw bits.
+double eval_fixed_op(Opcode op, const ir::ScalarType& type, std::int64_t a,
+                     std::int64_t b, std::int64_t c) {
+  const int frac = type.frac;
+  switch (op) {
+    case Opcode::Mul:
+      return static_cast<double>((a * b) >> frac);
+    case Opcode::Mac:
+      return static_cast<double>(((a * b) >> frac) + c);
+    case Opcode::Div:
+      return b != 0 ? static_cast<double>((a << frac) / b) : 0.0;
+    case Opcode::Recip:
+      return a != 0
+                 ? static_cast<double>((static_cast<std::int64_t>(1) << (2 * frac)) / a)
+                 : 0.0;
+    case Opcode::Sqrt: {
+      // sqrt(x * 2^f) in raw units: sqrt(raw << f).
+      const std::int64_t scaled = a << frac;
+      return scaled >= 0
+                 ? std::floor(std::sqrt(static_cast<double>(scaled)))
+                 : 0.0;
+    }
+    default:
+      return eval_int_op(op, a, b, c);
+  }
+}
+
+double eval_float_op(Opcode op, double a, double b, double c) {
+  switch (op) {
+    case Opcode::Add: return a + b;
+    case Opcode::Sub: return a - b;
+    case Opcode::Mul: return a * b;
+    case Opcode::Div: return b != 0.0 ? a / b : 0.0;
+    case Opcode::CmpEq: return a == b ? 1.0 : 0.0;
+    case Opcode::CmpNe: return a != b ? 1.0 : 0.0;
+    case Opcode::CmpLt: return a < b ? 1.0 : 0.0;
+    case Opcode::CmpLe: return a <= b ? 1.0 : 0.0;
+    case Opcode::CmpGt: return a > b ? 1.0 : 0.0;
+    case Opcode::CmpGe: return a >= b ? 1.0 : 0.0;
+    case Opcode::Select: return a != 0.0 ? b : c;
+    case Opcode::Min: return std::min(a, b);
+    case Opcode::Max: return std::max(a, b);
+    case Opcode::Abs: return std::abs(a);
+    case Opcode::Neg: return -a;
+    case Opcode::Mac: return a * b + c;
+    case Opcode::Sqrt: return a >= 0 ? std::sqrt(a) : 0.0;
+    case Opcode::Exp: return std::exp(a);
+    case Opcode::Recip: return a != 0.0 ? 1.0 / a : 0.0;
+    case Opcode::Mov: return a;
+    default: return 0.0;
+  }
+}
+
+class Executor {
+ public:
+  Executor(const Module& mod, const StreamMap& inputs)
+      : mod_(mod) {
+    available_ = inputs;
+  }
+
+  tytra::Result<ExecResult> run() {
+    const Function* main = mod_.entry();
+    if (main == nullptr) return tytra::make_error("no @main function");
+    if (auto r = eval_function(*main, {}); !r.ok()) return r.diag();
+    ExecResult result;
+    for (const auto& p : mod_.ports) {
+      if (p.dir == ir::StreamDir::Out) {
+        const auto it = available_.find(p.name);
+        if (it != available_.end()) result.outputs[p.name] = it->second;
+      }
+    }
+    result.reductions = accumulators_;
+    result.items = items_;
+    return result;
+  }
+
+ private:
+  tytra::Result<bool> eval_function(const Function& f, const Binding& binding) {
+    const bool is_pe = !f.instructions().empty() || !f.offsets().empty();
+    if (is_pe) {
+      if (auto r = eval_pe(f, binding); !r.ok()) return r.diag();
+    }
+    for (const auto& item : f.body) {
+      const auto* call = std::get_if<ir::Call>(&item);
+      if (call == nullptr) continue;
+      const Function* callee = mod_.find_function(call->callee);
+      if (callee == nullptr) {
+        return tytra::make_error("call to unknown @" + call->callee, call->loc);
+      }
+      if (callee->kind == FuncKind::Comb && is_pe) continue;  // inlined above
+      Binding child;
+      for (std::size_t j = 0; j < call->args.size() && j < callee->params.size();
+           ++j) {
+        const Operand& a = call->args[j];
+        std::string stream;
+        if (a.kind == Operand::Kind::Global) {
+          stream = a.name;
+        } else if (a.kind == Operand::Kind::Local) {
+          const auto it = binding.find(a.name);
+          if (it == binding.end()) {
+            return tytra::make_error("cannot resolve stream for %" + a.name,
+                                     call->loc);
+          }
+          stream = it->second;
+        } else {
+          return tytra::make_error("constant call arguments are not streams",
+                                   call->loc);
+        }
+        child[callee->params[j].name] = stream;
+      }
+      if (auto r = eval_function(*callee, child); !r.ok()) return r.diag();
+    }
+    return true;
+  }
+
+  /// Evaluates a processing element over its bound streams.
+  tytra::Result<bool> eval_pe(const Function& f, const Binding& binding) {
+    // Resolve stream lengths.
+    std::size_t n = 0;
+    for (const auto& p : f.params) {
+      const auto bit = binding.find(p.name);
+      if (bit == binding.end()) {
+        return tytra::make_error("parameter %" + p.name + " of @" + f.name +
+                                 " has no stream binding");
+      }
+      const auto sit = available_.find(bit->second);
+      if (sit == available_.end()) {
+        // Output-stream parameter (written, not read): skip length check.
+        continue;
+      }
+      if (n == 0) n = sit->second.size();
+      if (sit->second.size() != n) {
+        return tytra::make_error("stream length mismatch on @" + bit->second +
+                                 " bound to @" + f.name);
+      }
+    }
+    if (n == 0 && !f.params.empty()) {
+      return tytra::make_error("no input streams bound to @" + f.name);
+    }
+
+    std::map<std::string, double> env;
+    for (std::size_t i = 0; i < n; ++i) {
+      env.clear();
+      // Parameters read their stream at index i.
+      for (const auto& p : f.params) {
+        const std::string& stream = binding.at(p.name);
+        const auto sit = available_.find(stream);
+        if (sit != available_.end()) env[p.name] = sit->second[i];
+      }
+      if (auto r = eval_items(f, binding, env, i, n); !r.ok()) return r.diag();
+      ++items_;
+    }
+    return true;
+  }
+
+  tytra::Result<bool> eval_items(const Function& f, const Binding& binding,
+                                 std::map<std::string, double>& env,
+                                 std::size_t i, std::size_t n) {
+    for (const auto& item : f.body) {
+      if (const auto* off = std::get_if<ir::OffsetDecl>(&item)) {
+        const auto bit = binding.find(off->base);
+        if (bit == binding.end()) {
+          return tytra::make_error("offset base %" + off->base + " is not a stream",
+                                   off->loc);
+        }
+        const auto sit = available_.find(bit->second);
+        if (sit == available_.end()) {
+          return tytra::make_error("offset of unavailable stream @" + bit->second,
+                                   off->loc);
+        }
+        const auto idx = static_cast<std::int64_t>(i) + off->offset;
+        const auto clamped = std::clamp<std::int64_t>(
+            idx, 0, static_cast<std::int64_t>(n) - 1);
+        env[off->result] = sit->second[static_cast<std::size_t>(clamped)];
+        continue;
+      }
+      if (const auto* instr = std::get_if<Instr>(&item)) {
+        if (auto r = eval_instr(*instr, binding, env, i); !r.ok()) return r.diag();
+        continue;
+      }
+      const auto& call = std::get<ir::Call>(item);
+      const Function* callee = mod_.find_function(call.callee);
+      if (callee != nullptr && callee->kind == FuncKind::Comb) {
+        // Inline the combinatorial block with args from the current env.
+        std::map<std::string, double> cenv;
+        for (std::size_t j = 0;
+             j < call.args.size() && j < callee->params.size(); ++j) {
+          const Operand& a = call.args[j];
+          double v = 0;
+          if (a.kind == Operand::Kind::Local) {
+            const auto it = env.find(a.name);
+            if (it == env.end()) {
+              return tytra::make_error("comb arg %" + a.name + " not available",
+                                       call.loc);
+            }
+            v = it->second;
+          } else if (a.kind == Operand::Kind::ConstInt) {
+            v = static_cast<double>(a.ival);
+          } else if (a.kind == Operand::Kind::ConstFloat) {
+            v = a.fval;
+          } else {
+            v = accumulators_[a.name];
+          }
+          cenv[callee->params[j].name] = v;
+        }
+        for (const auto& citem : callee->body) {
+          if (const auto* cinstr = std::get_if<Instr>(&citem)) {
+            if (auto r = eval_instr(*cinstr, binding, cenv, i); !r.ok()) {
+              return r.diag();
+            }
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  tytra::Result<bool> eval_instr(const Instr& instr, const Binding& binding,
+                                 std::map<std::string, double>& env,
+                                 std::size_t i) {
+    double vals[3] = {0, 0, 0};
+    for (std::size_t k = 0; k < instr.args.size() && k < 3; ++k) {
+      const Operand& a = instr.args[k];
+      switch (a.kind) {
+        case Operand::Kind::Local: {
+          const auto it = env.find(a.name);
+          if (it == env.end()) {
+            return tytra::make_error("value %" + a.name + " not available",
+                                     instr.loc);
+          }
+          vals[k] = it->second;
+          break;
+        }
+        case Operand::Kind::Global: {
+          const auto* port = mod_.find_port(a.name);
+          if (port != nullptr && port->dir == ir::StreamDir::In) {
+            const auto sit = available_.find(a.name);
+            if (sit == available_.end() || i >= sit->second.size()) {
+              return tytra::make_error("global stream @" + a.name + " unavailable",
+                                       instr.loc);
+            }
+            vals[k] = sit->second[i];
+          } else {
+            vals[k] = accumulators_[a.name];  // default-initialized to 0
+          }
+          break;
+        }
+        case Operand::Kind::ConstInt:
+          vals[k] = static_cast<double>(a.ival);
+          break;
+        case Operand::Kind::ConstFloat:
+          vals[k] = a.fval;
+          break;
+      }
+    }
+    double result = 0;
+    if (instr.type.scalar.is_float()) {
+      result = eval_float_op(instr.op, vals[0], vals[1], vals[2]);
+    } else if (instr.type.scalar.kind == ScalarKind::Fixed) {
+      result = eval_fixed_op(instr.op, instr.type.scalar,
+                             static_cast<std::int64_t>(std::llround(vals[0])),
+                             static_cast<std::int64_t>(std::llround(vals[1])),
+                             static_cast<std::int64_t>(std::llround(vals[2])));
+    } else {
+      result = eval_int_op(instr.op, static_cast<std::int64_t>(std::llround(vals[0])),
+                           static_cast<std::int64_t>(std::llround(vals[1])),
+                           static_cast<std::int64_t>(std::llround(vals[2])));
+    }
+    result = wrap_to_type(result, instr.type.scalar);
+
+    if (instr.result_global) {
+      // The written global may name an output port directly or a parameter
+      // bound to one (so replicated lanes can write distinct streams).
+      std::string target = instr.result;
+      if (const auto bit = binding.find(target); bit != binding.end()) {
+        target = bit->second;
+      }
+      const auto* port = mod_.find_port(target);
+      if (port != nullptr && port->dir == ir::StreamDir::Out) {
+        available_[target].push_back(result);
+      } else {
+        accumulators_[target] = result;
+      }
+    } else {
+      env[instr.result] = result;
+    }
+    return true;
+  }
+
+  const Module& mod_;
+  StreamMap available_;
+  std::map<std::string, double> accumulators_;
+  std::uint64_t items_{0};
+};
+
+}  // namespace
+
+double wrap_to_type(double value, const ir::ScalarType& type) {
+  if (type.is_float()) return value;
+  const int bits = std::min<int>(type.bits, 63);
+  const auto span = static_cast<std::int64_t>(1) << bits;
+  auto v = static_cast<std::int64_t>(std::llround(value));
+  v %= span;
+  if (type.kind == ScalarKind::UInt) {
+    if (v < 0) v += span;
+  } else {
+    // SInt and Fixed wrap as two's complement on the raw bits.
+    const std::int64_t half = span >> 1;
+    if (v >= half) v -= span;
+    if (v < -half) v += span;
+  }
+  return static_cast<double>(v);
+}
+
+tytra::Result<ExecResult> run_functional(const ir::Module& module,
+                                         const StreamMap& inputs) {
+  return Executor(module, inputs).run();
+}
+
+}  // namespace tytra::sim

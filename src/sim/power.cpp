@@ -1,0 +1,25 @@
+#include "tytra/sim/power.hpp"
+
+namespace tytra::sim {
+
+double fpga_delta_watts(const ResourceVec& used,
+                        const target::DeviceDesc& device, double freq_hz,
+                        double activity) {
+  const auto& pw = device.power;
+  const double mhz = freq_hz / 1e6;
+  const double dynamic_nw =
+      (used.aluts * pw.alut_nw + used.dsps * pw.dsp_nw +
+       (used.bram_bits / 1024.0) * pw.bram_kb_nw) *
+      mhz * activity;
+  return pw.static_watts + dynamic_nw * 1e-9;
+}
+
+double cpu_delta_watts() { return 34.0; }
+
+double host_assist_delta_watts() { return 3.0; }
+
+double delta_energy_joules(double watts, double seconds) {
+  return watts * seconds;
+}
+
+}  // namespace tytra::sim

@@ -1,0 +1,146 @@
+// Tests for the generated self-checking Verilog testbench and for the
+// fixed-point / random-access additions to the simulator and membench.
+
+#include <gtest/gtest.h>
+
+#include "tytra/codegen/testbench.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/membench/dram.hpp"
+#include "tytra/sim/functional.hpp"
+
+namespace {
+
+using namespace tytra;
+
+TEST(Testbench, GeneratesSelfCheckingBench) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  const auto inputs = kernels::sor_inputs(cfg);
+  const auto run = sim::run_functional(m, inputs);
+  ASSERT_TRUE(run.ok());
+
+  const std::string tb =
+      codegen::emit_testbench(m, inputs, run.value().outputs);
+  EXPECT_NE(tb.find("module tb_sor_c2_top;"), std::string::npos);
+  EXPECT_NE(tb.find("localparam N = 64;"), std::string::npos);
+  EXPECT_NE(tb.find("sor_c2_top dut"), std::string::npos);
+  EXPECT_NE(tb.find("TB PASS"), std::string::npos);
+  EXPECT_NE(tb.find("TB FAIL"), std::string::npos);
+  // Every port appears as a vector memory and a DUT connection.
+  for (const auto& p : m.ports) {
+    EXPECT_NE(tb.find("vec_" + p.name), std::string::npos) << p.name;
+    EXPECT_NE(tb.find("." + p.name + "(" + p.name + ")"), std::string::npos);
+  }
+  // Stimulus values present in hex.
+  EXPECT_NE(tb.find("vec_p[0] = 18'h"), std::string::npos);
+}
+
+TEST(Testbench, RespectsItemCapAndDrain) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  const auto inputs = kernels::sor_inputs(cfg);
+  const auto run = sim::run_functional(m, inputs);
+  ASSERT_TRUE(run.ok());
+  codegen::TestbenchOptions opt;
+  opt.max_items = 16;
+  opt.drain_cycles = 99;
+  const std::string tb =
+      codegen::emit_testbench(m, inputs, run.value().outputs, opt);
+  EXPECT_NE(tb.find("localparam N = 16;"), std::string::npos);
+  EXPECT_NE(tb.find("localparam DRAIN = 99;"), std::string::npos);
+}
+
+TEST(Testbench, RejectsMissingVectors) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  auto inputs = kernels::sor_inputs(cfg);
+  const auto run = sim::run_functional(m, inputs);
+  ASSERT_TRUE(run.ok());
+  inputs.erase("rhs");
+  EXPECT_THROW(codegen::emit_testbench(m, inputs, run.value().outputs),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Fixed-point semantics
+// --------------------------------------------------------------------------
+
+TEST(FixedPoint, MultiplyRenormalizes) {
+  // fx16.8: raw 512 = 2.0; 2.0 * 1.5 = 3.0 -> raw 768.
+  const char* src = R"(
+!ngs = 1
+define void @f0(fx16.8 %a, fx16.8 %b) pipe {
+  fx16.8 %m = mul fx16.8 %a, %b
+  fx16.8 @out = mov fx16.8 %m
+}
+define void @main () { call @f0(@a, @b) pipe }
+)";
+  ir::Module m = ir::parse_module_or_die(src);
+  ir::PortBinding out;
+  out.name = "out";
+  out.dir = ir::StreamDir::Out;
+  out.type = ir::Type::scalar_of(ir::ScalarType::fixed(16, 8));
+  m.ports.push_back(out);
+
+  sim::StreamMap inputs;
+  inputs["a"] = {512};  // 2.0
+  inputs["b"] = {384};  // 1.5
+  const auto run = sim::run_functional(m, inputs);
+  ASSERT_TRUE(run.ok()) << run.error_message();
+  EXPECT_DOUBLE_EQ(run.value().outputs.at("out")[0], 768);  // 3.0
+}
+
+TEST(FixedPoint, DividePreScales) {
+  const char* src = R"(
+!ngs = 1
+define void @f0(fx16.8 %a, fx16.8 %b) pipe {
+  fx16.8 %q = div fx16.8 %a, %b
+  fx16.8 @out = mov fx16.8 %q
+}
+define void @main () { call @f0(@a, @b) pipe }
+)";
+  ir::Module m = ir::parse_module_or_die(src);
+  ir::PortBinding out;
+  out.name = "out";
+  out.dir = ir::StreamDir::Out;
+  out.type = ir::Type::scalar_of(ir::ScalarType::fixed(16, 8));
+  m.ports.push_back(out);
+
+  sim::StreamMap inputs;
+  inputs["a"] = {768};  // 3.0
+  inputs["b"] = {512};  // 2.0
+  const auto run = sim::run_functional(m, inputs);
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run.value().outputs.at("out")[0], 384);  // 1.5
+}
+
+TEST(FixedPoint, AdditionIsRawAndWraps) {
+  const ir::ScalarType fx8 = ir::ScalarType::fixed(8, 4);
+  // Raw two's-complement wrap at 8 bits.
+  EXPECT_DOUBLE_EQ(sim::wrap_to_type(127, fx8), 127);
+  EXPECT_DOUBLE_EQ(sim::wrap_to_type(128, fx8), -128);
+}
+
+// --------------------------------------------------------------------------
+// Random access pattern
+// --------------------------------------------------------------------------
+
+TEST(RandomAccess, LittleDifferenceFromFixedStride) {
+  // Paper §V-C: "little difference in sustained bandwidth between
+  // fixed-stride and true random access".
+  const auto dev = target::virtex7_690t();
+  const membench::DramModel dram(dev.dram);
+  const std::uint64_t bytes = 8ULL << 20;
+  const double random = dram.sustained_bw_random(bytes);
+  const double strided =
+      dram.sustained_bw(bytes, ir::AccessPattern::Strided, 4096, 4);
+  EXPECT_NEAR(random / strided, 1.0, 0.05);
+  const double cont = dram.sustained_bw(bytes, ir::AccessPattern::Contiguous);
+  EXPECT_GT(cont / random, 20.0);
+}
+
+}  // namespace

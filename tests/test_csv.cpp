@@ -1,0 +1,39 @@
+// Tests for the CSV artifact writer.
+
+#include <gtest/gtest.h>
+
+#include "tytra/support/csv.hpp"
+
+namespace {
+
+TEST(Csv, RendersHeaderAndRows) {
+  tytra::CsvTable t({"a", "b"});
+  t.add_row({std::vector<std::string>{"1", "2"}});
+  t.add_row({3.5, -4.0});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.to_string(), "a,b\n1,2\n3.5,-4\n");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  tytra::CsvTable t({"name", "note"});
+  t.add_row({std::vector<std::string>{"x,y", "say \"hi\""}});
+  EXPECT_EQ(t.to_string(), "name,note\n\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RejectsBadShapes) {
+  EXPECT_THROW(tytra::CsvTable({}), std::invalid_argument);
+  tytra::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::vector<std::string>{"only-one"}}),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Csv, WritesToDisk) {
+  tytra::CsvTable t({"v"});
+  t.add_row(std::vector<double>{42.0});
+  const std::string path = testing::TempDir() + "tytra_csv_test.csv";
+  ASSERT_TRUE(t.write(path));
+  EXPECT_FALSE(t.write("/nonexistent-dir/x.csv"));
+}
+
+}  // namespace

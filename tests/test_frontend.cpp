@@ -1,0 +1,112 @@
+// Tests for the type-transformation front-end: variant construction
+// rules, reshapeTo size preservation, the flatten . reshape == id
+// property, and variant enumeration.
+
+#include <gtest/gtest.h>
+
+#include "tytra/frontend/transform.hpp"
+#include "tytra/support/rng.hpp"
+
+namespace {
+
+using namespace tytra::frontend;
+
+TEST(Variant, BaselineIsSinglePipelinedMap) {
+  const Variant v = baseline_variant(1024);
+  EXPECT_EQ(v.dims(), (std::vector<std::uint64_t>{1024}));
+  EXPECT_EQ(v.lanes(), 1u);
+  EXPECT_TRUE(v.pipelined());
+  EXPECT_EQ(v.describe(), "map^pipe[1024] (f)");
+}
+
+TEST(Variant, ReshapePreservesSize) {
+  const Variant v = reshape_to(baseline_variant(1024), 4, ParAnn::Par);
+  EXPECT_EQ(v.flat_size(), 1024u);
+  EXPECT_EQ(v.dims(), (std::vector<std::uint64_t>{4, 256}));
+  EXPECT_EQ(v.lanes(), 4u);
+  EXPECT_TRUE(v.pipelined());
+  EXPECT_EQ(v.describe(), "map^par[4] (map^pipe[256] (f))");
+}
+
+TEST(Variant, ReshapeRejectsNonDivisor) {
+  EXPECT_THROW(reshape_to(baseline_variant(1000), 7, ParAnn::Par),
+               std::invalid_argument);
+  EXPECT_THROW(reshape_to(baseline_variant(1000), 0, ParAnn::Par),
+               std::invalid_argument);
+}
+
+TEST(Variant, RepeatedReshapeNests) {
+  Variant v = baseline_variant(1024);
+  v = reshape_to(v, 4, ParAnn::Par);
+  v = reshape_to(v, 2, ParAnn::Pipe);
+  EXPECT_EQ(v.dims(), (std::vector<std::uint64_t>{4, 2, 128}));
+  EXPECT_EQ(v.flat_size(), 1024u);
+  EXPECT_EQ(v.lanes(), 4u);
+}
+
+TEST(Variant, ParInsideNonParRejected) {
+  // Thread parallelism must enclose pipelines (Fig. 7).
+  EXPECT_THROW(Variant({2, 4}, {ParAnn::Pipe, ParAnn::Par}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Variant({2, 4}, {ParAnn::Par, ParAnn::Pipe}));
+  EXPECT_NO_THROW(Variant({2, 4, 8}, {ParAnn::Par, ParAnn::Par, ParAnn::Pipe}));
+}
+
+TEST(Variant, ConstructionRejectsBadShapes) {
+  EXPECT_THROW(Variant({}, {}), std::invalid_argument);
+  EXPECT_THROW(Variant({4}, {ParAnn::Pipe, ParAnn::Pipe}), std::invalid_argument);
+  EXPECT_THROW(Variant({0}, {ParAnn::Pipe}), std::invalid_argument);
+}
+
+TEST(Enumerate, CoversDivisorsUpToMaxLanes) {
+  const auto variants = enumerate_variants(24, 16);
+  // baseline + lanes 2,3,4,6,8,12 (divisors of 24 in [2,16])
+  ASSERT_EQ(variants.size(), 7u);
+  EXPECT_EQ(variants[0].lanes(), 1u);
+  std::vector<std::uint32_t> lanes;
+  for (const auto& v : variants) lanes.push_back(v.lanes());
+  EXPECT_EQ(lanes, (std::vector<std::uint32_t>{1, 2, 3, 4, 6, 8, 12}));
+}
+
+TEST(Enumerate, SeqVariantOptIn) {
+  const auto with = enumerate_variants(8, 4, true);
+  const auto without = enumerate_variants(8, 4, false);
+  EXPECT_EQ(with.size(), without.size() + 1);
+  EXPECT_EQ(with.back().anns().back(), ParAnn::Seq);
+}
+
+TEST(Enumerate, AllVariantsPreserveSize) {
+  for (const auto& v : enumerate_variants(5040, 50, true)) {
+    EXPECT_EQ(v.flat_size(), 5040u) << v.describe();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Data reshaping properties
+// --------------------------------------------------------------------------
+
+TEST(Reshape, FlattenReshapeIsIdentity) {
+  tytra::SplitMix64 rng(11);
+  std::vector<double> flat(720);
+  for (auto& x : flat) x = rng.next_double();
+  for (const std::uint64_t outer : {1ULL, 2ULL, 5ULL, 16ULL, 720ULL}) {
+    const auto nested = reshape_vec(flat, outer);
+    ASSERT_EQ(nested.size(), outer);
+    EXPECT_EQ(flatten_vec(nested), flat) << "outer=" << outer;
+  }
+}
+
+TEST(Reshape, PreservesOrderWithinChunks) {
+  const std::vector<double> flat{0, 1, 2, 3, 4, 5};
+  const auto nested = reshape_vec(flat, 3);
+  EXPECT_EQ(nested[0], (std::vector<double>{0, 1}));
+  EXPECT_EQ(nested[1], (std::vector<double>{2, 3}));
+  EXPECT_EQ(nested[2], (std::vector<double>{4, 5}));
+}
+
+TEST(Reshape, RejectsNonDivisor) {
+  EXPECT_THROW(reshape_vec({1, 2, 3}, 2), std::invalid_argument);
+  EXPECT_THROW(reshape_vec({1, 2, 3}, 0), std::invalid_argument);
+}
+
+}  // namespace

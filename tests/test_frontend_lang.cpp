@@ -1,0 +1,144 @@
+// Tests for the functional design-entry language: the paper's §II
+// programs parse and elaborate, size preservation is enforced as a type
+// error, and the elaborated variants drive the DSE flow end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "tytra/cost/report.hpp"
+#include "tytra/frontend/lang.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra::frontend;
+
+TEST(Lang, BaselineProgramOfSectionII) {
+  const auto r = parse_program(R"(
+-- SOR baseline: all im*jm*km items through a single pipeline
+im = 24
+jm = 24
+km = 24
+pps : Vect im*jm*km t
+ps = map p_sor pps
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const Program& p = r.value();
+  EXPECT_EQ(p.kernel, "p_sor");
+  EXPECT_EQ(p.result, "ps");
+  EXPECT_EQ(p.variant.dims(), (std::vector<std::uint64_t>{24 * 24 * 24}));
+  EXPECT_EQ(p.variant.lanes(), 1u);
+  EXPECT_TRUE(p.variant.pipelined());
+}
+
+TEST(Lang, ReshapedProgramOfSectionII) {
+  // The paper's transformed program:
+  //   ppst = reshapeTo km pps
+  //   pst = mappar (mappipe p_sor) ppst
+  const auto r = parse_program(R"(
+im = 4
+jm = 4
+km = 4
+pps : Vect im*jm*km t
+ppst = reshapeTo km pps
+pst = mappar (mappipe p_sor) ppst
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const Program& p = r.value();
+  EXPECT_EQ(p.variant.dims(), (std::vector<std::uint64_t>{4, 16}));
+  EXPECT_EQ(p.variant.anns()[0], ParAnn::Par);
+  EXPECT_EQ(p.variant.anns()[1], ParAnn::Pipe);
+  EXPECT_EQ(p.variant.lanes(), 4u);
+  EXPECT_EQ(p.variant.flat_size(), 64u);
+}
+
+TEST(Lang, SizePreservationIsATypeError) {
+  const auto r = parse_program(R"(
+pps : Vect 100 t
+ppst = reshapeTo 7 pps
+pst = mappar (mappipe f) ppst
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("does not preserve"), std::string::npos);
+}
+
+TEST(Lang, MapDepthMustMatchNesting) {
+  const auto r = parse_program(R"(
+pps : Vect 64 t
+ppst = reshapeTo 4 pps
+bad = map f ppst
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("does not match vector nesting"),
+            std::string::npos);
+}
+
+TEST(Lang, ParInsidePipeRejected) {
+  const auto r = parse_program(R"(
+pps : Vect 64 t
+ppst = reshapeTo 4 pps
+bad = mappipe (mappar f) ppst
+)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("par"), std::string::npos);
+}
+
+TEST(Lang, RepeatedReshapeNestsDeeper) {
+  const auto r = parse_program(R"(
+pps : Vect 1024 t
+a = reshapeTo 4 pps
+b = reshapeTo 2 a
+prog = mappar (mappar (mappipe f)) b
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  EXPECT_EQ(r.value().variant.dims(), (std::vector<std::uint64_t>{4, 2, 128}));
+  EXPECT_EQ(r.value().variant.lanes(), 8u);
+}
+
+TEST(Lang, SequentialAnnotation) {
+  const auto r = parse_program(R"(
+v : Vect 256 t
+s = mapseq f v
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  EXPECT_EQ(r.value().variant.anns()[0], ParAnn::Seq);
+}
+
+TEST(Lang, ErrorsCarryLocationsAndNames) {
+  const auto unknown_vec = parse_program("p = map f nowhere\n");
+  ASSERT_FALSE(unknown_vec.ok());
+  EXPECT_NE(unknown_vec.error_message().find("nowhere"), std::string::npos);
+
+  const auto unknown_const = parse_program("v : Vect im t\np = map f v\n");
+  ASSERT_FALSE(unknown_const.ok());
+  EXPECT_NE(unknown_const.error_message().find("im"), std::string::npos);
+
+  const auto no_bindings = parse_program("-- just a comment\n");
+  EXPECT_FALSE(no_bindings.ok());
+
+  const auto decl_only = parse_program("v : Vect 4 t\n");
+  EXPECT_FALSE(decl_only.ok());
+}
+
+TEST(Lang, ElaboratedVariantDrivesTheCostFlow) {
+  const auto r = parse_program(R"(
+im = 8
+jm = 8
+km = 8
+pps : Vect im*jm*km t
+ppst = reshapeTo 4 pps
+pst = mappar (mappipe p_sor) ppst
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+
+  tytra::kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 8;
+  cfg.lanes = r.value().variant.lanes();
+  const tytra::ir::Module m = tytra::kernels::make_sor(cfg);
+  const auto db =
+      tytra::cost::DeviceCostDb::calibrate(tytra::target::stratix_v_gsd8());
+  const auto report = tytra::cost::cost_design(m, db);
+  EXPECT_EQ(report.params.knl, 4u);
+  EXPECT_TRUE(report.valid);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Tests for the IR optimization passes: constant folding, CSE and DCE are
+// semantics-preserving (functional results identical) and shrink the
+// datapath the cost model sees.
+
+#include <gtest/gtest.h>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/cost/resource_model.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/passes.hpp"
+#include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/sim/functional.hpp"
+
+namespace {
+
+using namespace tytra;
+using namespace tytra::ir;
+
+TEST(Passes, FoldsConstantChains) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %c1 = add ui18 3, 4
+  ui18 %c2 = mul ui18 %c1, 2
+  ui18 %x  = add ui18 %a, %c2
+  ui18 @out = mov ui18 %x
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const PassStats stats = optimize(m);
+  EXPECT_EQ(stats.folded, 2u);
+  const auto* f0 = m.find_function("f0");
+  ASSERT_EQ(f0->instructions().size(), 2u);  // the add and the store remain
+  const Instr* add = f0->instructions()[0];
+  ASSERT_EQ(add->args.size(), 2u);
+  EXPECT_EQ(add->args[1].kind, Operand::Kind::ConstInt);
+  EXPECT_EQ(add->args[1].ival, 14);
+}
+
+TEST(Passes, FoldingRespectsIntegerDivision) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %c = div ui18 7, 2
+  ui18 %x = add ui18 %a, %c
+  ui18 @out = mov ui18 %x
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  optimize(m);
+  const auto* f0 = m.find_function("f0");
+  EXPECT_EQ(f0->instructions()[0]->args[1].ival, 3);  // trunc, not 3.5
+}
+
+TEST(Passes, DivisionByZeroIsNotFolded) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %c = div ui18 7, 0
+  ui18 %x = add ui18 %a, %c
+  ui18 @out = mov ui18 %x
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const PassStats stats = fold_constants(m);
+  EXPECT_EQ(stats.folded, 0u);
+}
+
+TEST(Passes, CseMergesDuplicatesIncludingCommuted) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a, ui18 %b) pipe {
+  ui18 %x = add ui18 %a, %b
+  ui18 %y = add ui18 %b, %a
+  ui18 %z = add ui18 %x, %y
+  ui18 @out = mov ui18 %z
+}
+define void @main () { call @f0(@a, @b) pipe }
+)");
+  const PassStats stats = eliminate_common_subexpressions(m);
+  EXPECT_EQ(stats.merged, 1u);  // %y folds into %x (add is commutative)
+  const auto* f0 = m.find_function("f0");
+  const Instr* z = f0->instructions()[1];
+  EXPECT_EQ(z->args[0].name, "x");
+  EXPECT_EQ(z->args[1].name, "x");
+}
+
+TEST(Passes, CseDoesNotMergeNonCommutativeSwapped) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a, ui18 %b) pipe {
+  ui18 %x = sub ui18 %a, %b
+  ui18 %y = sub ui18 %b, %a
+  ui18 %z = add ui18 %x, %y
+  ui18 @out = mov ui18 %z
+}
+define void @main () { call @f0(@a, @b) pipe }
+)");
+  EXPECT_EQ(eliminate_common_subexpressions(m).merged, 0u);
+}
+
+TEST(Passes, DceRemovesUnusedChains) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %dead1 = mul ui18 %a, %a
+  ui18 %dead2 = add ui18 %dead1, 1
+  ui18 %live = add ui18 %a, 1
+  ui18 @out = mov ui18 %live
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const PassStats stats = eliminate_dead_code(m);
+  EXPECT_EQ(stats.removed, 2u);
+  EXPECT_EQ(m.find_function("f0")->instructions().size(), 2u);
+}
+
+TEST(Passes, DceKeepsReductionsAndUnusedOffsets) {
+  Module m = parse_module_or_die(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %p1 = ui18 %a, !offset, !+1
+  ui18 @acc = add ui18 %a, @acc
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const PassStats stats = eliminate_dead_code(m);
+  EXPECT_EQ(stats.removed, 1u);  // the unused offset stream goes
+  EXPECT_EQ(m.find_function("f0")->instructions().size(), 1u);  // acc stays
+}
+
+TEST(Passes, HotspotSemanticsPreserved) {
+  kernels::HotspotConfig cfg;
+  cfg.rows = cfg.cols = 12;
+  Module m = kernels::make_hotspot(cfg);
+  const auto inputs = kernels::hotspot_inputs(cfg);
+  const auto before = sim::run_functional(m, inputs);
+  ASSERT_TRUE(before.ok());
+
+  const PassStats stats = optimize(m);
+  EXPECT_GT(stats.merged, 0u);  // the duplicated doubling merges
+  EXPECT_TRUE(verify_ok(m)) << verify(m).to_string();
+
+  const auto after = sim::run_functional(m, inputs);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value().outputs.at("temp_new"),
+            after.value().outputs.at("temp_new"));
+}
+
+TEST(Passes, SorSemanticsPreserved) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 6;
+  Module m = kernels::make_sor(cfg);
+  const auto inputs = kernels::sor_inputs(cfg);
+  const auto before = sim::run_functional(m, inputs);
+  ASSERT_TRUE(before.ok());
+  optimize(m);
+  const auto after = sim::run_functional(m, inputs);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value().outputs.at("p_new"), after.value().outputs.at("p_new"));
+  EXPECT_EQ(before.value().reductions.at("sorErrAcc"),
+            after.value().reductions.at("sorErrAcc"));
+}
+
+TEST(Passes, OptimizingNarrowsTheEstimateGap) {
+  // Running the same optimizations the fabric applies shrinks hotspot's
+  // estimated ALUT/reg total (the CSE'd duplicate no longer double-counted).
+  kernels::HotspotConfig cfg;
+  cfg.rows = cfg.cols = 32;
+  Module raw = kernels::make_hotspot(cfg);
+  Module opt = raw;
+  optimize(opt);
+
+  const auto db = cost::DeviceCostDb::calibrate(target::stratix_v_gsd8());
+  const auto est_raw = cost::estimate_resources(raw, db);
+  const auto est_opt = cost::estimate_resources(opt, db);
+  EXPECT_LT(est_opt.total.regs, est_raw.total.regs);
+}
+
+TEST(Passes, OptimizeReachesFixpoint) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  Module m = kernels::make_sor(cfg);
+  optimize(m);
+  const PassStats again = optimize(m);
+  EXPECT_EQ(again.total(), 0u);
+}
+
+}  // namespace

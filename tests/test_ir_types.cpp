@@ -1,0 +1,120 @@
+// Tests for the TyTra-IR type system and opcode table.
+
+#include <gtest/gtest.h>
+
+#include "tytra/ir/instr.hpp"
+#include "tytra/ir/type.hpp"
+
+namespace {
+
+using namespace tytra::ir;
+
+TEST(ScalarTypeParse, UnsignedInteger) {
+  const auto t = parse_scalar_type("ui18");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().kind, ScalarKind::UInt);
+  EXPECT_EQ(t.value().bits, 18);
+}
+
+TEST(ScalarTypeParse, SignedInteger) {
+  const auto t = parse_scalar_type("i32");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().kind, ScalarKind::SInt);
+  EXPECT_EQ(t.value().bits, 32);
+}
+
+TEST(ScalarTypeParse, Float) {
+  const auto t = parse_scalar_type("f32");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().kind, ScalarKind::Float);
+  EXPECT_TRUE(t.value().is_float());
+}
+
+TEST(ScalarTypeParse, FixedPoint) {
+  const auto t = parse_scalar_type("fx16.8");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().kind, ScalarKind::Fixed);
+  EXPECT_EQ(t.value().bits, 16);
+  EXPECT_EQ(t.value().frac, 8);
+}
+
+TEST(ScalarTypeParse, RejectsBadInputs) {
+  EXPECT_FALSE(parse_scalar_type("x17").ok());
+  EXPECT_FALSE(parse_scalar_type("ui").ok());
+  EXPECT_FALSE(parse_scalar_type("ui0").ok());
+  EXPECT_FALSE(parse_scalar_type("f23").ok());     // floats: 16/32/64 only
+  EXPECT_FALSE(parse_scalar_type("fx8.12").ok());  // frac > total
+  EXPECT_FALSE(parse_scalar_type("fx16").ok());    // missing frac
+  EXPECT_FALSE(parse_scalar_type("ui99999").ok()); // out of range
+}
+
+TEST(ScalarTypeParse, RoundTripsThroughToString) {
+  for (const char* text : {"ui18", "i32", "f64", "fx24.12", "ui1"}) {
+    const auto t = parse_scalar_type(text);
+    ASSERT_TRUE(t.ok()) << text;
+    EXPECT_EQ(t.value().to_string(), text);
+  }
+}
+
+TEST(TypeVector, TotalBitsAndPrinting) {
+  const Type v = Type::vector_of(ScalarType::uint(18), 4);
+  EXPECT_EQ(v.total_bits(), 72u);
+  EXPECT_EQ(v.to_string(), "<4 x ui18>");
+  const Type s = Type::scalar_of(ScalarType::f32());
+  EXPECT_EQ(s.to_string(), "f32");
+  EXPECT_EQ(s.total_bits(), 32u);
+}
+
+TEST(OpcodeTable, NamesRoundTrip) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const auto back = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(back.has_value()) << opcode_name(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(OpcodeTable, FloatAliasesResolve) {
+  EXPECT_EQ(opcode_from_name("fadd"), Opcode::Add);
+  EXPECT_EQ(opcode_from_name("fmul"), Opcode::Mul);
+  EXPECT_EQ(opcode_from_name("fdiv"), Opcode::Div);
+  EXPECT_EQ(opcode_from_name("udiv"), Opcode::Div);
+  EXPECT_EQ(opcode_from_name("srem"), Opcode::Rem);
+  EXPECT_FALSE(opcode_from_name("bogus").has_value());
+}
+
+TEST(OpcodeTable, ArityMatchesSemantics) {
+  EXPECT_EQ(op_info(Opcode::Add).arity, 2);
+  EXPECT_EQ(op_info(Opcode::Select).arity, 3);
+  EXPECT_EQ(op_info(Opcode::Mac).arity, 3);
+  EXPECT_EQ(op_info(Opcode::Sqrt).arity, 1);
+  EXPECT_EQ(op_info(Opcode::Not).arity, 1);
+}
+
+TEST(OpcodeTable, FloatOnlyAndIntOnlyOps) {
+  EXPECT_FALSE(op_info(Opcode::Exp).integer_ok);
+  EXPECT_TRUE(op_info(Opcode::Exp).float_ok);
+  EXPECT_FALSE(op_info(Opcode::Shl).float_ok);
+  EXPECT_TRUE(op_info(Opcode::Shl).integer_ok);
+}
+
+TEST(OpLatency, PipelinedCoresDeepenWithComplexity) {
+  const ScalarType u18 = ScalarType::uint(18);
+  const ScalarType u64 = ScalarType::uint(64);
+  const ScalarType f32 = ScalarType::f32();
+  EXPECT_EQ(op_latency(Opcode::Add, u18), 1);
+  EXPECT_GT(op_latency(Opcode::Mul, u64), op_latency(Opcode::Mul, u18));
+  EXPECT_GT(op_latency(Opcode::Div, u64), op_latency(Opcode::Div, u18));
+  EXPECT_GT(op_latency(Opcode::Add, f32), op_latency(Opcode::Add, u18));
+  EXPECT_GE(op_latency(Opcode::Div, f32), 20);
+}
+
+TEST(OpLatency, AllOpsHavePositiveLatency) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    EXPECT_GE(op_latency(op, ScalarType::uint(32)), 1) << opcode_name(op);
+    EXPECT_GE(op_latency(op, ScalarType::f32()), 1) << opcode_name(op);
+  }
+}
+
+}  // namespace

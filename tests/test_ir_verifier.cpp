@@ -1,0 +1,288 @@
+// Tests for the TyTra-IR semantic verifier: SSA discipline, type/opcode
+// compatibility, the function-kind composition rules of Fig. 7 and
+// Manage-IR referential integrity.
+
+#include <gtest/gtest.h>
+
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/verifier.hpp"
+
+namespace {
+
+using namespace tytra::ir;
+
+Module parse_ok(const char* src) {
+  auto r = parse_module(src);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+  return std::move(r).take().module;
+}
+
+bool has_error_containing(const Module& m, const std::string& needle) {
+  const auto diags = verify(m);
+  for (const auto& d : diags.all()) {
+    if (d.severity == tytra::Severity::Error &&
+        d.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Verifier, AcceptsMinimalValidModule) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 %x = add ui18 %a, 1
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_FALSE(verify(m).has_errors()) << verify(m).to_string();
+}
+
+TEST(Verifier, RequiresMain) {
+  const Module m = parse_ok("define void @f0() pipe { }");
+  EXPECT_TRUE(has_error_containing(m, "no @main"));
+}
+
+TEST(Verifier, MainTakesNoParameters) {
+  const Module m = parse_ok("define void @main(ui18 %x) { }");
+  EXPECT_TRUE(has_error_containing(m, "no parameters"));
+}
+
+TEST(Verifier, RejectsDuplicateFunctions) {
+  const Module m = parse_ok(R"(
+define void @f0() pipe { }
+define void @f0() pipe { }
+define void @main () { }
+)");
+  EXPECT_TRUE(has_error_containing(m, "duplicate function"));
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a) pipe {
+  ui18 %x = add ui18 %y, %a
+  ui18 %y = add ui18 %a, 1
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "undefined value %y"));
+}
+
+TEST(Verifier, RejectsRedefinition) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a) pipe {
+  ui18 %x = add ui18 %a, 1
+  ui18 %x = add ui18 %a, 2
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "redefinition"));
+}
+
+TEST(Verifier, RejectsArityMismatch) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a) pipe {
+  ui18 %x = select ui18 %a, %a
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "expects 3 operands"));
+}
+
+TEST(Verifier, RejectsFloatOnlyOpOnInteger) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a) pipe {
+  ui18 %x = exp ui18 %a
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "only defined for float"));
+}
+
+TEST(Verifier, RejectsIntegerOnlyOpOnFloat) {
+  const Module m = parse_ok(R"(
+define void @f0(f32 %a) pipe {
+  f32 %x = shl f32 %a, 2
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "not defined for float"));
+}
+
+TEST(Verifier, OffsetsOnlyInPipeFunctions) {
+  const Module m = parse_ok(R"(
+define void @s0(ui18 %a) seq {
+  ui18 %x = ui18 %a, !offset, !+1
+}
+define void @main () { call @s0(@a) seq }
+)");
+  EXPECT_TRUE(has_error_containing(m, "only valid in pipe"));
+}
+
+TEST(Verifier, ParMayOnlyContainCalls) {
+  const Module m = parse_ok(R"(
+define void @p0(ui18 %a) par {
+  ui18 %x = add ui18 %a, 1
+}
+define void @main () { call @p0(@a) par }
+)");
+  EXPECT_TRUE(has_error_containing(m, "may only contain calls"));
+}
+
+TEST(Verifier, CombRejectsMultiCycleOps) {
+  const Module m = parse_ok(R"(
+define void @c0(ui18 %a) comb {
+  ui18 %x = div ui18 %a, %a
+}
+define void @main () { call @c0(@a) comb }
+)");
+  EXPECT_TRUE(has_error_containing(m, "multi-cycle"));
+}
+
+TEST(Verifier, CombAcceptsSingleCycleLogic) {
+  const Module m = parse_ok(R"(
+!ngs = 4
+define void @c0(ui18 %a, ui18 %b) comb {
+  ui18 %x = xor ui18 %a, %b
+  ui18 %y = and ui18 %x, %b
+}
+define void @f0(ui18 %a, ui18 %b) pipe {
+  ui18 %s = add ui18 %a, %b
+  call @c0(%a, %b) comb
+}
+define void @main () { call @f0(@a, @b) pipe }
+)");
+  EXPECT_FALSE(verify(m).has_errors()) << verify(m).to_string();
+}
+
+TEST(Verifier, PipeCannotCallPar) {
+  const Module m = parse_ok(R"(
+define void @f1() par { call @f0(@a) pipe }
+define void @f0(ui18 %a) pipe {
+  ui18 %x = add ui18 %a, 1
+  call @f1() par
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "cannot contain a par call"));
+}
+
+TEST(Verifier, CallKindMustMatchCallee) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a) pipe { ui18 %x = add ui18 %a, 1 }
+define void @main () { call @f0(@a) seq }
+)");
+  EXPECT_TRUE(has_error_containing(m, "defined as 'pipe'"));
+}
+
+TEST(Verifier, CallArityMustMatch) {
+  const Module m = parse_ok(R"(
+define void @f0(ui18 %a, ui18 %b) pipe { ui18 %x = add ui18 %a, %b }
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "passes 1 args"));
+}
+
+TEST(Verifier, RejectsUnknownCallee) {
+  const Module m = parse_ok("define void @main () { call @ghost() pipe }");
+  EXPECT_TRUE(has_error_containing(m, "unknown function"));
+}
+
+TEST(Verifier, RejectsRecursion) {
+  const Module m = parse_ok(R"(
+define void @f0() pipe { call @f0() pipe }
+define void @main () { call @f0() pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "recursive"));
+}
+
+TEST(Verifier, RejectsMutualRecursion) {
+  const Module m = parse_ok(R"(
+define void @f0() pipe { call @f1() pipe }
+define void @f1() pipe { call @f0() pipe }
+define void @main () { call @f0() pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "cyclic"));
+}
+
+TEST(Verifier, ManageIrReferentialIntegrity) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+stream @s reads @nothing pattern cont
+define void @main () { }
+)");
+  EXPECT_TRUE(has_error_containing(m, "unknown memobj"));
+}
+
+TEST(Verifier, PortMustReferenceKnownStreamObject) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+memobj @m global ui18 x 16
+stream @s reads @m pattern cont
+@main.p = addrSpace(1) ui18, !"istream", !"CONT", !0, !"ghost"
+define void @main () { }
+)");
+  EXPECT_TRUE(has_error_containing(m, "unknown stream object"));
+}
+
+TEST(Verifier, RejectsWritingInputPort) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+@main.p = addrSpace(1) ui18, !"istream", !"CONT", !0, !"s"
+define void @f0(ui18 %a) pipe {
+  ui18 @p = add ui18 %a, 1
+}
+define void @main () { call @f0(@p) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "writes input port"));
+}
+
+TEST(Verifier, RejectsDoubleWriteOfOutputPort) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+@main.q = addrSpace(1) ui18, !"ostream", !"CONT", !0, !"s"
+define void @f0(ui18 %a) pipe {
+  ui18 @q = add ui18 %a, 1
+  ui18 @q = add ui18 %a, 2
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  EXPECT_TRUE(has_error_containing(m, "written twice"));
+}
+
+TEST(Verifier, ReductionReadingOwnAccumulatorIsClean) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 @acc = add ui18 %a, @acc
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const auto diags = verify(m);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  for (const auto& d : diags.all()) {
+    EXPECT_EQ(d.message.find("does not read"), std::string::npos);
+  }
+}
+
+TEST(Verifier, WarnsOnNonSelfReadingReduction) {
+  const Module m = parse_ok(R"(
+!ngs = 16
+define void @f0(ui18 %a) pipe {
+  ui18 @acc = add ui18 %a, %a
+}
+define void @main () { call @f0(@a) pipe }
+)");
+  const auto diags = verify(m);
+  bool warned = false;
+  for (const auto& d : diags.all()) {
+    if (d.severity == tytra::Severity::Warning &&
+        d.message.find("does not read") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Tests for the kernel library builders: structural properties of the
+// generated IR across configuration spaces (lane counts, element types,
+// forms), printer round-trips, and precondition checking.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tytra/ir/analysis.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/printer.hpp"
+#include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+using kernels::HotspotConfig;
+using kernels::LavamdConfig;
+using kernels::SorConfig;
+
+TEST(KernelSor, BaselineStructure) {
+  SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 8;
+  const ir::Module m = kernels::make_sor(cfg);
+  EXPECT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+  EXPECT_EQ(m.ports.size(), 10u);       // 9 inputs + 1 output
+  EXPECT_EQ(m.memobjs.size(), 10u);
+  EXPECT_EQ(m.streamobjs.size(), 10u);
+  const auto* f0 = m.find_function("f0");
+  ASSERT_NE(f0, nullptr);
+  EXPECT_EQ(f0->offsets().size(), 6u);  // the six cardinal neighbours
+  EXPECT_EQ(ir::classify_config(m), ir::ConfigClass::C2);
+}
+
+TEST(KernelSor, OffsetsMatchGridGeometry) {
+  SorConfig cfg;
+  cfg.im = 10;
+  cfg.jm = 20;
+  cfg.km = 5;
+  const ir::Module m = kernels::make_sor(cfg);
+  std::set<std::int64_t> offsets;
+  for (const auto* off : m.find_function("f0")->offsets()) {
+    offsets.insert(off->offset);
+  }
+  const std::set<std::int64_t> expected{1, -1, 10, -10, 200, -200};
+  EXPECT_EQ(offsets, expected);
+}
+
+TEST(KernelSor, RejectsNonDividingLanes) {
+  SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 5;  // 125 work-items
+  cfg.lanes = 2;
+  EXPECT_THROW(kernels::make_sor(cfg), std::invalid_argument);
+  cfg.lanes = 0;
+  EXPECT_THROW(kernels::make_sor(cfg), std::invalid_argument);
+}
+
+TEST(KernelSor, MemObjectsSizedPerLane) {
+  SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 8;
+  cfg.lanes = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  for (const auto& mem : m.memobjs) {
+    EXPECT_EQ(mem.size_words, cfg.ngs() / 4) << mem.name;
+  }
+}
+
+TEST(KernelHotspot, StructureAndDivByConst) {
+  HotspotConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 32;
+  const ir::Module m = kernels::make_hotspot(cfg);
+  EXPECT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+  EXPECT_EQ(m.ports.size(), 5u);
+  bool has_const_div = false;
+  for (const auto* instr : m.find_function("f0")->instructions()) {
+    if (instr->op == ir::Opcode::Div &&
+        instr->args[1].kind == ir::Operand::Kind::ConstInt) {
+      has_const_div = true;
+    }
+  }
+  EXPECT_TRUE(has_const_div);  // the strength-reduction error source
+  // North/south offsets span a row of `cols` elements.
+  std::set<std::int64_t> offsets;
+  for (const auto* off : m.find_function("f0")->offsets()) {
+    offsets.insert(off->offset);
+  }
+  EXPECT_TRUE(offsets.count(32) == 1 && offsets.count(-32) == 1);
+}
+
+TEST(KernelLavamd, NoOffsetsNoBram) {
+  LavamdConfig cfg;
+  cfg.particles = 256;
+  const ir::Module m = kernels::make_lavamd(cfg);
+  EXPECT_TRUE(ir::verify_ok(m));
+  EXPECT_TRUE(m.find_function("f0")->offsets().empty());
+  EXPECT_EQ(ir::extract_params(m).noff, 0u);
+}
+
+TEST(KernelLavamd, UsesSqrtAndMac) {
+  const ir::Module m = kernels::make_lavamd({.particles = 64});
+  bool sqrt_seen = false;
+  bool mac_seen = false;
+  for (const auto* instr : m.find_function("f0")->instructions()) {
+    sqrt_seen |= instr->op == ir::Opcode::Sqrt;
+    mac_seen |= instr->op == ir::Opcode::Mac;
+  }
+  EXPECT_TRUE(sqrt_seen);
+  EXPECT_TRUE(mac_seen);
+}
+
+// Parameterized sweep: every kernel x lane count x element type builds,
+// verifies, round-trips through the printer, and keeps its Table-I
+// parameters consistent.
+class KernelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KernelSweep, BuildVerifyRoundTripExtract) {
+  const auto [kernel, lanes, type_idx] = GetParam();
+  const ir::ScalarType elem =
+      type_idx == 0 ? ir::ScalarType::uint(18) : ir::ScalarType::sint(32);
+
+  ir::Module m;
+  double expected_nwpt = 0;
+  switch (kernel) {
+    case 0: {
+      SorConfig cfg;
+      cfg.im = cfg.jm = cfg.km = 8;
+      cfg.lanes = static_cast<std::uint32_t>(lanes);
+      cfg.elem = elem;
+      m = kernels::make_sor(cfg);
+      expected_nwpt = 10;
+      break;
+    }
+    case 1: {
+      HotspotConfig cfg;
+      cfg.rows = cfg.cols = 16;
+      cfg.lanes = static_cast<std::uint32_t>(lanes);
+      cfg.elem = elem;
+      m = kernels::make_hotspot(cfg);
+      expected_nwpt = 5;
+      break;
+    }
+    default: {
+      LavamdConfig cfg;
+      cfg.particles = 512;
+      cfg.lanes = static_cast<std::uint32_t>(lanes);
+      cfg.elem = elem;
+      m = kernels::make_lavamd(cfg);
+      expected_nwpt = 8;
+      break;
+    }
+  }
+
+  const auto diags = ir::verify(m);
+  ASSERT_FALSE(diags.has_errors()) << diags.to_string();
+
+  const ir::DesignParams p = ir::extract_params(m);
+  EXPECT_EQ(p.knl, static_cast<std::uint32_t>(lanes));
+  EXPECT_DOUBLE_EQ(p.nwpt, expected_nwpt);
+  EXPECT_GT(p.kpd, 0);
+
+  // Printer round-trip preserves function/port structure.
+  const std::string printed = ir::print_module(m);
+  auto reparsed = ir::parse_module(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error_message();
+  const ir::Module& m2 = reparsed.value().module;
+  EXPECT_EQ(m2.ports.size(), m.ports.size());
+  EXPECT_EQ(m2.functions.size(), m.functions.size());
+  EXPECT_FALSE(ir::verify(m2).has_errors()) << ir::verify(m2).to_string();
+  const ir::DesignParams p2 = ir::extract_params(m2);
+  EXPECT_EQ(p2.kpd, p.kpd);
+  EXPECT_EQ(p2.noff, p.noff);
+  EXPECT_EQ(p2.knl, p.knl);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsByLanesAndType, KernelSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),      // kernel
+                       ::testing::Values(1, 2, 4, 8),   // lanes
+                       ::testing::Values(0, 1)));       // element type
+
+}  // namespace

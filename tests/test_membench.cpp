@@ -1,0 +1,148 @@
+// Tests for the memory substrate: DRAM and host-link timing models and
+// the STREAM-style sustained-bandwidth benchmark (the mechanics behind
+// Fig. 10).
+
+#include <gtest/gtest.h>
+
+#include "tytra/membench/dram.hpp"
+#include "tytra/membench/stream_bench.hpp"
+
+namespace {
+
+using namespace tytra;
+using namespace tytra::membench;
+using ir::AccessPattern;
+
+const target::DeviceDesc kV7 = target::virtex7_690t();
+
+TEST(Dram, PeakBwIsBusTimesClock) {
+  const DramModel dram(kV7.dram);
+  EXPECT_DOUBLE_EQ(dram.peak_bw(), kV7.dram.io_clock_hz * kV7.dram.bus_bytes);
+}
+
+TEST(Dram, ContiguousApproachesPeakForLargeTransfers) {
+  const DramModel dram(kV7.dram);
+  const double bw = dram.sustained_bw(1ULL << 30, AccessPattern::Contiguous);
+  EXPECT_GT(bw, dram.peak_bw() * 0.90);
+  EXPECT_LE(bw, dram.peak_bw());
+}
+
+TEST(Dram, SmallTransfersDominatedBySetup) {
+  const DramModel dram(kV7.dram);
+  const double small = dram.sustained_bw(64 * 1024, AccessPattern::Contiguous);
+  const double large = dram.sustained_bw(64ULL << 20, AccessPattern::Contiguous);
+  EXPECT_LT(small, large * 0.2);
+}
+
+TEST(Dram, StridedIsTwoOrdersOfMagnitudeSlower) {
+  // The headline observation of Fig. 10.
+  const DramModel dram(kV7.dram);
+  const std::uint64_t bytes = 16ULL << 20;
+  const double cont = dram.sustained_bw(bytes, AccessPattern::Contiguous);
+  const double strided =
+      dram.sustained_bw(bytes, AccessPattern::Strided, 4096, 4);
+  EXPECT_GT(cont / strided, 50.0);
+  EXPECT_LT(cont / strided, 500.0);
+}
+
+TEST(Dram, SmallStridesStreamLikeContiguous) {
+  const DramModel dram(kV7.dram);
+  const std::uint64_t bytes = 16ULL << 20;
+  const double s4 = dram.sustained_bw(bytes, AccessPattern::Strided, 4, 4);
+  const double cont = dram.sustained_bw(bytes, AccessPattern::Contiguous);
+  EXPECT_NEAR(s4, cont, cont * 0.01);
+}
+
+TEST(Dram, MonotoneInSize) {
+  const DramModel dram(kV7.dram);
+  double prev = 0;
+  for (std::uint64_t bytes = 1 << 16; bytes <= (1ULL << 28); bytes <<= 2) {
+    const double bw = dram.sustained_bw(bytes, AccessPattern::Contiguous);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(HostLink, LatencyDominatesSmallTransfers) {
+  const HostLinkModel host(kV7.host);
+  EXPECT_LT(host.sustained_bw(4096), host.peak_bw() * 0.10);
+  EXPECT_GT(host.sustained_bw(1ULL << 30),
+            host.peak_bw() * kV7.host.efficiency * 0.95);
+}
+
+TEST(HostLink, TransferTimeIsAffine) {
+  const HostLinkModel host(kV7.host);
+  const double t1 = host.transfer_seconds(1 << 20);
+  const double t2 = host.transfer_seconds(2 << 20);
+  const double fixed = 2 * t1 - t2;  // solves for the latency term
+  EXPECT_NEAR(fixed, kV7.host.latency_seconds, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// The Fig. 10 benchmark
+// --------------------------------------------------------------------------
+
+TEST(StreamBench, ReproducesFig10Shape) {
+  const auto samples = run_stream_bench(kV7, default_dims());
+  ASSERT_GE(samples.size(), 10u);
+
+  // Contiguous: monotone ramp saturating around 1000x1000 elements.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].contiguous_bps, samples[i - 1].contiguous_bps);
+  }
+  const double first_gbit = samples.front().contiguous_bps * 8 / 1e9;
+  const double last_gbit = samples.back().contiguous_bps * 8 / 1e9;
+  EXPECT_LT(first_gbit, 1.0);         // paper: 0.3 Gbit/s at the small end
+  EXPECT_NEAR(last_gbit, 6.3, 0.65);  // paper: plateaus at ~6.3 Gbit/s
+
+  // Plateau: the last three samples are within a few percent.
+  const double a = samples[samples.size() - 3].contiguous_bps;
+  EXPECT_NEAR(samples.back().contiguous_bps / a, 1.0, 0.05);
+
+  // Strided: flat and two orders of magnitude below (0.04-0.07 Gbit/s).
+  for (const auto& s : samples) {
+    const double strided_gbit = s.strided_bps * 8 / 1e9;
+    EXPECT_GT(strided_gbit, 0.01);
+    EXPECT_LT(strided_gbit, 0.15);
+  }
+}
+
+TEST(BandwidthTable, InterpolatesBetweenMeasuredSizes) {
+  const BandwidthTable table = BandwidthTable::measure(kV7);
+  ASSERT_FALSE(table.empty());
+  const auto& samples = table.samples();
+  const auto& s0 = samples[2];
+  const auto& s1 = samples[3];
+  const std::uint64_t mid_bytes = (s0.bytes + s1.bytes) / 2;
+  const double bw = table.sustained(mid_bytes, AccessPattern::Contiguous);
+  EXPECT_GT(bw, std::min(s0.contiguous_bps, s1.contiguous_bps) * 0.99);
+  EXPECT_LT(bw, std::max(s0.contiguous_bps, s1.contiguous_bps) * 1.01);
+}
+
+TEST(BandwidthTable, RhoIsAFractionOfPeak) {
+  const BandwidthTable table = BandwidthTable::measure(kV7);
+  const double rho =
+      table.rho(1ULL << 24, AccessPattern::Contiguous, kV7.dram_peak_bw);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LE(rho, 1.0);
+  const double rho_strided =
+      table.rho(1ULL << 24, AccessPattern::Strided, kV7.dram_peak_bw, 4096);
+  EXPECT_LT(rho_strided, rho * 0.1);
+}
+
+TEST(BandwidthTable, FromExplicitSamples) {
+  std::vector<BandwidthSample> samples;
+  for (std::uint64_t d : {64, 128, 256}) {
+    BandwidthSample s;
+    s.dim = d;
+    s.bytes = d * d * 4;
+    s.contiguous_bps = static_cast<double>(d) * 1e6;
+    s.strided_bps = 1e5;
+    samples.push_back(s);
+  }
+  const BandwidthTable t = BandwidthTable::from_samples(samples);
+  EXPECT_NEAR(t.sustained(128 * 128 * 4, AccessPattern::Contiguous), 128e6, 1);
+  EXPECT_NEAR(t.sustained(128 * 128 * 4, AccessPattern::Strided, 128), 1e5, 1);
+}
+
+}  // namespace

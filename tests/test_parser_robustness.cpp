@@ -1,0 +1,148 @@
+// Robustness tests for the IR parser and the .tgt parser: deterministic
+// mutation fuzzing. Every mutation of a valid source must either parse or
+// return a diagnostic — never crash, hang, or corrupt memory (run under
+// the normal test harness; combine with sanitizers for full effect).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/printer.hpp"
+#include "tytra/ir/verifier.hpp"
+#include "tytra/support/rng.hpp"
+#include "tytra/target/device.hpp"
+
+namespace {
+
+constexpr const char* kSeedIr = R"(
+!ngs = 1024
+!nki = 10
+!form = B
+!ND1 = 16
+memobj @m global ui18 x 1024
+stream @s reads @m pattern cont
+@main.p = addrSpace(1) ui18, !"istream", !"CONT", !0, !"s"
+@main.q = addrSpace(1) ui18, !"ostream", !"CONT", !0, !"s"
+define void @f0(ui18 %p) pipe {
+  ui18 %pp = ui18 %p, !offset, !-ND1
+  ui18 %m1 = mul ui18 %pp, 3
+  ui18 %s1 = add ui18 %m1, %p
+  ui18 @q  = mov ui18 %s1
+  ui18 @acc = add ui18 %s1, @acc
+}
+define void @main () { call @f0(@p) pipe }
+)";
+
+constexpr const char* kSeedTgt = R"(
+device fuzz-target {
+  family stratix-v
+  aluts 100000
+  regs 200000
+  dsps 128
+  fmax_mhz 250
+  dram_gbps 9.6
+}
+)";
+
+/// Mutation operators: flip a character, delete a span, duplicate a span,
+/// truncate. Deterministic per (seed, round).
+std::string mutate(const std::string& source, std::uint64_t seed) {
+  tytra::SplitMix64 rng(seed);
+  std::string s = source;
+  const int op = static_cast<int>(rng.uniform_int(0, 3));
+  if (s.empty()) return s;
+  const auto pos = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+  switch (op) {
+    case 0: {  // flip to a random printable or control char
+      s[pos] = static_cast<char>(rng.uniform_int(1, 126));
+      break;
+    }
+    case 1: {  // delete up to 8 chars
+      const auto len = static_cast<std::size_t>(rng.uniform_int(1, 8));
+      s.erase(pos, len);
+      break;
+    }
+    case 2: {  // duplicate a span
+      const auto len = static_cast<std::size_t>(rng.uniform_int(1, 16));
+      s.insert(pos, s.substr(pos, len));
+      break;
+    }
+    default: {  // truncate
+      s.resize(pos);
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(ParserFuzz, SingleMutationsNeverCrash) {
+  int parsed_ok = 0;
+  for (std::uint64_t round = 0; round < 500; ++round) {
+    const std::string source = mutate(kSeedIr, 0xf00d + round);
+    const auto result = tytra::ir::parse_module(source);
+    if (result.ok()) {
+      ++parsed_ok;
+      // Whatever parses must also survive the verifier and the printer.
+      const auto diags = tytra::ir::verify(result.value().module);
+      (void)diags;
+      const std::string printed = tytra::ir::print_module(result.value().module);
+      EXPECT_FALSE(printed.empty());
+    } else {
+      EXPECT_FALSE(result.error_message().empty());
+    }
+  }
+  // Some mutations (comments, whitespace, benign value changes) still parse.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(ParserFuzz, StackedMutationsNeverCrash) {
+  std::string source = kSeedIr;
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    source = mutate(source, 0xbeef + round);
+    const auto result = tytra::ir::parse_module(source);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error_message().empty());
+    }
+  }
+}
+
+TEST(ParserFuzz, PathologicalInputs) {
+  // The empty input parses to an empty module.
+  const auto empty = tytra::ir::parse_module("");
+  EXPECT_TRUE(empty.ok());
+
+  // Deep nesting / repetition.
+  std::string many_funcs;
+  for (int i = 0; i < 200; ++i) {
+    many_funcs += "define void @f" + std::to_string(i) + "() pipe { }\n";
+  }
+  EXPECT_TRUE(tytra::ir::parse_module(many_funcs).ok());
+
+  std::string long_chain = "define void @f(ui18 %a) pipe {\n";
+  long_chain += "  ui18 %v0 = add ui18 %a, 1\n";
+  for (int i = 1; i < 500; ++i) {
+    long_chain += "  ui18 %v" + std::to_string(i) + " = add ui18 %v" +
+                  std::to_string(i - 1) + ", 1\n";
+  }
+  long_chain += "}\ndefine void @main() { call @f(@a) pipe }\n";
+  const auto deep = tytra::ir::parse_module(long_chain);
+  ASSERT_TRUE(deep.ok()) << deep.error_message();
+  EXPECT_TRUE(tytra::ir::verify_ok(deep.value().module));
+
+  // Garbage bytes.
+  EXPECT_FALSE(tytra::ir::parse_module("\x01\x02\x03 define").ok());
+}
+
+TEST(TgtFuzz, MutationsNeverCrash) {
+  for (std::uint64_t round = 0; round < 300; ++round) {
+    const std::string source = mutate(kSeedTgt, 0xcafe + round);
+    const auto result = tytra::target::parse_target(source);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error_message().empty());
+    }
+  }
+}
+
+}  // namespace

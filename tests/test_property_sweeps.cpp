@@ -1,0 +1,116 @@
+// Parameterized property sweeps across the op/width/device space:
+// invariants that must hold for every primitive, plus schedule and
+// synthesis laws that the rest of the system builds on.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tytra/fabric/cores.hpp"
+#include "tytra/fabric/synth.hpp"
+#include "tytra/ir/analysis.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+using ir::Opcode;
+using ir::ScalarType;
+
+// --------------------------------------------------------------------------
+// Fabric law invariants: every (op, width, family) combination.
+// --------------------------------------------------------------------------
+
+class CoreLawSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CoreLawSweep, ResourcesAreFiniteNonNegativeAndJitterBounded) {
+  const auto [op_idx, width, dev_idx] = GetParam();
+  const auto op = static_cast<Opcode>(op_idx);
+  const ir::OpInfo& info = ir::op_info(op);
+  if (!info.integer_ok) GTEST_SKIP() << "float-only op";
+  const target::DeviceDesc dev =
+      dev_idx == 0 ? target::stratix_v_gsd8() : target::virtex7_690t();
+  const ScalarType t = ScalarType::uint(static_cast<std::uint16_t>(width));
+
+  const ResourceVec r = fabric::core_resources(op, t, dev);
+  EXPECT_GE(r.aluts, 0.0);
+  EXPECT_GE(r.regs, 0.0);
+  EXPECT_GE(r.dsps, 0.0);
+  EXPECT_GE(r.bram_bits, 0.0);
+  EXPECT_LT(r.aluts, 1e6);
+
+  // Jitter is deterministic: two calls agree exactly.
+  EXPECT_EQ(r, fabric::core_resources(op, t, dev));
+
+  // Constant-operand variants never cost more logic than the full core
+  // (constant division legitimately trades the divider array for DSPs in
+  // a reciprocal multiply, so DSPs may exceed the divider's zero).
+  for (const std::int64_t k : {1LL, 2LL, 3LL, 10LL, 255LL}) {
+    const ResourceVec rc = fabric::core_resources_const_operand(op, t, k, dev);
+    EXPECT_LE(rc.aluts, r.aluts + 16) << "k=" << k;
+    EXPECT_LE(rc.dsps, r.dsps + 8) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsWidthsDevices, CoreLawSweep,
+    ::testing::Combine(::testing::Range(0, ir::kNumOpcodes),
+                       ::testing::Values(8, 18, 33, 64),
+                       ::testing::Values(0, 1)));
+
+// --------------------------------------------------------------------------
+// Schedule invariants over generated chains.
+// --------------------------------------------------------------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleSweep, DepthGrowsLinearlyWithChainLength) {
+  const int n = GetParam();
+  std::string src = "!ngs = 16\ndefine void @f(ui18 %a) pipe {\n";
+  src += "  ui18 %v0 = mul ui18 %a, %a\n";
+  for (int i = 1; i < n; ++i) {
+    src += "  ui18 %v" + std::to_string(i) + " = mul ui18 %v" +
+           std::to_string(i - 1) + ", %a\n";
+  }
+  src += "}\ndefine void @main() { call @f(@a) pipe }\n";
+  const ir::Module m = ir::parse_module_or_die(src);
+  // ui18 multiply latency is 2: a chain of n is exactly 2n deep.
+  EXPECT_EQ(ir::pipeline_depth(m), 2 * n);
+
+  // Every instruction issues exactly when its operand is ready.
+  const auto sched = ir::schedule_function(m, *m.find_function("f"));
+  for (std::size_t i = 1; i < sched.issue_at.size(); ++i) {
+    EXPECT_EQ(sched.issue_at[i], static_cast<int>(2 * i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainLengths, ScheduleSweep,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+// --------------------------------------------------------------------------
+// Lane-scaling law of whole-design synthesis.
+// --------------------------------------------------------------------------
+
+class LaneScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LaneScalingSweep, SynthesisScalesAffinelyInLanes) {
+  const auto lanes = static_cast<std::uint32_t>(GetParam());
+  kernels::SorConfig base;
+  base.im = base.jm = base.km = 8;
+  kernels::SorConfig replicated = base;
+  replicated.lanes = lanes;
+  const auto one = fabric::synthesize(kernels::make_sor(base),
+                                      target::stratix_v_gsd8());
+  const auto many = fabric::synthesize(kernels::make_sor(replicated),
+                                       target::stratix_v_gsd8());
+  // Per-lane cost within +-20% of the single-lane cost (stream control
+  // and global overheads keep it from being exactly linear).
+  const double per_lane = many.total.aluts / lanes;
+  EXPECT_NEAR(per_lane / one.total.aluts, 1.0, 0.2) << "lanes=" << lanes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneScalingSweep, ::testing::Values(2, 4, 8));
+
+}  // namespace

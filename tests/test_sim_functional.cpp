@@ -1,0 +1,227 @@
+// Functional-simulation tests: every kernel's lowered IR must compute
+// exactly what the hand-written reference computes (correct-by-
+// construction checked, not assumed), for single- and multi-lane variants.
+
+#include <gtest/gtest.h>
+
+#include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/streams.hpp"
+#include "tytra/sim/functional.hpp"
+
+namespace {
+
+using namespace tytra;
+using kernels::gather_output;
+using kernels::partition_streams;
+using sim::run_functional;
+using sim::StreamMap;
+
+TEST(WrapToType, UnsignedWraps) {
+  const ir::ScalarType u4 = ir::ScalarType::uint(4);
+  EXPECT_EQ(sim::wrap_to_type(15, u4), 15);
+  EXPECT_EQ(sim::wrap_to_type(16, u4), 0);
+  EXPECT_EQ(sim::wrap_to_type(17, u4), 1);
+  EXPECT_EQ(sim::wrap_to_type(-1, u4), 15);
+}
+
+TEST(WrapToType, SignedWraps) {
+  const ir::ScalarType i4 = ir::ScalarType::sint(4);
+  EXPECT_EQ(sim::wrap_to_type(7, i4), 7);
+  EXPECT_EQ(sim::wrap_to_type(8, i4), -8);
+  EXPECT_EQ(sim::wrap_to_type(-9, i4), 7);
+}
+
+TEST(WrapToType, FloatPassesThrough) {
+  EXPECT_DOUBLE_EQ(sim::wrap_to_type(3.25e9, ir::ScalarType::f32()), 3.25e9);
+}
+
+// --------------------------------------------------------------------------
+// SOR
+// --------------------------------------------------------------------------
+
+TEST(FunctionalSor, MatchesReferenceSingleLane) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 8;
+  const ir::Module m = kernels::make_sor(cfg);
+  ASSERT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+
+  const StreamMap inputs = kernels::sor_inputs(cfg);
+  const auto result = run_functional(m, inputs);
+  ASSERT_TRUE(result.ok()) << result.error_message();
+
+  const auto ref = kernels::sor_reference(cfg, inputs);
+  const auto& out = result.value().outputs.at("p_new");
+  ASSERT_EQ(out.size(), ref.p_new.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], ref.p_new[i]) << "at " << i;
+  }
+  EXPECT_DOUBLE_EQ(result.value().reductions.at("sorErrAcc"), ref.sor_err_acc);
+  EXPECT_EQ(result.value().items, cfg.ngs());
+}
+
+TEST(FunctionalSor, SignedElementTypeAlsoMatches) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 6;
+  cfg.elem = ir::ScalarType::sint(32);
+  const ir::Module m = kernels::make_sor(cfg);
+  const StreamMap inputs = kernels::sor_inputs(cfg, 99);
+  const auto result = run_functional(m, inputs);
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  const auto ref = kernels::sor_reference(cfg, inputs);
+  const auto& out = result.value().outputs.at("p_new");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], ref.p_new[i]);
+  }
+}
+
+TEST(FunctionalSor, MultiLaneMatchesInteriorOfSingleLane) {
+  // Lanes clamp at their chunk borders, so compare away from the seams
+  // (a halo of the largest offset).
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 12;
+  const std::uint64_t n = cfg.ngs();
+  const StreamMap full = kernels::sor_inputs(cfg);
+  const auto ref = kernels::sor_reference(cfg, full);
+
+  for (const std::uint32_t lanes : {2u, 4u}) {
+    kernels::SorConfig lcfg = cfg;
+    lcfg.lanes = lanes;
+    const ir::Module m = kernels::make_sor(lcfg);
+    ASSERT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+    const auto result = run_functional(m, partition_streams(full, lanes));
+    ASSERT_TRUE(result.ok()) << result.error_message();
+    const auto out = gather_output(result.value().outputs, "p_new", lanes);
+    ASSERT_EQ(out.size(), n);
+
+    const std::uint64_t halo = static_cast<std::uint64_t>(cfg.im) * cfg.jm;
+    const std::uint64_t chunk = n / lanes;
+    std::uint64_t checked = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t pos = i % chunk;
+      if (pos < halo || pos + halo >= chunk) continue;  // seam region
+      ASSERT_DOUBLE_EQ(out[i], ref.p_new[i]) << "lanes=" << lanes << " i=" << i;
+      ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Hotspot
+// --------------------------------------------------------------------------
+
+TEST(FunctionalHotspot, MatchesReference) {
+  kernels::HotspotConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  const ir::Module m = kernels::make_hotspot(cfg);
+  ASSERT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+  const StreamMap inputs = kernels::hotspot_inputs(cfg);
+  const auto result = run_functional(m, inputs);
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  const auto ref = kernels::hotspot_reference(cfg, inputs);
+  const auto& out = result.value().outputs.at("temp_new");
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], ref[i]) << "at " << i;
+  }
+}
+
+TEST(FunctionalHotspot, DifferentSeedsDiffer) {
+  kernels::HotspotConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  const auto a = kernels::hotspot_inputs(cfg, 1);
+  const auto b = kernels::hotspot_inputs(cfg, 2);
+  EXPECT_NE(a.at("temp"), b.at("temp"));
+}
+
+// --------------------------------------------------------------------------
+// LavaMD
+// --------------------------------------------------------------------------
+
+TEST(FunctionalLavamd, MatchesReference) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 512;
+  const ir::Module m = kernels::make_lavamd(cfg);
+  ASSERT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+  const StreamMap inputs = kernels::lavamd_inputs(cfg);
+  const auto result = run_functional(m, inputs);
+  ASSERT_TRUE(result.ok()) << result.error_message();
+  const auto ref = kernels::lavamd_reference(cfg, inputs);
+  const auto& out = result.value().outputs.at("pot");
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], ref.pot[i]) << "at " << i;
+  }
+  EXPECT_DOUBLE_EQ(result.value().reductions.at("potAcc"), ref.pot_acc);
+}
+
+TEST(FunctionalLavamd, MultiLaneExactlyEqual) {
+  // No offsets: reshaping is exact everywhere, not just the interior —
+  // the flatten(reshape(x)) == x property end-to-end.
+  kernels::LavamdConfig cfg;
+  cfg.particles = 512;
+  const StreamMap full = kernels::lavamd_inputs(cfg);
+  const auto ref = kernels::lavamd_reference(cfg, full);
+  for (const std::uint32_t lanes : {2u, 4u, 8u}) {
+    kernels::LavamdConfig lcfg = cfg;
+    lcfg.lanes = lanes;
+    const auto result =
+        run_functional(kernels::make_lavamd(lcfg), partition_streams(full, lanes));
+    ASSERT_TRUE(result.ok()) << result.error_message();
+    const auto out = gather_output(result.value().outputs, "pot", lanes);
+    ASSERT_EQ(out.size(), ref.pot.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_DOUBLE_EQ(out[i], ref.pot[i]) << "lanes=" << lanes << " i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(result.value().reductions.at("potAcc"), ref.pot_acc);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Error handling & stream helpers
+// --------------------------------------------------------------------------
+
+TEST(Functional, MissingInputStreamIsAnError) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  StreamMap inputs = kernels::sor_inputs(cfg);
+  inputs.erase("rhs");
+  const auto result = run_functional(m, inputs);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Functional, MismatchedStreamLengthsAreAnError) {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 4;
+  const ir::Module m = kernels::make_sor(cfg);
+  StreamMap inputs = kernels::sor_inputs(cfg);
+  inputs["rhs"].pop_back();
+  const auto result = run_functional(m, inputs);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error_message().find("length mismatch"), std::string::npos);
+}
+
+TEST(StreamHelpers, PartitionGatherRoundTrip) {
+  StreamMap full;
+  full["a"] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto parts = partition_streams(full, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts.at("a_l0"), (std::vector<double>{1, 2}));
+  EXPECT_EQ(parts.at("a_l3"), (std::vector<double>{7, 8}));
+  EXPECT_EQ(gather_output(parts, "a", 4), full.at("a"));
+}
+
+TEST(StreamHelpers, PartitionRejectsIndivisible) {
+  StreamMap full;
+  full["a"] = {1, 2, 3};
+  EXPECT_THROW(partition_streams(full, 2), std::invalid_argument);
+}
+
+TEST(StreamHelpers, GatherRejectsMissingLane) {
+  StreamMap outs;
+  outs["a_l0"] = {1};
+  EXPECT_THROW(gather_output(outs, "a", 2), std::invalid_argument);
+}
+
+}  // namespace

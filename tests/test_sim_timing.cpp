@@ -1,0 +1,164 @@
+// Tests for the cycle-level timing model, the CPU baseline and the
+// Δ-power/energy model — the substrates behind Table II's CPKI column and
+// Figs. 17/18.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/cost/throughput.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/sim/cpu_model.hpp"
+#include "tytra/sim/cycle_model.hpp"
+#include "tytra/sim/power.hpp"
+
+namespace {
+
+using namespace tytra;
+
+const target::DeviceDesc& dev() {
+  static const target::DeviceDesc d = target::stratix_v_gsd8();
+  return d;
+}
+
+kernels::SorConfig sor16() {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 16;
+  cfg.nki = 100;
+  return cfg;
+}
+
+TEST(CycleModel, ProducesPositiveDecomposedTimes) {
+  const auto t = sim::simulate_timing(kernels::make_sor(sor16()), dev());
+  EXPECT_GT(t.cycles_per_instance, 0);
+  EXPECT_GT(t.total_seconds, 0);
+  EXPECT_GT(t.host_seconds, 0);
+  EXPECT_GT(t.device_seconds, 0);
+  EXPECT_NEAR(t.total_seconds, t.host_seconds + t.device_seconds, 1e-12);
+  EXPECT_DOUBLE_EQ(t.freq_hz, dev().default_freq_hz);
+}
+
+TEST(CycleModel, MoreLanesRunFaster) {
+  kernels::SorConfig cfg = sor16();
+  const auto one = sim::simulate_timing(kernels::make_sor(cfg), dev());
+  cfg.lanes = 4;
+  const auto four = sim::simulate_timing(kernels::make_sor(cfg), dev());
+  EXPECT_LT(four.cycles_per_instance, one.cycles_per_instance);
+  EXPECT_GT(one.cycles_per_instance / four.cycles_per_instance, 2.0);
+}
+
+TEST(CycleModel, FormAPaysHostTransferPerInstance) {
+  kernels::SorConfig cfg = sor16();
+  cfg.form = ir::ExecForm::A;
+  const auto a = sim::simulate_timing(kernels::make_sor(cfg), dev());
+  cfg.form = ir::ExecForm::B;
+  const auto b = sim::simulate_timing(kernels::make_sor(cfg), dev());
+  EXPECT_NEAR(a.host_seconds / b.host_seconds, cfg.nki, cfg.nki * 0.01);
+}
+
+TEST(CycleModel, ActualCpkiTracksEstimateWithinTableIIBand) {
+  // The cost model's CPKI vs the simulator's: the paper reports 0.07-5.2%
+  // error on the three kernels; the mechanisms here (bubbles, drain,
+  // startup) keep it within ~10%.
+  const auto db = cost::DeviceCostDb::calibrate(dev());
+  // The paper notes these kernels were compute-bound; size them so.
+  const struct {
+    const char* name;
+    ir::Module m;
+  } cases[] = {
+      {"sor", kernels::make_sor(sor16())},
+      {"hotspot", kernels::make_hotspot({.rows = 64, .cols = 64})},
+      {"lavamd", kernels::make_lavamd({.particles = 1024})},
+  };
+  for (const auto& c : cases) {
+    const auto est = cost::estimate_throughput(c.m, db);
+    const auto act = sim::simulate_timing(c.m, dev());
+    const double err = std::abs(est.cycles_per_instance - act.cycles_per_instance) /
+                       act.cycles_per_instance * 100.0;
+    EXPECT_LT(err, 10.0) << c.name << " est=" << est.cycles_per_instance
+                         << " act=" << act.cycles_per_instance;
+    // The simulator's extra mechanisms only add cycles.
+    EXPECT_GE(act.cycles_per_instance, est.cycles_per_instance * 0.97) << c.name;
+  }
+}
+
+TEST(CycleModel, RespectsExplicitFrequency) {
+  sim::TimingOptions opt;
+  opt.freq_hz = 100e6;
+  const auto t = sim::simulate_timing(kernels::make_sor(sor16()), dev(), opt);
+  EXPECT_DOUBLE_EQ(t.freq_hz, 100e6);
+  sim::TimingOptions opt2;
+  opt2.freq_hz = 200e6;
+  const auto t2 = sim::simulate_timing(kernels::make_sor(sor16()), dev(), opt2);
+  EXPECT_LT(t2.device_seconds, t.device_seconds);
+}
+
+TEST(CycleModel, PerStreamOverheadHurtsManyLanesAtSmallSizes) {
+  // The paper §VII: "the overhead of handling multiple streams per input
+  // and output array dominates" at small grid sizes.
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 8;
+  cfg.nki = 1000;
+  const auto one = sim::simulate_timing(kernels::make_sor(cfg), dev());
+  kernels::SorConfig wide = cfg;
+  wide.lanes = 8;
+  const auto eight = sim::simulate_timing(kernels::make_sor(wide), dev());
+  // 8 lanes x 10 streams each: per-call stream setup eats the gain.
+  EXPECT_GT(eight.total_seconds, one.total_seconds * 0.5);
+}
+
+// --------------------------------------------------------------------------
+// CPU baseline
+// --------------------------------------------------------------------------
+
+TEST(CpuModel, ComputeBoundWhenInCache) {
+  sim::CpuKernelCost cost{20.0, 8.0};
+  const double t = sim::cpu_kernel_seconds(1000, cost);
+  const sim::CpuParams p;
+  EXPECT_NEAR(t, 1000 * 20 / (p.ipc * p.freq_hz) + p.call_overhead_seconds,
+              1e-12);
+}
+
+TEST(CpuModel, MemoryBoundBeyondCache) {
+  sim::CpuParams p;
+  sim::CpuKernelCost cost{1.0, 64.0};  // few ops, heavy traffic
+  const auto items = static_cast<std::uint64_t>(p.cache_bytes / 64.0) * 4;
+  const double t = sim::cpu_kernel_seconds(items, cost, p);
+  EXPECT_NEAR(t, static_cast<double>(items) * 64.0 / p.mem_bw,
+              t * 0.01);
+}
+
+TEST(CpuModel, TotalScalesWithNki) {
+  sim::CpuKernelCost cost{10.0, 8.0};
+  EXPECT_NEAR(sim::cpu_total_seconds(1 << 16, 100, cost),
+              100 * sim::cpu_kernel_seconds(1 << 16, cost), 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Power / energy
+// --------------------------------------------------------------------------
+
+TEST(Power, FpgaDeltaGrowsWithLogicAndClock) {
+  ResourceVec small{1000, 2000, 10000, 4};
+  ResourceVec big = small * 8;
+  const double p_small = sim::fpga_delta_watts(small, dev(), 200e6);
+  const double p_big = sim::fpga_delta_watts(big, dev(), 200e6);
+  EXPECT_GT(p_big, p_small);
+  EXPECT_GT(p_small, dev().power.static_watts);  // static floor
+  EXPECT_GT(sim::fpga_delta_watts(small, dev(), 250e6), p_small);
+}
+
+TEST(Power, FpgaDeltaIsBelowCpuDeltaForModestDesigns) {
+  // The basis of the paper's 11x energy win: FPGA delta power is far
+  // below a fully-loaded CPU core.
+  ResourceVec sor_ish{4000, 6000, 60000, 10};
+  EXPECT_LT(sim::fpga_delta_watts(sor_ish, dev(), 200e6),
+            sim::cpu_delta_watts());
+}
+
+TEST(Power, EnergyIsWattsTimesSeconds) {
+  EXPECT_DOUBLE_EQ(sim::delta_energy_joules(25.0, 4.0), 100.0);
+}
+
+}  // namespace

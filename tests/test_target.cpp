@@ -1,0 +1,111 @@
+// Tests for target device descriptions, presets and the .tgt parser.
+
+#include <gtest/gtest.h>
+
+#include "tytra/resources.hpp"
+#include "tytra/target/device.hpp"
+
+namespace {
+
+using namespace tytra::target;
+
+TEST(Presets, StratixVSanity) {
+  const DeviceDesc d = stratix_v_gsd8();
+  EXPECT_EQ(d.family, "stratix-v");
+  EXPECT_GT(d.resources.aluts, 100000u);
+  EXPECT_GT(d.resources.dsps, 1000u);
+  EXPECT_GT(d.dram_peak_bw, 1e9);
+  EXPECT_GT(d.fmax_hz, d.default_freq_hz * 0.9);
+}
+
+TEST(Presets, Virtex7MatchesFig10Platform) {
+  const DeviceDesc d = virtex7_690t();
+  EXPECT_EQ(d.family, "virtex-7");
+  // The baseline SDAccel platform of Fig. 10 plateaus near 6.3 Gbit/s.
+  EXPECT_NEAR(d.dram.io_clock_hz * d.dram.bus_bytes, 0.8e9, 0.1e9);
+}
+
+TEST(Presets, Fig15ProfileIsSmall) {
+  const DeviceDesc d = fig15_profile();
+  EXPECT_LT(d.resources.aluts, stratix_v_gsd8().resources.aluts);
+}
+
+TEST(TgtParser, ParsesFullBlock) {
+  const auto r = parse_target(R"(
+# my board
+device my-fpga {
+  family   stratix-v
+  aluts    100000
+  regs     200000
+  bram_bits 1000000
+  dsps     256
+  fmax_mhz 240      # comment
+  freq_mhz 180
+  dram_gbps 7.5
+  host_gbps 3.2
+  word_bytes 8
+}
+)");
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  const DeviceDesc& d = r.value();
+  EXPECT_EQ(d.name, "my-fpga");
+  EXPECT_EQ(d.resources.aluts, 100000u);
+  EXPECT_EQ(d.resources.dsps, 256u);
+  EXPECT_DOUBLE_EQ(d.fmax_hz, 240e6);
+  EXPECT_DOUBLE_EQ(d.default_freq_hz, 180e6);
+  EXPECT_DOUBLE_EQ(d.dram_peak_bw, 7.5e9);
+  EXPECT_DOUBLE_EQ(d.host.peak_bw, 3.2e9);
+  EXPECT_EQ(d.word_bytes, 8u);
+}
+
+TEST(TgtParser, RejectsUnknownKey) {
+  const auto r = parse_target("device d {\n  frobs 3\n}\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error_message().find("frobs"), std::string::npos);
+}
+
+TEST(TgtParser, RejectsMissingBrace) {
+  EXPECT_FALSE(parse_target("device d {\n aluts 5\n").ok());
+  EXPECT_FALSE(parse_target("aluts 5\n").ok());
+  EXPECT_FALSE(parse_target("").ok());
+}
+
+TEST(TgtParser, RejectsBadNumber) {
+  EXPECT_FALSE(parse_target("device d {\n aluts lots\n}\n").ok());
+}
+
+TEST(Utilization, ComputesPercentagesWithShellOverhead) {
+  DeviceDesc d = stratix_v_gsd8();
+  d.shell_overhead = 0.0;
+  tytra::ResourceVec used;
+  used.aluts = static_cast<double>(d.resources.aluts) / 2;
+  const auto u = tytra::utilization(used, d);
+  EXPECT_NEAR(u.aluts, 50.0, 0.01);
+  EXPECT_TRUE(u.fits());
+
+  d.shell_overhead = 0.5;
+  const auto u2 = tytra::utilization(used, d);
+  EXPECT_NEAR(u2.aluts, 100.0, 0.01);
+}
+
+TEST(Utilization, MaxPicksBindingResource) {
+  DeviceDesc d = stratix_v_gsd8();
+  d.shell_overhead = 0.0;
+  tytra::ResourceVec used;
+  used.dsps = static_cast<double>(d.resources.dsps) * 2;  // over budget
+  const auto u = tytra::utilization(used, d);
+  EXPECT_NEAR(u.max(), 200.0, 0.01);
+  EXPECT_FALSE(u.fits());
+}
+
+TEST(ResourceVec, Arithmetic) {
+  tytra::ResourceVec a{1, 2, 3, 4};
+  const tytra::ResourceVec b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a, (tytra::ResourceVec{11, 22, 33, 44}));
+  const auto c = b * 0.5;
+  EXPECT_EQ(c, (tytra::ResourceVec{5, 10, 15, 20}));
+  EXPECT_NE(a.to_string().find("aluts=11"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Tests for the EKIT throughput model: Equations 1-3, the limiting-factor
+// analysis, and parameterized consistency properties across the design
+// space (forms x lanes).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/cost/throughput.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+using cost::EkitInputs;
+using cost::ThroughputEstimate;
+using cost::Wall;
+using ir::ExecForm;
+
+EkitInputs base_inputs() {
+  EkitInputs in;
+  in.design.ngs = 1 << 20;
+  in.design.nwpt = 10;
+  in.design.nki = 1000;
+  in.design.noff = 1024;
+  in.design.kpd = 20;
+  in.design.fd = 200e6;
+  in.design.nto = 1;
+  in.design.ni = 1;
+  in.design.knl = 1;
+  in.design.dv = 1;
+  in.design.form = ExecForm::B;
+  in.hpb = 4.0e9;
+  in.rho_h = 0.8;
+  in.gpb = 9.6e9;
+  in.rho_g = 0.7;
+  in.word_bytes = 4;
+  return in;
+}
+
+TEST(Ekit, FormAMatchesEquation1) {
+  EkitInputs in = base_inputs();
+  in.design.form = ExecForm::A;
+  const ThroughputEstimate t = cost::ekit(in);
+
+  const double ngs = static_cast<double>(in.design.ngs);
+  const double bytes = ngs * in.design.nwpt * in.word_bytes;
+  const double t_host = bytes / (in.hpb * in.rho_h);
+  const double t_off = in.design.noff * in.word_bytes / (in.gpb * in.rho_g);
+  const double t_fill = in.design.kpd / in.design.fd;
+  const double t_mem = bytes / (in.gpb * in.rho_g);
+  const double t_comp = ngs * in.design.nwpt * in.design.nto * in.design.ni /
+                        (in.design.fd * in.design.knl * in.design.dv);
+  const double expected = 1.0 / (t_host + t_off + t_fill + std::max(t_mem, t_comp));
+  EXPECT_NEAR(t.ekit, expected, expected * 1e-9);
+  EXPECT_NEAR(t.t_host, t_host, t_host * 1e-9);
+}
+
+TEST(Ekit, FormBAmortizesHostTransferByNki) {
+  EkitInputs a = base_inputs();
+  a.design.form = ExecForm::A;
+  EkitInputs b = base_inputs();
+  b.design.form = ExecForm::B;
+  const auto ta = cost::ekit(a);
+  const auto tb = cost::ekit(b);
+  EXPECT_NEAR(tb.t_host, ta.t_host / b.design.nki, ta.t_host * 1e-9);
+  EXPECT_GT(tb.ekit, ta.ekit);
+}
+
+TEST(Ekit, FormCIsComputeBound) {
+  EkitInputs c = base_inputs();
+  c.design.form = ExecForm::C;
+  // Make memory streaming nominally the slower term: form C must ignore it.
+  c.rho_g = 1e-3;
+  const auto tc = cost::ekit(c);
+  EXPECT_EQ(tc.t_mem_stream, 0.0);
+  EXPECT_TRUE(tc.limiting == Wall::Compute || tc.limiting == Wall::OffsetFill);
+}
+
+TEST(Ekit, ComputeTermScalesWithLanesAndVectorization) {
+  EkitInputs in = base_inputs();
+  in.rho_g = 1.0;  // keep memory out of the way
+  in.gpb = 1e12;
+  in.hpb = 1e12;
+  const auto t1 = cost::ekit(in);
+  in.design.knl = 4;
+  const auto t4 = cost::ekit(in);
+  EXPECT_NEAR(t4.t_compute, t1.t_compute / 4.0, t1.t_compute * 1e-9);
+  in.design.dv = 2;
+  const auto t8 = cost::ekit(in);
+  EXPECT_NEAR(t8.t_compute, t1.t_compute / 8.0, t1.t_compute * 1e-9);
+}
+
+TEST(Ekit, WallMovesFromComputeToDramToHost) {
+  EkitInputs in = base_inputs();
+  in.design.form = ExecForm::A;
+  in.design.nki = 1;
+  // Start compute-bound (word-serial feed: NWPT cycles per work-item).
+  in.hpb = 1e12;
+  in.gpb = 1e12;
+  EXPECT_EQ(cost::ekit(in).limiting, Wall::Compute);
+  // Choke DRAM.
+  in.gpb = 1e9;
+  EXPECT_EQ(cost::ekit(in).limiting, Wall::DramBandwidth);
+  // Choke the host link harder.
+  in.hpb = 0.2e9;
+  EXPECT_EQ(cost::ekit(in).limiting, Wall::HostBandwidth);
+}
+
+TEST(Ekit, TinyNdrangeHitsPipelineFill) {
+  EkitInputs in = base_inputs();
+  in.design.ngs = 4;
+  in.design.noff = 0;
+  in.design.nki = 1;
+  in.design.kpd = 100000;
+  const auto t = cost::ekit(in);
+  EXPECT_EQ(t.limiting, Wall::PipelineFill);
+}
+
+TEST(Ekit, DegenerateInputsYieldZero) {
+  EkitInputs in = base_inputs();
+  in.design.ngs = 0;
+  EXPECT_EQ(cost::ekit(in).ekit, 0.0);
+  EkitInputs in2 = base_inputs();
+  in2.design.fd = 0;
+  EXPECT_EQ(cost::ekit(in2).ekit, 0.0);
+}
+
+TEST(Ekit, CpkiExcludesHostTime) {
+  EkitInputs in = base_inputs();
+  in.design.form = ExecForm::A;
+  const auto t = cost::ekit(in);
+  const double device_seconds =
+      t.seconds_per_instance - t.t_host;
+  EXPECT_NEAR(t.cycles_per_instance, device_seconds * in.design.fd,
+              t.cycles_per_instance * 1e-9);
+}
+
+// Parameterized sweep: EKIT must be monotone non-increasing in each time
+// component's driver (more lanes never hurt, faster links never hurt).
+class EkitSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EkitSweep, MonotoneInLanes) {
+  const auto [form_idx, nki] = GetParam();
+  EkitInputs in = base_inputs();
+  in.design.form = static_cast<ExecForm>(form_idx);
+  in.design.nki = static_cast<std::uint32_t>(nki);
+  double prev = 0;
+  for (const int lanes : {1, 2, 4, 8, 16}) {
+    in.design.knl = static_cast<std::uint32_t>(lanes);
+    const double ekit = cost::ekit(in).ekit;
+    EXPECT_GE(ekit, prev * 0.999) << "form=" << form_idx << " lanes=" << lanes;
+    prev = ekit;
+  }
+}
+
+TEST_P(EkitSweep, FasterDramNeverHurts) {
+  const auto [form_idx, nki] = GetParam();
+  EkitInputs in = base_inputs();
+  in.design.form = static_cast<ExecForm>(form_idx);
+  in.design.nki = static_cast<std::uint32_t>(nki);
+  double prev = 0;
+  for (const double gpb : {1e9, 4e9, 16e9, 64e9}) {
+    in.gpb = gpb;
+    const double ekit = cost::ekit(in).ekit;
+    EXPECT_GE(ekit, prev * 0.999);
+    prev = ekit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FormsAndNki, EkitSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1, 10, 1000)));
+
+// --------------------------------------------------------------------------
+// Integration with the calibrated database
+// --------------------------------------------------------------------------
+
+TEST(EkitResolve, SorStridedVariantIsSlower) {
+  const target::DeviceDesc dev = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(dev);
+
+  // Eight lanes: the datapath is fast enough that the stream pattern is
+  // what decides the wall.
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 32;
+  cfg.lanes = 8;
+  const ir::Module cont = kernels::make_sor(cfg);
+  const auto t_cont = cost::estimate_throughput(cont, db);
+
+  ir::Module strided = kernels::make_sor(cfg);
+  for (auto& so : strided.streamobjs) {
+    so.pattern = ir::AccessPattern::Strided;
+    so.stride_words = 4096;
+  }
+  for (auto& p : strided.ports) p.pattern = ir::AccessPattern::Strided;
+  const auto t_str = cost::estimate_throughput(strided, db);
+
+  EXPECT_GT(t_cont.ekit, t_str.ekit * 3.0);
+  EXPECT_EQ(t_str.limiting, Wall::DramBandwidth);
+}
+
+TEST(EkitResolve, ResolvesDeviceDefaults) {
+  const target::DeviceDesc dev = target::stratix_v_gsd8();
+  const auto db = cost::DeviceCostDb::calibrate(dev);
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = 16;
+  const auto in = cost::resolve_inputs(kernels::make_sor(cfg), db);
+  EXPECT_DOUBLE_EQ(in.design.fd, dev.default_freq_hz);
+  EXPECT_DOUBLE_EQ(in.hpb, dev.host.peak_bw);
+  EXPECT_DOUBLE_EQ(in.gpb, dev.dram_peak_bw);
+  EXPECT_GT(in.rho_h, 0.0);
+  EXPECT_LE(in.rho_h, 1.0);
+  EXPECT_GT(in.rho_g, 0.0);
+  EXPECT_LE(in.rho_g, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Tests for vectorized (DV > 1) design variants: the C3/C5 configurations
+// of the design-space model, their parameter extraction, costing, and the
+// form-C local-memory feasibility rule.
+
+#include <gtest/gtest.h>
+
+#include "tytra/cost/report.hpp"
+#include "tytra/ir/analysis.hpp"
+#include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+
+const cost::DeviceCostDb& db() {
+  static const auto c = cost::DeviceCostDb::calibrate(target::stratix_v_gsd8());
+  return c;
+}
+
+TEST(Vectorization, DvExtractedAndClassifiedC3) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1024;
+  cfg.dv = 4;
+  const ir::Module m = kernels::make_lavamd(cfg);
+  EXPECT_TRUE(ir::verify_ok(m)) << ir::verify(m).to_string();
+  const ir::DesignParams p = ir::extract_params(m);
+  EXPECT_EQ(p.dv, 4u);
+  EXPECT_EQ(p.knl, 1u);
+  EXPECT_EQ(ir::classify_config(m), ir::ConfigClass::C3);
+}
+
+TEST(Vectorization, RejectsNonDividingDv) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 100;
+  cfg.dv = 3;
+  EXPECT_THROW(kernels::make_lavamd(cfg), std::invalid_argument);
+  cfg.dv = 0;
+  EXPECT_THROW(kernels::make_lavamd(cfg), std::invalid_argument);
+}
+
+TEST(Vectorization, MemObjectsSizedInWordsNotVectors) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1024;
+  cfg.dv = 4;
+  const ir::Module m = kernels::make_lavamd(cfg);
+  for (const auto& mem : m.memobjs) {
+    EXPECT_EQ(mem.size_words, 1024u) << mem.name;
+  }
+}
+
+TEST(Vectorization, DvSpeedsUpComputeBoundDesigns) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1ULL << 16;
+  cfg.form = ir::ExecForm::C;  // compute-bound by construction
+  cfg.nki = 100;               // amortize the one-time host transfer
+  const auto scalar = cost::cost_design(kernels::make_lavamd(cfg), db());
+  cfg.dv = 4;
+  const auto vec = cost::cost_design(kernels::make_lavamd(cfg), db());
+  EXPECT_GT(vec.throughput.ekit, scalar.throughput.ekit * 3.0);
+}
+
+TEST(Vectorization, DvCostsProportionalDatapath) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1024;
+  const auto scalar = cost::estimate_resources(kernels::make_lavamd(cfg), db());
+  cfg.dv = 4;
+  const auto vec = cost::estimate_resources(kernels::make_lavamd(cfg), db());
+  // Four parallel datapaths (plus shared stream control): ~4x, not more.
+  EXPECT_GT(vec.total.dsps, scalar.total.dsps * 3.5);
+  EXPECT_LT(vec.total.aluts, scalar.total.aluts * 4.6);
+}
+
+TEST(Vectorization, DvAndLanesCompose) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 4096;
+  cfg.lanes = 2;
+  cfg.dv = 4;
+  const ir::Module m = kernels::make_lavamd(cfg);
+  const ir::DesignParams p = ir::extract_params(m);
+  EXPECT_EQ(p.knl, 2u);
+  EXPECT_EQ(p.dv, 4u);
+  EXPECT_EQ(ir::classify_config(m), ir::ConfigClass::C1);  // par of pipes
+}
+
+// --------------------------------------------------------------------------
+// Form-C feasibility
+// --------------------------------------------------------------------------
+
+TEST(FormC, SmallNdrangeFitsLocalMemory) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1024;  // 8 streams x 4 B x 1024 = 32 KiB: fits
+  cfg.form = ir::ExecForm::C;
+  const auto report = cost::cost_design(kernels::make_lavamd(cfg), db());
+  EXPECT_TRUE(report.valid) << report.invalid_reason;
+}
+
+TEST(FormC, OversizedNdrangeIsRejected) {
+  kernels::LavamdConfig cfg;
+  cfg.particles = 1ULL << 23;  // 8 x 4 B x 8M = 256 MiB: no BRAM holds this
+  cfg.form = ir::ExecForm::C;
+  const auto report = cost::cost_design(kernels::make_lavamd(cfg), db());
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.invalid_reason.find("local memory"), std::string::npos);
+  // The same design under form B is fine.
+  cfg.form = ir::ExecForm::B;
+  EXPECT_TRUE(cost::cost_design(kernels::make_lavamd(cfg), db()).valid);
+}
+
+}  // namespace

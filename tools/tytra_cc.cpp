@@ -1,0 +1,159 @@
+// tytra-cc: the TyTra back-end compiler driver (TyBEC). Parses a textual
+// TyTra-IR design, verifies it, and either costs it against a target
+// device or emits synthesizeable Verilog — the two paths of Fig. 11.
+//
+// Usage:
+//   tytra-cc <design.tirl> [options]
+//     --target <file.tgt>   device description (default: stratix-v-gsd8)
+//     --preset <name>       stratix-v-gsd8 | virtex7-690t | fig15
+//     --cost                print the cost report (default action)
+//     --params              print the extracted Table-I parameters
+//     --tree                print the configuration tree (Fig. 8)
+//     --emit-hdl <out.v>    generate Verilog into the given file
+//     --print-ir            echo the parsed IR back (round-trip)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tytra/codegen/verilog.hpp"
+#include "tytra/cost/report.hpp"
+#include "tytra/ir/analysis.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/printer.hpp"
+#include "tytra/ir/verifier.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tytra-cc <design.tirl> [--target file.tgt | --preset "
+               "name] [--cost] [--params] [--tree] [--emit-hdl out.v] "
+               "[--print-ir]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tytra;
+
+  if (argc < 2) return usage();
+  const std::string input_path = argv[1];
+
+  std::string target_path;
+  std::string preset = "stratix-v-gsd8";
+  std::string hdl_path;
+  bool do_cost = false;
+  bool do_params = false;
+  bool do_tree = false;
+  bool do_print = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--target" && i + 1 < argc) target_path = argv[++i];
+    else if (arg == "--preset" && i + 1 < argc) preset = argv[++i];
+    else if (arg == "--cost") do_cost = true;
+    else if (arg == "--params") do_params = true;
+    else if (arg == "--tree") do_tree = true;
+    else if (arg == "--print-ir") do_print = true;
+    else if (arg == "--emit-hdl" && i + 1 < argc) hdl_path = argv[++i];
+    else return usage();
+  }
+  if (!do_cost && !do_params && !do_tree && !do_print && hdl_path.empty()) {
+    do_cost = true;
+  }
+
+  std::string source;
+  if (!read_file(input_path, source)) {
+    std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", input_path.c_str());
+    return 1;
+  }
+
+  auto parsed = ir::parse_module(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", parsed.error_message().c_str());
+    return 1;
+  }
+  for (const auto& w : parsed.value().warnings.all()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", w.to_string().c_str());
+  }
+  const ir::Module module = std::move(parsed).take().module;
+
+  const auto diags = ir::verify(module);
+  for (const auto& d : diags.all()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", d.to_string().c_str());
+  }
+  if (diags.has_errors()) return 1;
+
+  target::DeviceDesc device;
+  if (!target_path.empty()) {
+    std::string text;
+    if (!read_file(target_path, text)) {
+      std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", target_path.c_str());
+      return 1;
+    }
+    auto parsed_target = target::parse_target(text);
+    if (!parsed_target.ok()) {
+      std::fprintf(stderr, "tytra-cc: %s\n",
+                   parsed_target.error_message().c_str());
+      return 1;
+    }
+    device = parsed_target.value();
+  } else if (preset == "stratix-v-gsd8") {
+    device = target::stratix_v_gsd8();
+  } else if (preset == "virtex7-690t") {
+    device = target::virtex7_690t();
+  } else if (preset == "fig15") {
+    device = target::fig15_profile();
+  } else {
+    std::fprintf(stderr, "tytra-cc: unknown preset '%s'\n", preset.c_str());
+    return 1;
+  }
+
+  if (do_print) {
+    std::printf("%s", ir::print_module(module).c_str());
+  }
+  if (do_tree) {
+    std::printf("%s", ir::format_config_tree(ir::build_config_tree(module)).c_str());
+    std::printf("configuration class: %s\n",
+                std::string(ir::config_class_name(ir::classify_config(module)))
+                    .c_str());
+  }
+  if (do_params) {
+    const ir::DesignParams p = ir::extract_params(module);
+    std::printf("NGS=%llu NWPT=%.1f NKI=%u Noff=%llu KPD=%d NTO=%.2f NI=%.1f "
+                "KNL=%u DV=%u form=%s\n",
+                static_cast<unsigned long long>(p.ngs), p.nwpt, p.nki,
+                static_cast<unsigned long long>(p.noff), p.kpd, p.nto, p.ni,
+                p.knl, p.dv, std::string(ir::exec_form_name(p.form)).c_str());
+  }
+  if (do_cost) {
+    const auto db = cost::DeviceCostDb::calibrate(device);
+    std::printf("%s", cost::format_report(cost::cost_design(module, db)).c_str());
+  }
+  if (!hdl_path.empty()) {
+    const auto design = codegen::emit_verilog(module);
+    std::ofstream out(hdl_path);
+    if (!out) {
+      std::fprintf(stderr, "tytra-cc: cannot write '%s'\n", hdl_path.c_str());
+      return 1;
+    }
+    out << design.source;
+    std::printf("tytra-cc: wrote %zu bytes to %s (top %s, KPD %d)\n",
+                design.source.size(), hdl_path.c_str(),
+                design.top_module.c_str(), design.pipeline_depth);
+  }
+  return 0;
+}
