@@ -65,4 +65,9 @@ ThroughputEstimate estimate_throughput(const ir::Module& module,
 /// The resolved inputs themselves (for reports and tests).
 EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db);
 
+/// Canonical 64-bit key of a fully-resolved input set: two variants with
+/// the same key produce the same EKIT estimate, so memoizing layers (the
+/// DSE cost cache) can index evaluations by it.
+std::uint64_t input_key(const EkitInputs& in);
+
 }  // namespace tytra::cost

@@ -1,0 +1,73 @@
+#pragma once
+
+// Memoizing cost-model cache for repeated sweeps. The explorer, the
+// tuner and the benches all evaluate overlapping variant sets (tuner
+// trajectories revisit sweep points; bench reruns and multi-device
+// surveys re-cost whole families); one shared CostCache makes every
+// repeat evaluation a lookup instead of a cost-model run.
+//
+// Keys are canonical: the resolved EKIT input set (cost::input_key), a
+// structural hash of the design's printed IR, and the device identity.
+// Two modules that print identically and resolve to the same Table-I
+// parameters against the same calibrated database cost identically, so
+// the cached report is exact, not approximate.
+//
+// The cache is sharded: concurrent DSE workers hash to different shards
+// and rarely contend on a lock, and the cost-model run itself always
+// happens outside any lock.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "tytra/cost/report.hpp"
+
+namespace tytra::dse {
+
+struct CacheStats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+};
+
+/// Canonical key for costing `module` against `db`. Cheap relative to a
+/// cost-model run (one IR print + one input resolution).
+std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db);
+
+/// Thread-safe memoization of cost::cost_design.
+class CostCache {
+ public:
+  /// Returns the cached report for `module` on `db`, or runs the cost
+  /// model and remembers the result. Safe to call concurrently. Entries
+  /// store the full identity text alongside the 64-bit key, so a hash
+  /// collision degrades to a miss instead of returning another design's
+  /// report. When `was_hit` is non-null it receives this lookup's outcome
+  /// (for per-sweep accounting independent of the global counters).
+  cost::CostReport cost(const ir::Module& module, const cost::DeviceCostDb& db,
+                        bool* was_hit = nullptr);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Entry {
+    std::string identity;  ///< full identity text (collision guard)
+    cost::CostReport report;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> map;
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace tytra::dse

@@ -4,12 +4,22 @@
 // transformations, lower each to TyTra-IR, run the cost model, filter
 // invalid designs (resource / bandwidth walls), and rank the rest by EKIT
 // — the guided optimisation search of paper §II/§VI.
+//
+// Evaluation is batched and parallel: the variant list is a work-queue
+// fanned out across a thread pool, each worker lowering and costing
+// independently (optionally through a shared memoizing CostCache), and
+// the results are merged deterministically in enumeration order — the
+// parallel sweep is byte-identical to the sequential one. Besides the
+// single best design, the sweep yields the Pareto frontier over
+// throughput, resource pressure and bandwidth share, so callers see the
+// whole trade-off surface.
 
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "tytra/cost/report.hpp"
+#include "tytra/dse/cache.hpp"
 #include "tytra/frontend/transform.hpp"
 #include "tytra/ir/module.hpp"
 
@@ -17,6 +27,8 @@ namespace tytra::dse {
 
 /// Lowers a variant to a concrete TyTra-IR design (the kernel library
 /// provides these for SOR/Hotspot/LavaMD; custom kernels supply their own).
+/// With num_threads > 1 the function is invoked concurrently from worker
+/// threads and must be safe to call in parallel (pure builders are).
 using LowerFn = std::function<ir::Module(const frontend::Variant&)>;
 
 struct DseEntry {
@@ -30,12 +42,31 @@ struct DseEntry {
 struct DseOptions {
   std::uint32_t max_lanes{16};
   bool include_seq{false};
+  /// Worker threads for the batched evaluation; 0 means one per hardware
+  /// thread, 1 runs the sequential path inline.
+  std::uint32_t num_threads{0};
+  /// Optional memoizing cache shared across sweeps (tuner trajectories,
+  /// bench reruns, multi-device surveys). May be null.
+  CostCache* cache{nullptr};
+};
+
+/// One point of the throughput / resource / bandwidth trade-off surface.
+struct ParetoPoint {
+  std::size_t index{0};  ///< into DseResult::entries
+  double ekit{0};        ///< objective 1: maximize
+  double util_max{0};    ///< objective 2: minimize (binding resource, %)
+  double bw_share{0};    ///< objective 3: minimize (DRAM-streaming share
+                         ///< of the per-instance time, 0..1)
 };
 
 struct DseResult {
   std::vector<DseEntry> entries;           ///< in enumeration order
   std::optional<std::size_t> best;         ///< highest-EKIT valid entry
+  std::vector<ParetoPoint> pareto;         ///< non-dominated valid entries,
+                                           ///< in enumeration order
   double explore_seconds{0};               ///< total cost-model time
+  CacheStats cache_stats;                  ///< this sweep's hits/misses
+                                           ///< (zero without a cache)
 
   [[nodiscard]] const DseEntry* best_entry() const {
     return best ? &entries[*best] : nullptr;
@@ -54,5 +85,8 @@ cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,
 /// Formats the sweep as a table (one row per lane count: utilization per
 /// resource class, bandwidth shares and EKIT — the data behind Fig. 15).
 std::string format_sweep(const DseResult& result);
+
+/// Formats the Pareto frontier (one row per non-dominated design).
+std::string format_pareto(const DseResult& result);
 
 }  // namespace tytra::dse

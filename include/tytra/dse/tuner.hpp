@@ -37,9 +37,12 @@ struct TuneResult {
 
 /// Tunes the design for a kernel of `n` work-items starting from the
 /// baseline pipeline. Evaluates at most `max_steps` variants — typically
-/// far fewer than the exhaustive sweep.
+/// far fewer than the exhaustive sweep. When `cache` is given, variants
+/// already costed (by a prior sweep, or a prior tuner run over the same
+/// kernel) are looked up instead of re-evaluated.
 TuneResult tune(std::uint64_t n, const LowerFn& lower,
-                const cost::DeviceCostDb& db, int max_steps = 12);
+                const cost::DeviceCostDb& db, int max_steps = 12,
+                CostCache* cache = nullptr);
 
 /// Renders the tuning trajectory.
 std::string format_tune(const TuneResult& result);

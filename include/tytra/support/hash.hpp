@@ -1,0 +1,45 @@
+#pragma once
+
+// Canonical 64-bit hashing for memoization keys. The mixing is
+// splitmix64-style (the same constants as support/rng.hpp) so keys are
+// stable across platforms and runs — a cache persisted by one sweep must
+// hit from the next. Doubles are hashed by bit pattern after normalizing
+// -0.0 to +0.0 so semantically equal inputs key identically.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "tytra/support/rng.hpp"
+
+namespace tytra {
+
+/// Mixes one 64-bit word into a hash state with full avalanche.
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Incrementally builds a canonical 64-bit key from typed fields.
+class HashBuilder {
+ public:
+  HashBuilder& u64(std::uint64_t v) {
+    state_ = hash_mix(state_, v);
+    return *this;
+  }
+  HashBuilder& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  HashBuilder& f64(double v) {
+    if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0
+    return u64(std::bit_cast<std::uint64_t>(v));
+  }
+  HashBuilder& str(std::string_view s) { return u64(fnv1a(s)); }
+
+  [[nodiscard]] std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_{0xcbf29ce484222325ULL};
+};
+
+}  // namespace tytra

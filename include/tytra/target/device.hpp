@@ -1,0 +1,101 @@
+#pragma once
+
+// Target device descriptions — the static architecture half of the
+// calibration flow (Fig. 2): resource capacities, clocking, DRAM and
+// host-link parameters, and power coefficients for a board. Presets
+// cover the paper's two platforms (the Maxeler Maia's Stratix-V GSD8
+// and the SDAccel baseline's Virtex-7 690T) plus the scaled-down
+// profile used to reproduce the Fig. 15 wall structure; arbitrary
+// boards are described in the `.tgt` text format parsed below.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tytra/support/diag.hpp"
+
+namespace tytra::target {
+
+/// Resource capacities of the device fabric (the four classes of Table II).
+struct DeviceResources {
+  std::uint64_t aluts{0};
+  std::uint64_t regs{0};
+  std::uint64_t bram_bits{0};
+  std::uint64_t dsps{0};
+};
+
+/// DRAM interface timing (feeds membench::DramModel).
+struct DramParams {
+  double io_clock_hz{0};      ///< effective interface clock
+  double bus_bytes{8};        ///< bytes moved per interface beat
+  double burst_bytes{64};     ///< one burst; strides beyond it miss the row
+  double row_bytes{1024};     ///< row-buffer size
+  double row_miss_cycles{50}; ///< activate+precharge penalty, interface cycles
+  double setup_seconds{0};    ///< fixed DMA/descriptor setup per transfer
+};
+
+/// Host<->device link (PCIe) parameters (feeds membench::HostLinkModel).
+struct HostLinkParams {
+  double peak_bw{0};          ///< raw link peak, bytes/s
+  double efficiency{0.8};     ///< protocol efficiency derating
+  double latency_seconds{0};  ///< fixed per-transfer latency
+};
+
+/// Power coefficients for the delta-power model (sim/power.hpp):
+/// nanowatts per resource instance per MHz at activity 1.0.
+struct PowerParams {
+  double static_watts{0};
+  double alut_nw{0};
+  double dsp_nw{0};
+  double bram_kb_nw{0};
+};
+
+/// A complete target device description.
+struct DeviceDesc {
+  std::string name;
+  std::string family;  ///< e.g. "stratix-v", "virtex-7" (drives DSP tiling)
+  DeviceResources resources;
+  double fmax_hz{0};          ///< fabric ceiling clock
+  double default_freq_hz{0};  ///< FD default when the design does not pin one
+  DramParams dram;
+  double dram_peak_bw{0};     ///< GPB: interface peak, bytes/s
+  HostLinkParams host;
+  PowerParams power;
+  std::uint32_t word_bytes{4};
+  /// Fraction of the fabric reserved by the board support package shell.
+  double shell_overhead{0.1};
+};
+
+/// The Maxeler Maia dataflow engine's Altera Stratix-V 5SGSD8 (the
+/// paper's primary platform: Table II, Fig. 9, Fig. 15-18).
+DeviceDesc stratix_v_gsd8();
+
+/// The Alpha-Data ADM-PCIE-7V3's Xilinx Virtex-7 690T under the
+/// unoptimized SDAccel baseline platform of Fig. 10.
+DeviceDesc virtex7_690t();
+
+/// A scaled-down Stratix-V profile whose resource budget and link
+/// bandwidths place the Fig. 15 walls inside a 16-lane sweep.
+DeviceDesc fig15_profile();
+
+/// Parses the `.tgt` device description format:
+///
+///   # comment
+///   device <name> {
+///     family    stratix-v
+///     aluts     100000
+///     regs      200000
+///     bram_bits 1000000
+///     dsps      256
+///     fmax_mhz  240
+///     freq_mhz  180
+///     dram_gbps 7.5
+///     host_gbps 3.2
+///     word_bytes 8
+///   }
+///
+/// Unlisted keys keep the defaults of a mid-size device; unknown keys
+/// are errors (they are always typos).
+tytra::Result<DeviceDesc> parse_target(std::string_view text);
+
+}  // namespace tytra::target

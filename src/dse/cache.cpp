@@ -1,0 +1,122 @@
+#include "tytra/dse/cache.hpp"
+
+#include "tytra/ir/printer.hpp"
+#include "tytra/support/hash.hpp"
+
+namespace tytra::dse {
+
+namespace {
+
+/// Every DeviceDesc field a cost report can depend on — two databases
+/// calibrated from devices with equal fingerprints produce equal reports,
+/// even when a .tgt file is edited under an unchanged device name.
+std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
+  return HashBuilder{}
+      .str(dev.name)
+      .str(dev.family)
+      .u64(dev.resources.aluts)
+      .u64(dev.resources.regs)
+      .u64(dev.resources.bram_bits)
+      .u64(dev.resources.dsps)
+      .f64(dev.fmax_hz)
+      .f64(dev.default_freq_hz)
+      .f64(dev.dram.io_clock_hz)
+      .f64(dev.dram.bus_bytes)
+      .f64(dev.dram.burst_bytes)
+      .f64(dev.dram.row_bytes)
+      .f64(dev.dram.row_miss_cycles)
+      .f64(dev.dram.setup_seconds)
+      .f64(dev.dram_peak_bw)
+      .f64(dev.host.peak_bw)
+      .f64(dev.host.efficiency)
+      .f64(dev.host.latency_seconds)
+      .u64(dev.word_bytes)
+      .f64(dev.shell_overhead)
+      .value();
+}
+
+/// The full identity text of a (design, database) pair. The printed IR is
+/// the canonical structural identity: two designs with the same text have
+/// the same op mix, offsets, ports and metadata, hence the same resource
+/// estimate. The resolved EKIT inputs fold in everything the throughput
+/// model reads from the calibrated database, and the device fingerprint
+/// pins the resource laws.
+std::string design_identity(const ir::Module& module,
+                            const cost::DeviceCostDb& db) {
+  std::string identity = ir::print_module(module);
+  identity += '\x1f';
+  identity += std::to_string(device_fingerprint(db.device()));
+  identity += '\x1f';
+  identity += std::to_string(cost::input_key(cost::resolve_inputs(module, db)));
+  return identity;
+}
+
+/// The one keying rule: the cache's map key and the public design_key are
+/// the same function of the identity text.
+std::uint64_t key_of(const std::string& identity) {
+  return HashBuilder{}.str(identity).value();
+}
+
+}  // namespace
+
+std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db) {
+  return key_of(design_identity(module, db));
+}
+
+cost::CostReport CostCache::cost(const ir::Module& module,
+                                 const cost::DeviceCostDb& db, bool* was_hit) {
+  const std::string identity = design_identity(module, db);
+  const std::uint64_t key = key_of(identity);
+  Shard& shard = shards_[key % kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    // Compare the stored identity so a 64-bit collision degrades to a
+    // recomputation instead of returning another design's report.
+    if (it != shard.map.end() && it->second.identity == identity) {
+      ++shard.hits;
+      if (was_hit) *was_hit = true;
+      return it->second.report;
+    }
+    ++shard.misses;
+  }
+  if (was_hit) *was_hit = false;
+  // Cost outside the lock: the model run dominates, and concurrent misses
+  // on the same key merely compute the same report twice.
+  cost::CostReport report = cost::cost_design(module, db);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.insert_or_assign(key, Entry{identity, report});
+  }
+  return report;
+}
+
+CacheStats CostCache::stats() const {
+  CacheStats out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.hits += s.hits;
+    out.misses += s.misses;
+  }
+  return out;
+}
+
+std::size_t CostCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+void CostCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+    s.hits = 0;
+    s.misses = 0;
+  }
+}
+
+}  // namespace tytra::dse

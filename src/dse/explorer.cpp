@@ -1,11 +1,133 @@
 #include "tytra/dse/explorer.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "tytra/support/strings.hpp"
 
 namespace tytra::dse {
+
+namespace {
+
+std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
+  // More workers than cores only adds contention, and an unbounded
+  // request could exhaust OS thread limits mid-spawn.
+  std::uint32_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  std::uint32_t n = requested == 0 ? cores : std::min(requested, 4 * cores);
+  if (work_items < n) n = static_cast<std::uint32_t>(work_items);
+  return n == 0 ? 1 : n;
+}
+
+/// Evaluates variants [0, n) into per-variant slots. The work-queue is a
+/// single atomic cursor; slots are disjoint, so workers never contend on
+/// results, and the merge in enumeration order is deterministic no matter
+/// the interleaving.
+void evaluate_batch(const std::vector<frontend::Variant>& variants,
+                    const LowerFn& lower, const cost::DeviceCostDb& db,
+                    CostCache* cache, std::uint32_t num_threads,
+                    std::vector<std::optional<cost::CostReport>>& slots,
+                    CacheStats& sweep_stats) {
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= variants.size()) return;
+      try {
+        ir::Module module = lower(variants[i]);
+        if (cache) {
+          bool was_hit = false;
+          slots[i] = cache->cost(module, db, &was_hit);
+          // Per-sweep accounting: independent of the cache's global
+          // counters, which concurrent sweeps sharing it also advance.
+          (was_hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+        } else {
+          slots[i] = cost::cost_design(module, db);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        cursor.store(variants.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    try {
+      for (std::uint32_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+    } catch (...) {
+      // Thread spawn failed (e.g. EAGAIN): drain the queue, join what
+      // started, and surface the error instead of terminating on a
+      // joinable thread's destructor.
+      cursor.store(variants.size(), std::memory_order_relaxed);
+      for (auto& th : pool) th.join();
+      throw;
+    }
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  sweep_stats.hits = hits.load(std::memory_order_relaxed);
+  sweep_stats.misses = misses.load(std::memory_order_relaxed);
+}
+
+/// The streaming share of the per-instance time: how much of the budget
+/// the DRAM term claims (0 for form-C designs, ~1 on a bandwidth wall).
+double bandwidth_share(const cost::CostReport& report) {
+  const auto& t = report.throughput;
+  return t.seconds_per_instance > 0 ? t.t_mem_stream / t.seconds_per_instance
+                                    : 0.0;
+}
+
+/// a dominates b when it is at least as good on every objective and
+/// strictly better on one.
+bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  const bool no_worse =
+      a.ekit >= b.ekit && a.util_max <= b.util_max && a.bw_share <= b.bw_share;
+  const bool better =
+      a.ekit > b.ekit || a.util_max < b.util_max || a.bw_share < b.bw_share;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
+  std::vector<ParetoPoint> candidates;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (!e.report.valid) continue;
+    candidates.push_back(ParetoPoint{i, e.report.throughput.ekit,
+                                     e.report.resources.util.max(),
+                                     bandwidth_share(e.report)});
+  }
+  std::vector<ParetoPoint> frontier;
+  for (const auto& c : candidates) {
+    bool dominated = false;
+    for (const auto& other : candidates) {
+      if (dominates(other, c)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(c);
+  }
+  return frontier;  // candidates were scanned in enumeration order
+}
+
+}  // namespace
 
 DseResult explore(std::uint64_t n, const LowerFn& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options) {
@@ -13,10 +135,16 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
   DseResult result;
   const auto variants =
       frontend::enumerate_variants(n, options.max_lanes, options.include_seq);
-  for (const auto& v : variants) {
-    ir::Module module = lower(v);
-    cost::CostReport report = cost::cost_design(module, db);
-    result.entries.emplace_back(v, std::move(report));
+
+  std::vector<std::optional<cost::CostReport>> slots(variants.size());
+  evaluate_batch(variants, lower, db, options.cache,
+                 resolve_threads(options.num_threads, variants.size()), slots,
+                 result.cache_stats);
+
+  // Deterministic merge in enumeration order.
+  result.entries.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    result.entries.emplace_back(variants[i], std::move(*slots[i]));
   }
   for (std::size_t i = 0; i < result.entries.size(); ++i) {
     const auto& e = result.entries[i];
@@ -27,6 +155,7 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
       result.best = i;
     }
   }
+  result.pareto = pareto_frontier(result.entries);
   const auto t1 = std::chrono::steady_clock::now();
   result.explore_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
@@ -58,6 +187,24 @@ std::string format_sweep(const DseResult& result) {
   if (result.best) {
     os << "best: " << result.entries[*result.best].variant.describe() << "\n";
   }
+  return os.str();
+}
+
+std::string format_pareto(const DseResult& result) {
+  std::ostringstream os;
+  os << tytra::pad_left("lanes", 6) << tytra::pad_left("EKIT/s", 12)
+     << tytra::pad_left("util%", 8) << tytra::pad_left("bw-share", 10)
+     << "  limiting" << "\n";
+  for (const auto& p : result.pareto) {
+    const auto& e = result.entries[p.index];
+    os << tytra::pad_left(std::to_string(e.report.params.knl), 6)
+       << tytra::pad_left(tytra::format_fixed(p.ekit, 1), 12)
+       << tytra::pad_left(tytra::format_fixed(p.util_max, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(p.bw_share, 3), 10)
+       << "  " << cost::wall_name(e.report.throughput.limiting) << "\n";
+  }
+  os << "frontier: " << result.pareto.size() << " of " << result.entries.size()
+     << " designs\n";
   return os.str();
 }
 

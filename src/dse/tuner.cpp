@@ -20,13 +20,15 @@ std::uint64_t next_lane_count(std::uint64_t n, std::uint64_t lanes) {
 }  // namespace
 
 TuneResult tune(std::uint64_t n, const LowerFn& lower,
-                const cost::DeviceCostDb& db, int max_steps) {
+                const cost::DeviceCostDb& db, int max_steps, CostCache* cache) {
   TuneResult result;
   frontend::Variant current = frontend::baseline_variant(n);
   std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
 
   for (int step = 0; step < max_steps; ++step) {
-    cost::CostReport report = cost::cost_design(lower(current), db);
+    const ir::Module module = lower(current);
+    cost::CostReport report =
+        cache ? cache->cost(module, db) : cost::cost_design(module, db);
     const bool valid = report.valid;
     const cost::Wall wall = report.throughput.limiting;
     result.trajectory.emplace_back(current, std::move(report), action);

@@ -1,0 +1,241 @@
+#include "tytra/target/device.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "tytra/resources.hpp"
+
+namespace tytra::target {
+
+DeviceDesc stratix_v_gsd8() {
+  DeviceDesc d;
+  d.name = "stratix-v-gsd8";
+  d.family = "stratix-v";
+  // 5SGSD8: 262,400 ALMs (two ALUT outputs each), 1,963 variable-precision
+  // DSP blocks, ~50 Mbit of M20K.
+  d.resources.aluts = 524800;
+  d.resources.regs = 1049600;
+  d.resources.bram_bits = 51380224;
+  d.resources.dsps = 1963;
+  d.fmax_hz = 250e6;
+  d.default_freq_hz = 200e6;
+  // Maia LMem: wide DDR3 interface, streams at tens of GB/s.
+  d.dram.io_clock_hz = 533e6;
+  d.dram.bus_bytes = 64;
+  d.dram.burst_bytes = 512;
+  d.dram.row_bytes = 4096;
+  d.dram.row_miss_cycles = 50;
+  d.dram.setup_seconds = 4e-5;
+  d.dram_peak_bw = d.dram.io_clock_hz * d.dram.bus_bytes;
+  // PCIe gen2 x8 through MaxelerOS.
+  d.host.peak_bw = 4e9;
+  d.host.efficiency = 0.85;
+  d.host.latency_seconds = 5e-5;
+  d.power.static_watts = 2.5;
+  d.power.alut_nw = 0.055;
+  d.power.dsp_nw = 16.0;
+  d.power.bram_kb_nw = 2.2;
+  d.word_bytes = 4;
+  d.shell_overhead = 0.12;
+  return d;
+}
+
+DeviceDesc virtex7_690t() {
+  DeviceDesc d;
+  d.name = "virtex7-690t";
+  d.family = "virtex-7";
+  // XC7VX690T: 433,200 LUTs, 866,400 flip-flops, 1,470 36-Kb block RAMs,
+  // 3,600 DSP48E1 slices.
+  d.resources.aluts = 433200;
+  d.resources.regs = 866400;
+  d.resources.bram_bits = 52920000;
+  d.resources.dsps = 3600;
+  d.fmax_hz = 220e6;
+  d.default_freq_hz = 180e6;
+  // The unoptimized SDAccel baseline platform of Fig. 10: a single
+  // narrow DDR port that plateaus near 6.3 Gbit/s sustained.
+  d.dram.io_clock_hz = 100e6;
+  d.dram.bus_bytes = 8;
+  d.dram.burst_bytes = 64;
+  d.dram.row_bytes = 1024;
+  d.dram.row_miss_cycles = 50;
+  d.dram.setup_seconds = 1e-3;
+  d.dram_peak_bw = d.dram.io_clock_hz * d.dram.bus_bytes;
+  d.host.peak_bw = 3.2e9;
+  d.host.efficiency = 0.8;
+  d.host.latency_seconds = 1e-4;
+  d.power.static_watts = 3.0;
+  d.power.alut_nw = 0.06;
+  d.power.dsp_nw = 18.0;
+  d.power.bram_kb_nw = 2.5;
+  d.word_bytes = 4;
+  d.shell_overhead = 0.15;
+  return d;
+}
+
+DeviceDesc fig15_profile() {
+  DeviceDesc d = stratix_v_gsd8();
+  d.name = "fig15-profile";
+  // Scaled down so the computation wall lands inside a 16-lane sweep of
+  // the 24^3 SOR kernel and the form-A host wall appears by ~4 lanes.
+  d.resources.aluts = 7200;
+  d.resources.regs = 16000;
+  d.resources.bram_bits = 1048576;
+  d.resources.dsps = 128;
+  d.host.peak_bw = 2.5e9;
+  d.host.efficiency = 0.8;
+  d.host.latency_seconds = 5e-5;
+  d.shell_overhead = 0.1;
+  return d;
+}
+
+namespace {
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string_view clean_line(std::string_view line) {
+  if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front()))) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+bool parse_number(std::string_view text, double& out) {
+  std::string s(text);
+  std::istringstream is(s);
+  is >> out;
+  return static_cast<bool>(is) && is.eof();
+}
+
+}  // namespace
+
+tytra::Result<DeviceDesc> parse_target(std::string_view text) {
+  DeviceDesc d;
+  // Defaults of a mid-size board for anything the file leaves unset.
+  d.resources.aluts = 100000;
+  d.resources.regs = 200000;
+  d.resources.bram_bits = 10000000;
+  d.resources.dsps = 256;
+  d.dram = stratix_v_gsd8().dram;
+  d.host = stratix_v_gsd8().host;
+  d.power = stratix_v_gsd8().power;
+  d.fmax_hz = 200e6;
+  d.default_freq_hz = 150e6;
+  d.shell_overhead = 0.1;
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  bool in_block = false;
+  bool closed = false;
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = clean_line(raw);
+    if (line.empty()) continue;
+    const SourceLoc loc{line_no, 1};
+
+    if (!in_block) {
+      // Expect: device <name> {
+      std::istringstream ls{std::string(line)};
+      std::string kw, name, brace;
+      ls >> kw >> name >> brace;
+      if (kw != "device" || name.empty() || brace != "{") {
+        return make_error("expected 'device <name> {', got '" +
+                              std::string(line) + "'",
+                          loc);
+      }
+      d.name = name;
+      in_block = true;
+      continue;
+    }
+    if (line == "}") {
+      closed = true;
+      in_block = false;
+      continue;
+    }
+
+    std::istringstream ls{std::string(line)};
+    std::string key, value;
+    ls >> key >> value;
+    if (key.empty() || value.empty()) {
+      return make_error("expected '<key> <value>', got '" + std::string(line) +
+                            "'",
+                        loc);
+    }
+    if (key == "family") {
+      d.family = value;
+      continue;
+    }
+    double num = 0;
+    if (!parse_number(value, num)) {
+      return make_error("key '" + key + "' needs a numeric value, got '" +
+                            value + "'",
+                        loc);
+    }
+    if (key == "aluts") d.resources.aluts = static_cast<std::uint64_t>(num);
+    else if (key == "regs") d.resources.regs = static_cast<std::uint64_t>(num);
+    else if (key == "bram_bits") d.resources.bram_bits = static_cast<std::uint64_t>(num);
+    else if (key == "dsps") d.resources.dsps = static_cast<std::uint64_t>(num);
+    else if (key == "fmax_mhz") d.fmax_hz = num * 1e6;
+    else if (key == "freq_mhz") d.default_freq_hz = num * 1e6;
+    else if (key == "dram_gbps") {
+      d.dram_peak_bw = num * 1e9;
+      // Keep the timing model consistent with the declared peak.
+      d.dram.io_clock_hz = d.dram_peak_bw / d.dram.bus_bytes;
+    } else if (key == "host_gbps") d.host.peak_bw = num * 1e9;
+    else if (key == "word_bytes") d.word_bytes = static_cast<std::uint32_t>(num);
+    else if (key == "shell_overhead") d.shell_overhead = num;
+    else {
+      return make_error("unknown key '" + key + "' in device block", loc);
+    }
+  }
+
+  if (!closed || in_block) {
+    return make_error("missing closing '}' for device block",
+                      SourceLoc{line_no, 1});
+  }
+  if (d.dram_peak_bw <= 0) {
+    d.dram_peak_bw = d.dram.io_clock_hz * d.dram.bus_bytes;
+  }
+  if (d.fmax_hz < d.default_freq_hz) d.fmax_hz = d.default_freq_hz;
+  return d;
+}
+
+}  // namespace tytra::target
+
+namespace tytra {
+
+std::string ResourceVec::to_string() const {
+  std::ostringstream os;
+  os << "aluts=" << aluts << " regs=" << regs << " bram_bits=" << bram_bits
+     << " dsps=" << dsps;
+  return os.str();
+}
+
+double Utilization::max() const {
+  return std::max({aluts, regs, bram, dsps});
+}
+
+Utilization utilization(const ResourceVec& used,
+                        const target::DeviceDesc& device) {
+  const double avail = 1.0 - device.shell_overhead;
+  auto pct = [avail](double u, std::uint64_t cap) {
+    const double effective = static_cast<double>(cap) * avail;
+    return effective > 0 ? u / effective * 100.0 : (u > 0 ? 1e9 : 0.0);
+  };
+  Utilization out;
+  out.aluts = pct(used.aluts, device.resources.aluts);
+  out.regs = pct(used.regs, device.resources.regs);
+  out.bram = pct(used.bram_bits, device.resources.bram_bits);
+  out.dsps = pct(used.dsps, device.resources.dsps);
+  return out;
+}
+
+}  // namespace tytra

@@ -1,0 +1,276 @@
+// Tests for the parallel batched DSE engine: deterministic merge (the
+// parallel sweep must be byte-identical to the sequential one), the
+// memoizing cost-model cache, and the Pareto-frontier archive.
+
+#include <gtest/gtest.h>
+
+#include "tytra/dse/cache.hpp"
+#include "tytra/dse/explorer.hpp"
+#include "tytra/dse/tuner.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace {
+
+using namespace tytra;
+using dse::CostCache;
+using dse::DseOptions;
+using dse::DseResult;
+
+constexpr std::uint32_t kDim = 24;  // 13824 work-items (the Fig. 15 grid)
+
+dse::LowerFn sor_lower() {
+  return [](const frontend::Variant& v) {
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = kDim;
+    cfg.lanes = v.lanes();
+    cfg.nki = 10;
+    return kernels::make_sor(cfg);
+  };
+}
+
+dse::LowerFn hotspot_lower() {
+  return [](const frontend::Variant& v) {
+    kernels::HotspotConfig cfg;
+    cfg.rows = cfg.cols = kDim;
+    cfg.lanes = v.lanes();
+    return kernels::make_hotspot(cfg);
+  };
+}
+
+dse::LowerFn lavamd_lower() {
+  return [](const frontend::Variant& v) {
+    kernels::LavamdConfig cfg;
+    cfg.particles = 1024;
+    cfg.lanes = v.lanes();
+    return kernels::make_lavamd(cfg);
+  };
+}
+
+const cost::DeviceCostDb& fig15_db() {
+  static const auto db = cost::DeviceCostDb::calibrate(target::fig15_profile());
+  return db;
+}
+
+const cost::DeviceCostDb& sv_db() {
+  static const auto db = cost::DeviceCostDb::calibrate(target::stratix_v_gsd8());
+  return db;
+}
+
+// --------------------------------------------------------------------------
+// Determinism: parallel == sequential, byte for byte
+// --------------------------------------------------------------------------
+
+TEST(DseParallel, SorSweepIsByteIdenticalAcrossThreadCounts) {
+  DseOptions seq;
+  seq.num_threads = 1;
+  const DseResult base = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                      fig15_db(), seq);
+  const std::string expected = dse::format_sweep(base);
+  for (const std::uint32_t threads : {2u, 3u, 8u}) {
+    DseOptions par;
+    par.num_threads = threads;
+    const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                     fig15_db(), par);
+    EXPECT_EQ(dse::format_sweep(r), expected) << "threads=" << threads;
+    EXPECT_EQ(r.best, base.best) << "threads=" << threads;
+    EXPECT_EQ(dse::format_pareto(r), dse::format_pareto(base))
+        << "threads=" << threads;
+  }
+}
+
+TEST(DseParallel, HotspotAndLavamdSweepsAreByteIdentical) {
+  struct Case {
+    const char* name;
+    std::uint64_t n;
+    dse::LowerFn lower;
+  };
+  const Case cases[] = {
+      {"hotspot", kDim * kDim, hotspot_lower()},
+      {"lavamd", 1024, lavamd_lower()},
+  };
+  for (const auto& c : cases) {
+    DseOptions seq;
+    seq.num_threads = 1;
+    DseOptions par;
+    par.num_threads = 4;
+    const DseResult a = dse::explore(c.n, c.lower, sv_db(), seq);
+    const DseResult b = dse::explore(c.n, c.lower, sv_db(), par);
+    EXPECT_EQ(dse::format_sweep(b), dse::format_sweep(a)) << c.name;
+  }
+}
+
+TEST(DseParallel, MoreThreadsThanVariantsIsSafe) {
+  DseOptions opt;
+  opt.num_threads = 64;
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                   fig15_db(), opt);
+  EXPECT_EQ(r.entries.size(), 9u);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST(DseParallel, LowerExceptionPropagatesFromWorkers) {
+  DseOptions opt;
+  opt.num_threads = 4;
+  const dse::LowerFn bad = [](const frontend::Variant&) -> ir::Module {
+    throw std::runtime_error("lowering failed");
+  };
+  EXPECT_THROW(dse::explore(kDim * kDim * kDim, bad, fig15_db(), opt),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Cost-model cache
+// --------------------------------------------------------------------------
+
+TEST(DseCache, ColdSweepMissesThenWarmSweepHits) {
+  CostCache cache;
+  DseOptions opt;
+  opt.num_threads = 2;
+  opt.cache = &cache;
+
+  const DseResult cold = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                      fig15_db(), opt);
+  EXPECT_EQ(cold.cache_stats.misses, cold.entries.size());
+  EXPECT_EQ(cold.cache_stats.hits, 0u);
+  EXPECT_EQ(cache.size(), cold.entries.size());
+
+  const DseResult warm = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                      fig15_db(), opt);
+  EXPECT_EQ(warm.cache_stats.hits, warm.entries.size());
+  EXPECT_EQ(warm.cache_stats.misses, 0u);
+  EXPECT_EQ(dse::format_sweep(warm), dse::format_sweep(cold));
+}
+
+TEST(DseCache, CachedSweepMatchesUncachedByteForByte) {
+  CostCache cache;
+  DseOptions cached;
+  cached.cache = &cache;
+  cached.num_threads = 1;
+  DseOptions plain;
+  plain.num_threads = 1;
+  const auto a = dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), plain);
+  dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), cached);  // fill
+  const auto b = dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), cached);
+  EXPECT_EQ(dse::format_sweep(b), dse::format_sweep(a));
+  EXPECT_EQ(dse::format_pareto(b), dse::format_pareto(a));
+}
+
+TEST(DseCache, DistinguishesDevices) {
+  // The same variants costed against different calibrations must not
+  // cross-hit: the device identity is part of the key.
+  CostCache cache;
+  DseOptions opt;
+  opt.cache = &cache;
+  const auto on_fig15 = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                     fig15_db(), opt);
+  const auto on_sv = dse::explore(kDim * kDim * kDim, sor_lower(), sv_db(), opt);
+  EXPECT_EQ(on_fig15.cache_stats.misses, on_fig15.entries.size());
+  EXPECT_EQ(on_sv.cache_stats.misses, on_sv.entries.size());
+  EXPECT_EQ(on_sv.cache_stats.hits, 0u);
+  EXPECT_EQ(cache.size(), on_fig15.entries.size() + on_sv.entries.size());
+}
+
+TEST(DseCache, TunerRidesSweepCache) {
+  // The feedback path: a tuner walk after a full sweep re-visits only
+  // variants the sweep already costed.
+  CostCache cache;
+  DseOptions opt;
+  opt.cache = &cache;
+  dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), opt);
+  const auto before = cache.stats();
+  const auto tuned = dse::tune(kDim * kDim * kDim, sor_lower(), fig15_db(), 12,
+                               &cache);
+  const auto after = cache.stats();
+  EXPECT_GE(tuned.trajectory.size(), 2u);
+  EXPECT_EQ(after.misses, before.misses);  // nothing new to evaluate
+  EXPECT_EQ(after.hits - before.hits, tuned.trajectory.size());
+}
+
+TEST(DseCache, ClearResetsEverything) {
+  CostCache cache;
+  DseOptions opt;
+  opt.cache = &cache;
+  dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), opt);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().lookups(), 0u);
+  const auto r = dse::explore(kDim * kDim * kDim, sor_lower(), fig15_db(), opt);
+  EXPECT_EQ(r.cache_stats.misses, r.entries.size());
+}
+
+// --------------------------------------------------------------------------
+// Pareto archive
+// --------------------------------------------------------------------------
+
+bool dominates(const dse::ParetoPoint& a, const dse::ParetoPoint& b) {
+  const bool no_worse =
+      a.ekit >= b.ekit && a.util_max <= b.util_max && a.bw_share <= b.bw_share;
+  const bool better =
+      a.ekit > b.ekit || a.util_max < b.util_max || a.bw_share < b.bw_share;
+  return no_worse && better;
+}
+
+TEST(DsePareto, FrontierIsValidAndMutuallyNonDominated) {
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                   fig15_db(), {});
+  ASSERT_FALSE(r.pareto.empty());
+  for (const auto& p : r.pareto) {
+    EXPECT_TRUE(r.entries[p.index].report.valid);
+    EXPECT_DOUBLE_EQ(p.ekit, r.entries[p.index].report.throughput.ekit);
+  }
+  for (const auto& a : r.pareto) {
+    for (const auto& b : r.pareto) {
+      if (a.index == b.index) continue;
+      EXPECT_FALSE(dominates(a, b))
+          << a.index << " dominates " << b.index;
+    }
+  }
+}
+
+TEST(DsePareto, FrontierCoversBothEndsOfTheTradeoff) {
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                   fig15_db(), {});
+  ASSERT_TRUE(r.best.has_value());
+  // The highest-EKIT design is on the frontier...
+  bool best_on_frontier = false;
+  for (const auto& p : r.pareto) best_on_frontier |= p.index == *r.best;
+  EXPECT_TRUE(best_on_frontier);
+  // ...and so is the cheapest valid design (minimum binding utilization):
+  // nothing can dominate the entry that minimizes the resource objective.
+  std::size_t cheapest = 0;
+  double cheapest_util = 1e300;
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    if (!r.entries[i].report.valid) continue;
+    const double u = r.entries[i].report.resources.util.max();
+    if (u < cheapest_util) {
+      cheapest_util = u;
+      cheapest = i;
+    }
+  }
+  bool cheapest_on_frontier = false;
+  for (const auto& p : r.pareto) cheapest_on_frontier |= p.index == cheapest;
+  EXPECT_TRUE(cheapest_on_frontier);
+}
+
+TEST(DsePareto, NoValidEntriesMeansEmptyFrontier) {
+  // A device too small for even one lane: every variant is invalid.
+  auto tiny = target::fig15_profile();
+  tiny.resources.aluts = 10;
+  tiny.resources.regs = 10;
+  const auto db = cost::DeviceCostDb::calibrate(tiny);
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(), db, {});
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_TRUE(r.pareto.empty());
+  EXPECT_NE(dse::format_pareto(r).find("0 of"), std::string::npos);
+}
+
+TEST(DsePareto, FormatListsOneRowPerPoint) {
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                   fig15_db(), {});
+  const std::string text = dse::format_pareto(r);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<std::ptrdiff_t>(r.pareto.size()) + 2);
+  EXPECT_NE(text.find("frontier:"), std::string::npos);
+}
+
+}  // namespace

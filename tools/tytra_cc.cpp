@@ -1,9 +1,11 @@
 // tytra-cc: the TyTra back-end compiler driver (TyBEC). Parses a textual
 // TyTra-IR design, verifies it, and either costs it against a target
-// device or emits synthesizeable Verilog — the two paths of Fig. 11.
+// device or emits synthesizeable Verilog — the two paths of Fig. 11 —
+// or runs the parallel design-space explorer over a built-in kernel.
 //
 // Usage:
 //   tytra-cc <design.tirl> [options]
+//   tytra-cc --explore <sor|hotspot|lavamd> [options]
 //     --target <file.tgt>   device description (default: stratix-v-gsd8)
 //     --preset <name>       stratix-v-gsd8 | virtex7-690t | fig15
 //     --cost                print the cost report (default action)
@@ -11,6 +13,12 @@
 //     --tree                print the configuration tree (Fig. 8)
 //     --emit-hdl <out.v>    generate Verilog into the given file
 //     --print-ir            echo the parsed IR back (round-trip)
+//   explore-mode options:
+//     --nd <dim>            problem dimension (sor: dim^3 grid, hotspot:
+//                           dim^2 grid, lavamd: dim particles; default 24)
+//     --max-lanes <n>       lane-count cap of the sweep (default 16)
+//     --jobs <n>            evaluation worker threads (0 = all cores)
+//     --pareto              print the Pareto frontier after the sweep
 
 #include <cstdio>
 #include <cstring>
@@ -20,10 +28,12 @@
 
 #include "tytra/codegen/verilog.hpp"
 #include "tytra/cost/report.hpp"
+#include "tytra/dse/explorer.hpp"
 #include "tytra/ir/analysis.hpp"
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/kernels.hpp"
 
 namespace {
 
@@ -31,7 +41,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: tytra-cc <design.tirl> [--target file.tgt | --preset "
                "name] [--cost] [--params] [--tree] [--emit-hdl out.v] "
-               "[--print-ir]\n");
+               "[--print-ir]\n"
+               "       tytra-cc --explore <sor|hotspot|lavamd> [--nd dim] "
+               "[--max-lanes n] [--jobs n] [--pareto] [--target file.tgt | "
+               "--preset name]\n");
   return 2;
 }
 
@@ -44,14 +57,98 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+bool parse_u32(const char* text, std::uint32_t& out) {
+  if (text[0] == '-' || text[0] == '+') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || v > 0xffffffffULL) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+struct ExploreSpec {
+  std::string kernel;
+  std::uint32_t nd{24};
+  std::uint32_t max_lanes{16};
+  std::uint32_t jobs{0};
+  bool pareto{false};
+};
+
+int run_explore(const ExploreSpec& spec, const tytra::target::DeviceDesc& device) {
+  using namespace tytra;
+
+  if (spec.nd == 0) {
+    std::fprintf(stderr, "tytra-cc: --nd must be positive\n");
+    return 1;
+  }
+  if (spec.kernel == "sor" && spec.nd > 2642245) {  // cbrt(2^64)
+    std::fprintf(stderr, "tytra-cc: --nd %u overflows the sor NDRange\n",
+                 spec.nd);
+    return 1;
+  }
+  std::uint64_t n = 0;
+  dse::LowerFn lower;
+  if (spec.kernel == "sor") {
+    n = static_cast<std::uint64_t>(spec.nd) * spec.nd * spec.nd;
+    lower = [&spec](const frontend::Variant& v) {
+      kernels::SorConfig cfg;
+      cfg.im = cfg.jm = cfg.km = spec.nd;
+      cfg.nki = 10;
+      cfg.lanes = v.lanes();
+      return kernels::make_sor(cfg);
+    };
+  } else if (spec.kernel == "hotspot") {
+    n = static_cast<std::uint64_t>(spec.nd) * spec.nd;
+    lower = [&spec](const frontend::Variant& v) {
+      kernels::HotspotConfig cfg;
+      cfg.rows = cfg.cols = spec.nd;
+      cfg.lanes = v.lanes();
+      return kernels::make_hotspot(cfg);
+    };
+  } else if (spec.kernel == "lavamd") {
+    n = spec.nd;
+    lower = [&spec](const frontend::Variant& v) {
+      kernels::LavamdConfig cfg;
+      cfg.particles = spec.nd;
+      cfg.lanes = v.lanes();
+      return kernels::make_lavamd(cfg);
+    };
+  } else {
+    std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (sor|hotspot|lavamd)\n",
+                 spec.kernel.c_str());
+    return 1;
+  }
+
+  const auto db = cost::DeviceCostDb::calibrate(device);
+  dse::DseOptions options;
+  options.max_lanes = spec.max_lanes;
+  options.num_threads = spec.jobs;
+  // No CostCache here: a single sweep evaluates each variant exactly once,
+  // so a per-invocation cache would be pure keying overhead.
+  dse::DseResult result;
+  try {
+    result = dse::explore(n, lower, db, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tytra-cc: exploration failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("exploring %s on %s: %zu variants in %.3f s\n", spec.kernel.c_str(),
+              device.name.c_str(), result.entries.size(), result.explore_seconds);
+  std::printf("%s", dse::format_sweep(result).c_str());
+  if (spec.pareto) {
+    std::printf("\npareto frontier (EKIT vs utilization vs bandwidth share):\n");
+    std::printf("%s", dse::format_pareto(result).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tytra;
 
-  if (argc < 2) return usage();
-  const std::string input_path = argv[1];
-
+  std::string input_path;
   std::string target_path;
   std::string preset = "stratix-v-gsd8";
   std::string hdl_path;
@@ -59,8 +156,11 @@ int main(int argc, char** argv) {
   bool do_params = false;
   bool do_tree = false;
   bool do_print = false;
+  bool do_explore = false;
+  bool explore_flags_seen = false;
+  ExploreSpec spec;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--target" && i + 1 < argc) target_path = argv[++i];
     else if (arg == "--preset" && i + 1 < argc) preset = argv[++i];
@@ -69,33 +169,47 @@ int main(int argc, char** argv) {
     else if (arg == "--tree") do_tree = true;
     else if (arg == "--print-ir") do_print = true;
     else if (arg == "--emit-hdl" && i + 1 < argc) hdl_path = argv[++i];
-    else return usage();
+    else if (arg == "--explore" && i + 1 < argc) {
+      do_explore = true;
+      spec.kernel = argv[++i];
+    } else if (arg == "--nd" && i + 1 < argc) {
+      if (!parse_u32(argv[++i], spec.nd)) return usage();
+      explore_flags_seen = true;
+    } else if (arg == "--max-lanes" && i + 1 < argc) {
+      if (!parse_u32(argv[++i], spec.max_lanes)) return usage();
+      explore_flags_seen = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      if (!parse_u32(argv[++i], spec.jobs)) return usage();
+      explore_flags_seen = true;
+    } else if (arg == "--pareto") {
+      spec.pareto = true;
+      explore_flags_seen = true;
+    } else if (!arg.empty() && arg[0] != '-' && input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage();
+    }
   }
-  if (!do_cost && !do_params && !do_tree && !do_print && hdl_path.empty()) {
+  if (!do_explore && input_path.empty()) return usage();
+  if (!do_explore && explore_flags_seen) {
+    std::fprintf(stderr,
+                 "tytra-cc: --nd/--max-lanes/--jobs/--pareto only apply to "
+                 "--explore mode\n");
+    return 2;
+  }
+  if (do_explore &&
+      (!input_path.empty() || do_cost || do_params || do_tree || do_print ||
+       !hdl_path.empty())) {
+    std::fprintf(stderr,
+                 "tytra-cc: --explore cannot be combined with an input file "
+                 "or the --cost/--params/--tree/--print-ir/--emit-hdl "
+                 "actions\n");
+    return 2;
+  }
+  if (!do_cost && !do_params && !do_tree && !do_print && hdl_path.empty() &&
+      !do_explore) {
     do_cost = true;
   }
-
-  std::string source;
-  if (!read_file(input_path, source)) {
-    std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", input_path.c_str());
-    return 1;
-  }
-
-  auto parsed = ir::parse_module(source);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "tytra-cc: %s\n", parsed.error_message().c_str());
-    return 1;
-  }
-  for (const auto& w : parsed.value().warnings.all()) {
-    std::fprintf(stderr, "tytra-cc: %s\n", w.to_string().c_str());
-  }
-  const ir::Module module = std::move(parsed).take().module;
-
-  const auto diags = ir::verify(module);
-  for (const auto& d : diags.all()) {
-    std::fprintf(stderr, "tytra-cc: %s\n", d.to_string().c_str());
-  }
-  if (diags.has_errors()) return 1;
 
   target::DeviceDesc device;
   if (!target_path.empty()) {
@@ -121,6 +235,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tytra-cc: unknown preset '%s'\n", preset.c_str());
     return 1;
   }
+
+  if (do_explore) return run_explore(spec, device);
+
+  std::string source;
+  if (!read_file(input_path, source)) {
+    std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", input_path.c_str());
+    return 1;
+  }
+
+  auto parsed = ir::parse_module(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", parsed.error_message().c_str());
+    return 1;
+  }
+  for (const auto& w : parsed.value().warnings.all()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", w.to_string().c_str());
+  }
+  const ir::Module module = std::move(parsed).take().module;
+
+  const auto diags = ir::verify(module);
+  for (const auto& d : diags.all()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", d.to_string().c_str());
+  }
+  if (diags.has_errors()) return 1;
 
   if (do_print) {
     std::printf("%s", ir::print_module(module).c_str());
