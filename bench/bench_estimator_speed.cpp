@@ -1,25 +1,46 @@
-// Reproduces the §VI-A speed claim: the cost-model estimator evaluates a
-// design variant in ~0.3 s (Perl prototype) versus ~70 s for a vendor
-// tool's preliminary estimate — more than 200x faster. Here the same
-// dichotomy is measured between the calibrated cost model (fitted-curve
-// evaluation) and the fabric synthesizer (full netlist + placement).
+// Reproduces the §VI-A speed claim and tracks the estimator's own cost
+// over time. The paper's dichotomy — a cost-model estimate in well under
+// a second versus ~70 s for a vendor tool's preliminary estimate — is
+// measured against the fabric synthesizer (full netlist + placement).
+// On top of that, the driver times the DSE hot path itself: the SOR
+// nd=64 variant sweep, single-threaded, with a cold cost pipeline and
+// with a warm memoizing cache, reported as per-variant microseconds and
+// variants/second.
 //
-// Uses google-benchmark for the estimator path and a one-shot wall-clock
-// measurement for the synthesis path (it is far too slow to iterate).
+// Usage:
+//   bench_estimator_speed [--json <path>] [--baseline <path>]
+//     --json <path>      also write the measurements as JSON (the CI
+//                        perf-trajectory artifact, BENCH_estimator.json)
+//     --baseline <path>  read a previous JSON and exit non-zero when the
+//                        warm-cache per-variant cost regressed by more
+//                        than 2x (CI regression gate)
+//
+// Baselines travel between machines: every report carries a
+// machine-speed probe (a fixed CPU-bound workload), and the regression
+// gate rescales the baseline by the probe ratio, so a slower CI runner
+// is not mistaken for a code regression (nor a faster one for a fix).
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <chrono>
-
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "tytra/cost/report.hpp"
+#include "tytra/dse/cache.hpp"
+#include "tytra/dse/explorer.hpp"
 #include "tytra/fabric/synth.hpp"
 #include "tytra/kernels/kernels.hpp"
+#include "tytra/support/hash.hpp"
 
 namespace {
 
 using namespace tytra;
+
+constexpr std::uint32_t kNd = 64;  // 64^3 = 262144 work-items
+constexpr std::uint32_t kThreads = 1;
 
 const target::DeviceDesc& dev() {
   static const target::DeviceDesc d = target::stratix_v_gsd8();
@@ -30,55 +51,201 @@ const cost::DeviceCostDb& db() {
   return calibrated;
 }
 
-ir::Module sor_variant(std::uint32_t lanes) {
-  kernels::SorConfig cfg;
-  cfg.im = cfg.jm = cfg.km = 24;
-  cfg.lanes = lanes;
-  return kernels::make_sor(cfg);
+dse::LowerFn sor_lower() {
+  return [](const frontend::Variant& v) {
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = kNd;
+    cfg.nki = 10;
+    cfg.lanes = v.lanes();
+    return kernels::make_sor(cfg);
+  };
 }
 
-void BM_CostModelEstimate(benchmark::State& state) {
-  const ir::Module m = sor_variant(static_cast<std::uint32_t>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cost::cost_design(m, db()));
-  }
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
-BENCHMARK(BM_CostModelEstimate)->Arg(1)->Arg(4)->Arg(16);
 
-void BM_IrToReportIncludingBuild(benchmark::State& state) {
-  for (auto _ : state) {
-    const ir::Module m = sor_variant(4);
-    benchmark::DoNotOptimize(cost::cost_design(m, db()));
+struct SweepTiming {
+  std::size_t variants{0};
+  double us_per_variant{0};
+  double variants_per_sec{0};
+};
+
+/// Times `explore` over the SOR family, best-of-N to shed scheduler
+/// noise. `cache` may be null (the cold configuration).
+SweepTiming time_sweep(dse::CostCache* cache, int reps) {
+  dse::DseOptions opt;
+  opt.num_threads = kThreads;
+  opt.cache = cache;
+  const std::uint64_t n = std::uint64_t(kNd) * kNd * kNd;
+  SweepTiming out;
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = dse::explore(n, sor_lower(), db(), opt);
+    const double s = now_minus(t0);
+    out.variants = r.entries.size();
+    best = std::min(best, s);
   }
+  out.us_per_variant = best / static_cast<double>(out.variants) * 1e6;
+  out.variants_per_sec = static_cast<double>(out.variants) / best;
+  return out;
 }
-BENCHMARK(BM_IrToReportIncludingBuild);
+
+/// A fixed CPU-bound workload (integer mixing, the same family of
+/// operations the hot path leans on) timed best-of-N: a portable proxy
+/// for single-thread machine speed. Reports carry it so a baseline
+/// recorded on one machine can be rescaled on another.
+double machine_probe_us() {
+  double best = 1e300;
+  volatile std::uint64_t sink = 0;
+  for (int rep = 0; rep < 7; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (std::uint32_t i = 0; i < 2'000'000; ++i) h = hash_mix(h, i);
+    sink = sink + h;
+    best = std::min(best, now_minus(t0) * 1e6);
+  }
+  return best;
+}
+
+/// Pulls the number that follows `"<field>":` inside the section opened
+/// by `"<section>"` (pass an empty section for a top-level field) out of
+/// a previous JSON report. Returns a negative value when absent.
+double read_field(const std::string& json, const std::string& section,
+                  const std::string& field) {
+  std::size_t from = 0;
+  if (!section.empty()) {
+    from = json.find("\"" + section + "\"");
+    if (from == std::string::npos) return -1.0;
+  }
+  const auto key = json.find("\"" + field + "\"", from);
+  if (key == std::string::npos) return -1.0;
+  const auto colon = json.find(':', key);
+  if (colon == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + colon + 1, nullptr);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  std::string json_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_estimator_speed [--json path] "
+                   "[--baseline path]\n");
+      return 2;
+    }
+  }
 
-  // One-shot comparison against the "vendor tool" path, at the scale a
-  // real exploration evaluates (a 16-lane variant) and with the placement
-  // effort a vendor preliminary-estimation pass spends.
-  const ir::Module m = sor_variant(16);
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto report = cost::cost_design(m, db());
-  const auto t1 = std::chrono::steady_clock::now();
-  const auto synth = fabric::synthesize(m, dev(), {.effort = 8});
-  const auto t2 = std::chrono::steady_clock::now();
+  // --- The paper's headline: estimator vs vendor-style synthesis --------
+  kernels::SorConfig cfg16;
+  cfg16.im = cfg16.jm = cfg16.km = 24;
+  cfg16.lanes = 16;
+  const ir::Module m16 = kernels::make_sor(cfg16);
+  const auto te0 = std::chrono::steady_clock::now();
+  const auto report = cost::cost_design(m16, db());
+  const double est_s = now_minus(te0);
+  const auto ts0 = std::chrono::steady_clock::now();
+  const auto synth = fabric::synthesize(m16, dev(), {.effort = 8});
+  const double synth_s = now_minus(ts0);
 
-  const double est_s =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
-  const double synth_s =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t2 - t1).count();
-  std::printf("\n=== estimator vs vendor-style synthesis (SOR, 16 lanes) ===\n");
+  std::printf("=== estimator vs vendor-style synthesis (SOR, 16 lanes) ===\n");
   std::printf("cost-model estimate : %10.6f s  (EKIT %.1f /s)\n", est_s,
               report.throughput.ekit);
   std::printf("fabric synthesis    : %10.6f s  (fmax %.1f MHz)\n", synth_s,
               synth.fmax_hz / 1e6);
   std::printf("speedup             : %10.0fx   (paper: >200x)\n",
               synth_s / est_s);
+
+  // --- The DSE hot path: per-variant cost, cold and warm ----------------
+  const SweepTiming cold = time_sweep(nullptr, 60);
+  dse::CostCache cache;
+  time_sweep(&cache, 1);  // fill
+  const SweepTiming warm = time_sweep(&cache, 120);
+
+  std::printf("\n=== SOR nd=%u sweep, %u thread(s), %zu variants ===\n", kNd,
+              kThreads, cold.variants);
+  std::printf("cold pipeline : %8.2f us/variant  (%.0f variants/s)\n",
+              cold.us_per_variant, cold.variants_per_sec);
+  std::printf("warm cache    : %8.2f us/variant  (%.0f variants/s)\n",
+              warm.us_per_variant, warm.variants_per_sec);
+
+  const double probe_us = machine_probe_us();
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"estimator_speed\",\n";
+    os << "  \"machine_probe_us\": " << probe_us << ",\n";
+    os << "  \"kernel\": \"sor\",\n";
+    os << "  \"nd\": " << kNd << ",\n";
+    os << "  \"variants\": " << cold.variants << ",\n";
+    os << "  \"threads\": " << kThreads << ",\n";
+    os << "  \"cold\": {\"us_per_variant\": " << cold.us_per_variant
+       << ", \"variants_per_sec\": " << cold.variants_per_sec << "},\n";
+    os << "  \"warm\": {\"us_per_variant\": " << warm.us_per_variant
+       << ", \"variants_per_sec\": " << warm.variants_per_sec << "},\n";
+    os << "  \"estimate_seconds_16lane\": " << est_s << ",\n";
+    os << "  \"synth_seconds_16lane\": " << synth_s << ",\n";
+    os << "  \"speedup_vs_synth\": " << synth_s / est_s << "\n";
+    os << "}\n";
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_estimator_speed: cannot write '%s'\n",
+                   json_path.c_str());
+      return 1;
+    }
+    out << os.str();
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "bench_estimator_speed: cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string baseline_json = ss.str();
+    double base_warm = read_field(baseline_json, "warm", "us_per_variant");
+    if (base_warm <= 0) {
+      std::fprintf(stderr,
+                   "bench_estimator_speed: baseline '%s' has no warm "
+                   "us_per_variant\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    // Rescale a baseline recorded on different hardware: if this machine
+    // runs the fixed probe k times slower, k times the microseconds are
+    // expected, not a regression.
+    const double base_probe =
+        read_field(baseline_json, "", "machine_probe_us");
+    if (base_probe > 0) {
+      base_warm *= probe_us / base_probe;
+    }
+    std::printf(
+        "baseline warm : %8.2f us/variant (machine-adjusted; measured "
+        "%.2f, limit 2x)\n",
+        base_warm, warm.us_per_variant);
+    if (warm.us_per_variant > 2.0 * base_warm) {
+      std::fprintf(stderr,
+                   "bench_estimator_speed: REGRESSION — warm per-variant "
+                   "cost %.2f us exceeds 2x the machine-adjusted baseline "
+                   "%.2f us\n",
+                   warm.us_per_variant, base_warm);
+      return 1;
+    }
+  }
   return 0;
 }

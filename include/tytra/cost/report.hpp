@@ -29,9 +29,14 @@ struct CostReport {
   double estimate_seconds{0};  ///< wall-clock cost of producing this report
 };
 
-/// Runs the full cost model on a design variant.
+/// Runs the full cost model on a design variant. The module-only overload
+/// builds the analysis summary itself; hot paths that already hold one
+/// (the DSE cache, sweep engines) pass it in so the whole report costs
+/// exactly one module traversal.
 /// Preconditions: the module verifies.
 CostReport cost_design(const ir::Module& module, const DeviceCostDb& db);
+CostReport cost_design(const ir::Module& module, const DeviceCostDb& db,
+                       const ir::AnalysisSummary& summary);
 
 /// Human-readable rendering of the report.
 std::string format_report(const CostReport& report);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "tytra/cost/calibration.hpp"
+#include "tytra/ir/analysis.hpp"
 #include "tytra/ir/module.hpp"
 #include "tytra/resources.hpp"
 
@@ -24,10 +25,16 @@ struct ResourceEstimate {
   bool fits{false};
 };
 
-/// Estimates the whole design's resource usage.
-/// Preconditions: the module verifies.
+/// Estimates the whole design's resource usage. The summary overload
+/// reuses the one-traversal schedules, body partitions and port
+/// resolutions instead of re-deriving them per function; the module-only
+/// overload builds a summary internally. Results are bit-identical.
+/// Preconditions: the module verifies; `summary` was built from `module`.
 ResourceEstimate estimate_resources(const ir::Module& module,
                                     const DeviceCostDb& db);
+ResourceEstimate estimate_resources(const ir::Module& module,
+                                    const DeviceCostDb& db,
+                                    const ir::AnalysisSummary& summary);
 
 /// Estimates one function body (single instance, children included).
 ResourceVec estimate_function(const ir::Module& module,

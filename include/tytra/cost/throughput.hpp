@@ -57,13 +57,20 @@ ThroughputEstimate ekit(const EkitInputs& in);
 /// Resolves the Table-I inputs for `module` against a calibrated device
 /// database (peak bandwidths from the architecture description, rho_H and
 /// rho_G from the empirical tables, FD defaulted from the device), then
-/// evaluates EKIT.
+/// evaluates EKIT. The summary overloads reuse a one-traversal
+/// `ir::AnalysisSummary` (parameters and per-port stride resolutions)
+/// instead of re-walking the module; results are bit-identical.
 /// Preconditions: module verifies; module.meta.global_size > 0.
 ThroughputEstimate estimate_throughput(const ir::Module& module,
                                        const DeviceCostDb& db);
+ThroughputEstimate estimate_throughput(const ir::Module& module,
+                                       const DeviceCostDb& db,
+                                       const ir::AnalysisSummary& summary);
 
 /// The resolved inputs themselves (for reports and tests).
 EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db);
+EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db,
+                          const ir::AnalysisSummary& summary);
 
 /// Canonical 64-bit key of a fully-resolved input set: two variants with
 /// the same key produce the same EKIT estimate, so memoizing layers (the

@@ -6,20 +6,28 @@
 // surveys re-cost whole families); one shared CostCache makes every
 // repeat evaluation a lookup instead of a cost-model run.
 //
-// Keys are canonical: the resolved EKIT input set (cost::input_key), a
-// structural hash of the design's printed IR, and the device identity.
-// Two modules that print identically and resolve to the same Table-I
-// parameters against the same calibrated database cost identically, so
-// the cached report is exact, not approximate.
+// Design identity is structural and streamed: a lookup hashes the device
+// fingerprint plus the module structure directly into a 128-bit digest
+// (`ir::structural_digest`) with zero string materialization — the
+// printed IR is never built on the lookup path. The calibrated database
+// is a pure function of the device description, so the device
+// fingerprint pins every law and table the cost model reads; two modules
+// with equal printed IR costed against equal devices share an entry, and
+// the cached report is exact, not approximate. The full identity text is
+// materialized lazily, only when an entry is first inserted, as the
+// collision fallback / debugging record.
 //
 // The cache is sharded: concurrent DSE workers hash to different shards
 // and rarely contend on a lock, and the cost-model run itself always
-// happens outside any lock.
+// happens outside any lock. The shard count is configurable (more shards
+// for very wide sweeps; the explorer caps its worker count at the shard
+// count so workers never outnumber the locks that serve them).
 
-#include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "tytra/cost/report.hpp"
 
@@ -32,31 +40,49 @@ struct CacheStats {
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
 
-/// Canonical key for costing `module` against `db`. Cheap relative to a
-/// cost-model run (one IR print + one input resolution).
+/// Canonical key for costing `module` against `db`: the primary half of
+/// the streamed (device, structure) digest. Cheap relative to a cost-model
+/// run — one allocation-free module walk, no IR printing, no parameter
+/// extraction.
 std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db);
 
 /// Thread-safe memoization of cost::cost_design.
 class CostCache {
  public:
+  static constexpr std::size_t kMinDefaultShards = 16;
+
+  /// `shards` sets the lock granularity (clamped to >= 1). Concurrent
+  /// workers contend only when their designs hash to the same shard, so a
+  /// cache serving N workers wants at least N shards. The default (0)
+  /// auto-sizes to max(kMinDefaultShards, hardware threads), so a
+  /// default-constructed cache never makes the explorer's worker cap bind
+  /// below the machine's own parallelism.
+  explicit CostCache(std::size_t shards = 0);
+
   /// Returns the cached report for `module` on `db`, or runs the cost
-  /// model and remembers the result. Safe to call concurrently. Entries
-  /// store the full identity text alongside the 64-bit key, so a hash
-  /// collision degrades to a miss instead of returning another design's
-  /// report. When `was_hit` is non-null it receives this lookup's outcome
-  /// (for per-sweep accounting independent of the global counters).
+  /// model and remembers the result. Safe to call concurrently. Lookups
+  /// verify the full 128-bit digest, so a 64-bit key collision degrades
+  /// to a recomputation instead of returning another design's report,
+  /// and hits never materialize the printed IR. When `was_hit` is
+  /// non-null it receives this lookup's outcome (for per-sweep accounting
+  /// independent of the global counters).
   cost::CostReport cost(const ir::Module& module, const cost::DeviceCostDb& db,
                         bool* was_hit = nullptr);
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   void clear();
 
  private:
-  static constexpr std::size_t kShards = 16;
-
   struct Entry {
-    std::string identity;  ///< full identity text (collision guard)
+    std::uint64_t check;  ///< second digest half (collision guard)
+    /// Full identity text (printed IR + device fingerprint), built once
+    /// on insert: the byte-level ground truth the digest condenses.
+    /// Debug builds verify it on every hit; release lookups never read
+    /// it, keeping hits allocation-free at ~1 printed module of memory
+    /// per cached design.
+    std::string identity;
     cost::CostReport report;
   };
 
@@ -67,7 +93,7 @@ class CostCache {
     std::uint64_t misses{0};
   };
 
-  std::array<Shard, kShards> shards_;
+  std::vector<Shard> shards_;  ///< sized once; never resized (mutexes pin it)
 };
 
 }  // namespace tytra::dse

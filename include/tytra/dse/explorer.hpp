@@ -43,7 +43,14 @@ struct DseOptions {
   std::uint32_t max_lanes{16};
   bool include_seq{false};
   /// Worker threads for the batched evaluation; 0 means one per hardware
-  /// thread, 1 runs the sequential path inline.
+  /// thread, 1 runs the sequential path inline. Explicit requests are
+  /// clamped: never more than 4x the hardware concurrency (beyond that
+  /// workers only add scheduler contention, and an unbounded request
+  /// could exhaust OS thread limits mid-spawn), never more workers than
+  /// variants, and — when `cache` is set — never more workers than the
+  /// cache has shards, since each extra worker past that point can only
+  /// queue on another worker's shard lock (size the cache with
+  /// `CostCache(shards)` to lift this).
   std::uint32_t num_threads{0};
   /// Optional memoizing cache shared across sweeps (tuner trajectories,
   /// bench reruns, multi-device surveys). May be null.

@@ -109,4 +109,66 @@ double instructions_per_pe(const Module& module);
 /// 1 when the design is a single pipeline).
 std::uint32_t lane_count(const Module& module);
 
+// ---------------------------------------------------------------------------
+// One-traversal analysis summary
+// ---------------------------------------------------------------------------
+
+/// Everything the cost pipeline needs about one function, computed once:
+/// the body partition (instructions / offsets / calls), the ASAP schedule
+/// (with child depths memoized instead of re-derived per call site), and
+/// the aggregate counts the Table-I extraction reads.
+struct FunctionSummary {
+  const Function* func{nullptr};
+  FunctionSchedule schedule;
+  std::vector<const Instr*> instrs;
+  std::vector<const OffsetDecl*> offsets;
+  std::vector<const Call*> calls;
+  /// Instructions reachable through this function's call tree, counting
+  /// once per call site (replicated lanes count per lane).
+  double instr_count_reachable{0};
+  /// Sum of op latencies over this function's own instructions.
+  double latency_sum{0};
+};
+
+/// A port with its Manage-IR links resolved: the stream object's stride
+/// and the backing memory object's address range, looked up once instead
+/// of per cost-model stage.
+struct PortSummary {
+  const PortBinding* port{nullptr};
+  std::uint64_t stride_words{1};
+  /// Backing memory-object size in words; the NDRange size when the port
+  /// has no resolvable memory object.
+  std::uint64_t addr_range_words{0};
+};
+
+/// The single-traversal analysis bundle: everything `classify_config`,
+/// `extract_params`, the resource model, the throughput model and the
+/// timing simulator would otherwise each re-derive from the module.
+/// Summaries hold pointers into the module they were built from — the
+/// module must outlive the summary and stay unmodified.
+struct AnalysisSummary {
+  const Module* module{nullptr};
+  ConfigNode tree;
+  ConfigClass config{ConfigClass::C2};
+  DesignParams params;
+  std::vector<FunctionSummary> functions;  ///< parallel to module->functions
+  std::vector<PortSummary> ports;          ///< parallel to module->ports
+  std::size_t offset_count{0};             ///< offset decls over all functions
+
+  /// Summary of the function named `name` (first match, like
+  /// Module::find_function); nullptr when absent.
+  [[nodiscard]] const FunctionSummary* find(std::string_view name) const;
+  /// Summary of the entry function @main; nullptr when absent.
+  [[nodiscard]] const FunctionSummary* entry() const { return find("main"); }
+};
+
+/// Computes the full analysis summary in one pass over the module: each
+/// function's body is partitioned and scheduled exactly once (child
+/// pipeline depths are memoized), the configuration tree is built once,
+/// and every port's stream/memory lookup is resolved once. All derived
+/// values are bit-identical to the standalone functions above — the
+/// legacy entry points are thin wrappers over this.
+/// Preconditions: module verifies.
+AnalysisSummary summarize(const Module& module);
+
 }  // namespace tytra::ir

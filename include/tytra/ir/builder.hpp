@@ -59,10 +59,12 @@ class FunctionBuilder {
 
  private:
   std::string fresh_name();
-  void note_defined(const std::string& name);
+  void note_defined(const std::string& name, const Type& type);
 
   Function func_;
-  std::vector<std::string> defined_;
+  /// Defined value names with their types, so offset() resolves a base's
+  /// type in one lookup instead of rescanning the whole body per call.
+  std::vector<std::pair<std::string, Type>> defined_;
   int next_id_{1};
 };
 
@@ -76,6 +78,11 @@ class ModuleBuilder {
   ModuleBuilder& set_form(ExecForm form);
   ModuleBuilder& set_freq(double hz);
   ModuleBuilder& set_ii(std::uint32_t ii);
+
+  /// Pre-sizes the Manage-IR vectors for `ports` upcoming add_*_port
+  /// calls (each adds one memobj, one streamobj and one binding) — lane
+  /// sweeps add ports in bulk and would otherwise regrow three vectors.
+  ModuleBuilder& reserve_ports(std::size_t ports);
 
   /// Adds a full port with backing Manage-IR objects: a MemObject named
   /// "m_<name>" sized to the NDRange (call set_ndrange first; throws

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "tytra/ir/analysis.hpp"
 #include "tytra/ir/module.hpp"
 #include "tytra/membench/dram.hpp"
 #include "tytra/target/device.hpp"
@@ -37,10 +38,17 @@ struct TimingOptions {
   double per_stream_overhead_seconds{6e-6};
 };
 
-/// Simulates execution timing of the design.
+/// Simulates execution timing of the design. The summary overload reuses
+/// a one-traversal `ir::AnalysisSummary` (design parameters, offset
+/// counts, per-port stride resolutions) instead of re-walking the module;
+/// results are bit-identical.
 /// Preconditions: the module verifies and has a non-zero NDRange.
 TimingResult simulate_timing(const ir::Module& module,
                              const target::DeviceDesc& device,
+                             const TimingOptions& options = {});
+TimingResult simulate_timing(const ir::Module& module,
+                             const target::DeviceDesc& device,
+                             const ir::AnalysisSummary& summary,
                              const TimingOptions& options = {});
 
 }  // namespace tytra::sim

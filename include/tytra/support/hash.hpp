@@ -25,6 +25,12 @@ constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
 /// Incrementally builds a canonical 64-bit key from typed fields.
 class HashBuilder {
  public:
+  HashBuilder() = default;
+  /// Seeded builder: two builders with different seeds walking the same
+  /// field stream yield independent hashes (used for wide digests whose
+  /// halves must not collide together).
+  explicit constexpr HashBuilder(std::uint64_t seed) : state_(seed) {}
+
   HashBuilder& u64(std::uint64_t v) {
     state_ = hash_mix(state_, v);
     return *this;

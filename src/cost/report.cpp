@@ -8,14 +8,19 @@
 namespace tytra::cost {
 
 CostReport cost_design(const ir::Module& module, const DeviceCostDb& db) {
+  return cost_design(module, db, ir::summarize(module));
+}
+
+CostReport cost_design(const ir::Module& module, const DeviceCostDb& db,
+                       const ir::AnalysisSummary& summary) {
   const auto t0 = std::chrono::steady_clock::now();
   CostReport report;
   report.design_name = module.name;
-  report.config = ir::classify_config(module);
-  report.params = ir::extract_params(module);
+  report.config = summary.config;
+  report.params = summary.params;
   if (report.params.fd <= 0) report.params.fd = db.device().default_freq_hz;
-  report.resources = estimate_resources(module, db);
-  report.throughput = estimate_throughput(module, db);
+  report.resources = estimate_resources(module, db, summary);
+  report.throughput = estimate_throughput(module, db, summary);
 
   report.valid = true;
   if (!report.resources.fits) {

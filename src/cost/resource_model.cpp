@@ -1,6 +1,7 @@
 #include "tytra/cost/resource_model.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "tytra/ir/analysis.hpp"
 
@@ -13,37 +14,16 @@ using ir::Instr;
 using ir::Module;
 using ir::Operand;
 
-}  // namespace
-
-namespace {
-ResourceVec estimate_function_memo(const Module& module,
-                                   const Function& function,
-                                   const DeviceCostDb& db,
-                                   std::map<std::string, ResourceVec>& memo);
-}  // namespace
-
-ResourceVec estimate_function(const Module& module, const Function& function,
-                              const DeviceCostDb& db) {
-  std::map<std::string, ResourceVec> memo;
-  return estimate_function_memo(module, function, db, memo);
-}
-
-namespace {
-ResourceVec estimate_function_memo(const Module& module,
-                                   const Function& function,
-                                   const DeviceCostDb& db,
-                                   std::map<std::string, ResourceVec>& memo) {
-  // Replicated lanes call the same body: cost it once per distinct callee.
-  if (const auto it = memo.find(function.name); it != memo.end()) {
-    return it->second;
-  }
+/// Cost of one function body, children excluded: fitted instruction laws,
+/// delay-balancing registers along skewed operand paths, offset buffers,
+/// and the sequencer overhead for seq-kind functions. The floating-point
+/// accumulation order matches the legacy single-function walk exactly.
+ResourceVec own_cost(const ir::FunctionSummary& fs, const DeviceCostDb& db) {
   ResourceVec total;
-  const ir::FunctionSchedule sched = ir::schedule_function(module, function);
+  const ir::FunctionSchedule& sched = fs.schedule;
   std::size_t instr_idx = 0;
 
-  for (const auto& item : function.body) {
-    const auto* instr = std::get_if<Instr>(&item);
-    if (instr == nullptr) continue;
+  for (const Instr* instr : fs.instrs) {
     const int issue =
         instr_idx < sched.issue_at.size() ? sched.issue_at[instr_idx] : 0;
     ++instr_idx;
@@ -72,7 +52,7 @@ ResourceVec estimate_function_memo(const Module& module,
   }
 
   // Offset buffers.
-  const auto offsets = function.offsets();
+  const auto& offsets = fs.offsets;
   if (!offsets.empty()) {
     std::int64_t max_off = 0;
     for (const auto* o : offsets) max_off = std::max(max_off, o->offset);
@@ -86,49 +66,138 @@ ResourceVec estimate_function_memo(const Module& module,
     }
   }
 
-  if (function.kind == ir::FuncKind::Seq) {
-    const double ni = static_cast<double>(function.instructions().size());
+  if (fs.func->kind == ir::FuncKind::Seq) {
+    const double ni = static_cast<double>(fs.instrs.size());
     total.aluts += 80 + 4.0 * ni;
     total.regs += 64;
   }
 
-  for (const auto* call : function.calls()) {
-    if (const Function* callee = module.find_function(call->callee)) {
-      total += estimate_function_memo(module, *callee, db, memo);
-    }
-  }
-  memo[function.name] = total;
   return total;
 }
+
 }  // namespace
+
+namespace {
+
+/// Partitions and schedules one function against `module` without
+/// requiring it to be a member of `module.functions` — the public
+/// estimate_function accepts detached Function objects (copies, synthetic
+/// wrappers), which the module-wide summary cannot know about.
+ir::FunctionSummary summarize_detached(const Module& module,
+                                       const Function& function) {
+  ir::FunctionSummary fs;
+  fs.func = &function;
+  fs.instrs.reserve(function.body.size());
+  for (const auto& item : function.body) {
+    if (const auto* instr = std::get_if<Instr>(&item)) {
+      fs.instrs.push_back(instr);
+    } else if (const auto* off = std::get_if<ir::OffsetDecl>(&item)) {
+      fs.offsets.push_back(off);
+    } else {
+      fs.calls.push_back(&std::get<ir::Call>(item));
+    }
+  }
+  fs.schedule = ir::schedule_function(module, function);
+  return fs;
+}
+
+}  // namespace
+
+ResourceVec estimate_function(const Module& module, const Function& function,
+                              const DeviceCostDb& db) {
+  // Public single-function entry point: summarize the enclosing module so
+  // the walk shares the memoized schedules, then total own costs over the
+  // call tree (children per call site, like the design-level estimate).
+  // A function that is not a member of `module` (a copy, a synthetic
+  // wrapper) is summarized on the spot instead of being silently skipped.
+  const ir::AnalysisSummary summary = ir::summarize(module);
+  std::unordered_map<const Function*, ResourceVec> totals;
+  std::unordered_map<const Function*, const ir::FunctionSummary*> by_func;
+  for (const auto& fs : summary.functions) by_func.emplace(fs.func, &fs);
+
+  auto total_of = [&](auto&& self, const Function& f) -> ResourceVec {
+    const auto fs_it = by_func.find(&f);
+    const ir::FunctionSummary detached =
+        fs_it == by_func.end() ? summarize_detached(module, f)
+                               : ir::FunctionSummary{};
+    const ir::FunctionSummary& fs =
+        fs_it == by_func.end() ? detached : *fs_it->second;
+    ResourceVec total = own_cost(fs, db);
+    for (const auto* call : fs.calls) {
+      if (const Function* callee = module.find_function(call->callee)) {
+        const auto memo = totals.find(callee);
+        if (memo != totals.end()) {
+          total += memo->second;
+        } else {
+          const ResourceVec child = self(self, *callee);
+          totals.emplace(callee, child);
+          total += child;
+        }
+      }
+    }
+    return total;
+  };
+  return total_of(total_of, function);
+}
 
 ResourceEstimate estimate_resources(const Module& module,
                                     const DeviceCostDb& db) {
+  return estimate_resources(module, db, ir::summarize(module));
+}
+
+ResourceEstimate estimate_resources(const Module& module,
+                                    const DeviceCostDb& db,
+                                    const ir::AnalysisSummary& summary) {
   ResourceEstimate est;
   const Function* main = module.entry();
   if (main == nullptr) return est;
 
-  est.total = estimate_function(module, *main, db);
-
-  for (const auto& f : module.functions) {
-    if (f.name == "main") continue;
-    Function shallow = f;
-    shallow.body.clear();
-    for (const auto& item : f.body) {
-      if (!std::holds_alternative<ir::Call>(item)) shallow.body.push_back(item);
+  // Own cost per function, computed once each; design total accumulated
+  // over the call tree with children counted per call site (replicated
+  // lanes pay per lane), memoized per distinct callee.
+  const std::size_t nf = summary.functions.size();
+  std::vector<ResourceVec> own(nf);
+  std::vector<bool> own_done(nf, false);
+  auto own_of = [&](std::size_t fi) -> const ResourceVec& {
+    if (!own_done[fi]) {
+      own[fi] = own_cost(summary.functions[fi], db);
+      own_done[fi] = true;
     }
-    Module wrapper;
-    wrapper.functions.push_back(shallow);
-    est.per_function[f.name] =
-        estimate_function(wrapper, wrapper.functions.front(), db);
+    return own[fi];
+  };
+
+  std::unordered_map<std::string_view, std::size_t> index;
+  index.reserve(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    index.emplace(summary.functions[i].func->name, i);
   }
 
-  for (const auto& p : module.ports) {
-    std::uint64_t range = module.meta.global_size;
-    if (const auto* so = module.find_streamobj(p.streamobj)) {
-      if (const auto* mo = module.find_memobj(so->memobj)) range = mo->size_words;
+  std::vector<ResourceVec> totals(nf);
+  std::vector<bool> total_done(nf, false);
+  auto total_of = [&](auto&& self, std::size_t fi) -> const ResourceVec& {
+    if (total_done[fi]) return totals[fi];
+    total_done[fi] = true;  // cycle guard; verified call graphs are acyclic
+    ResourceVec total = own_of(fi);
+    for (const auto* call : summary.functions[fi].calls) {
+      const auto it = index.find(call->callee);
+      if (it != index.end()) total += self(self, it->second);
     }
-    est.total += db.stream_control_cost(p.type.total_bits(), range);
+    totals[fi] = total;
+    return totals[fi];
+  };
+
+  const auto main_it = index.find(main->name);
+  if (main_it != index.end()) est.total = total_of(total_of, main_it->second);
+
+  for (std::size_t i = 0; i < nf; ++i) {
+    const Function& f = *summary.functions[i].func;
+    if (f.name == "main") continue;
+    est.per_function[f.name] = own_of(i);
+  }
+
+  for (const auto& ps : summary.ports) {
+    est.total += db.stream_control_cost(ps.port->type.total_bits(),
+                                        ps.addr_range_words);
   }
 
   est.util = utilization(est.total, db.device());

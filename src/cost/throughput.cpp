@@ -106,8 +106,13 @@ ThroughputEstimate ekit(const EkitInputs& in) {
 }
 
 EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db) {
+  return resolve_inputs(module, db, ir::summarize(module));
+}
+
+EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db,
+                          const ir::AnalysisSummary& summary) {
   EkitInputs in;
-  in.design = ir::extract_params(module);
+  in.design = summary.params;
   const target::DeviceDesc& dev = db.device();
   if (in.design.fd <= 0) in.design.fd = dev.default_freq_hz;
   in.word_bytes = dev.word_bytes;
@@ -126,12 +131,9 @@ EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db) {
   // port streams form one long aggregate DRAM transfer.
   if (!module.ports.empty() && bytes > 0) {
     double inv_sum = 0;
-    for (const auto& p : module.ports) {
-      std::uint64_t stride = 1;
-      if (const auto* so = module.find_streamobj(p.streamobj)) {
-        stride = so->stride_words;
-      }
-      const double bw = db.bandwidth().sustained(bytes, p.pattern, stride);
+    for (const auto& ps : summary.ports) {
+      const double bw =
+          db.bandwidth().sustained(bytes, ps.port->pattern, ps.stride_words);
       inv_sum += 1.0 / std::max(1.0, bw);
     }
     // Concurrent ports share the memory system: each per-port measurement
@@ -149,6 +151,12 @@ EkitInputs resolve_inputs(const ir::Module& module, const DeviceCostDb& db) {
 ThroughputEstimate estimate_throughput(const ir::Module& module,
                                        const DeviceCostDb& db) {
   return ekit(resolve_inputs(module, db));
+}
+
+ThroughputEstimate estimate_throughput(const ir::Module& module,
+                                       const DeviceCostDb& db,
+                                       const ir::AnalysisSummary& summary) {
+  return ekit(resolve_inputs(module, db, summary));
 }
 
 }  // namespace tytra::cost

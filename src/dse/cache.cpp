@@ -1,6 +1,11 @@
 #include "tytra/dse/cache.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
 #include "tytra/ir/printer.hpp"
+#include "tytra/ir/structural_hash.hpp"
 #include "tytra/support/hash.hpp"
 
 namespace tytra::dse {
@@ -10,9 +15,11 @@ namespace {
 /// Every DeviceDesc field a cost report can depend on — two databases
 /// calibrated from devices with equal fingerprints produce equal reports,
 /// even when a .tgt file is edited under an unchanged device name.
-std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
-  return HashBuilder{}
-      .str(dev.name)
+/// Calibration is deterministic in the device description, so this
+/// fingerprint pins every law and table the cost model reads; nothing
+/// else about the database needs to enter the cache identity.
+void hash_device(HashBuilder& h, const target::DeviceDesc& dev) {
+  h.str(dev.name)
       .str(dev.family)
       .u64(dev.resources.aluts)
       .u64(dev.resources.regs)
@@ -31,49 +38,71 @@ std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
       .f64(dev.host.efficiency)
       .f64(dev.host.latency_seconds)
       .u64(dev.word_bytes)
-      .f64(dev.shell_overhead)
-      .value();
+      .f64(dev.shell_overhead);
 }
 
-/// The full identity text of a (design, database) pair. The printed IR is
-/// the canonical structural identity: two designs with the same text have
-/// the same op mix, offsets, ports and metadata, hence the same resource
-/// estimate. The resolved EKIT inputs fold in everything the throughput
-/// model reads from the calibrated database, and the device fingerprint
-/// pins the resource laws.
+std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
+  HashBuilder h;
+  hash_device(h, dev);
+  return h.value();
+}
+
+/// The 128-bit identity of a (design, database) pair, streamed: the
+/// device fingerprint seeds both digest halves, then the module structure
+/// is walked once into each. No strings are built, no parameters are
+/// extracted — one allocation-free traversal.
+ir::StructuralDigest design_digest(const ir::Module& module,
+                                   const cost::DeviceCostDb& db) {
+  const std::uint64_t dev = device_fingerprint(db.device());
+  const ir::StructuralDigest structure = ir::structural_digest(module);
+  return {HashBuilder{}.u64(dev).u64(structure.key).value(),
+          HashBuilder{}.u64(dev).u64(structure.check).value()};
+}
+
+/// The human-auditable identity text of an entry, materialized only when
+/// an entry is first inserted (never on the lookup path): the printed IR
+/// — the canonical structural identity the digest condenses — plus the
+/// device fingerprint.
 std::string design_identity(const ir::Module& module,
                             const cost::DeviceCostDb& db) {
   std::string identity = ir::print_module(module);
   identity += '\x1f';
   identity += std::to_string(device_fingerprint(db.device()));
-  identity += '\x1f';
-  identity += std::to_string(cost::input_key(cost::resolve_inputs(module, db)));
   return identity;
-}
-
-/// The one keying rule: the cache's map key and the public design_key are
-/// the same function of the identity text.
-std::uint64_t key_of(const std::string& identity) {
-  return HashBuilder{}.str(identity).value();
 }
 
 }  // namespace
 
 std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db) {
-  return key_of(design_identity(module, db));
+  return design_digest(module, db).key;
 }
+
+namespace {
+
+std::size_t resolve_shards(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(CostCache::kMinDefaultShards,
+                               std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+CostCache::CostCache(std::size_t shards) : shards_(resolve_shards(shards)) {}
 
 cost::CostReport CostCache::cost(const ir::Module& module,
                                  const cost::DeviceCostDb& db, bool* was_hit) {
-  const std::string identity = design_identity(module, db);
-  const std::uint64_t key = key_of(identity);
-  Shard& shard = shards_[key % kShards];
+  const ir::StructuralDigest digest = design_digest(module, db);
+  Shard& shard = shards_[digest.key % shards_.size()];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(key);
-    // Compare the stored identity so a 64-bit collision degrades to a
-    // recomputation instead of returning another design's report.
-    if (it != shard.map.end() && it->second.identity == identity) {
+    const auto it = shard.map.find(digest.key);
+    // Verify the independent second half so a 64-bit collision degrades
+    // to a recomputation instead of returning another design's report.
+    if (it != shard.map.end() && it->second.check == digest.check) {
+      // Debug builds exercise the byte-level fallback the digest
+      // condenses: a digest match must mean byte-identical identity
+      // text. Release hits never materialize the probe's identity.
+      assert(it->second.identity == design_identity(module, db));
       ++shard.hits;
       if (was_hit) *was_hit = true;
       return it->second.report;
@@ -82,11 +111,17 @@ cost::CostReport CostCache::cost(const ir::Module& module,
   }
   if (was_hit) *was_hit = false;
   // Cost outside the lock: the model run dominates, and concurrent misses
-  // on the same key merely compute the same report twice.
-  cost::CostReport report = cost::cost_design(module, db);
+  // on the same key merely compute the same report twice. The summary is
+  // built once and shared across every model stage.
+  const ir::AnalysisSummary summary = ir::summarize(module);
+  cost::CostReport report = cost::cost_design(module, db, summary);
+  // First insert materializes the identity text (collision fallback /
+  // audit record); hits never do.
+  std::string identity = design_identity(module, db);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.insert_or_assign(key, Entry{identity, report});
+    shard.map.insert_or_assign(
+        digest.key, Entry{digest.check, std::move(identity), report});
   }
   return report;
 }

@@ -1,8 +1,10 @@
 #include "tytra/dse/explorer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -13,13 +15,21 @@ namespace tytra::dse {
 
 namespace {
 
-std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
-  // More workers than cores only adds contention, and an unbounded
-  // request could exhaust OS thread limits mid-spawn.
+std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items,
+                              const CostCache* cache) {
+  // The clamping policy is documented on DseOptions::num_threads: at most
+  // 4x the core count, at most one worker per variant, and at most one
+  // worker per cache shard (an extra worker past that can only queue on
+  // another worker's shard lock).
   std::uint32_t cores = std::thread::hardware_concurrency();
   if (cores == 0) cores = 1;
   std::uint32_t n = requested == 0 ? cores : std::min(requested, 4 * cores);
   if (work_items < n) n = static_cast<std::uint32_t>(work_items);
+  if (cache != nullptr) {
+    n = std::min<std::uint32_t>(
+        n, static_cast<std::uint32_t>(
+               std::min<std::size_t>(cache->shard_count(), 0xffffffffu)));
+  }
   return n == 0 ? 1 : n;
 }
 
@@ -94,16 +104,15 @@ double bandwidth_share(const cost::CostReport& report) {
                                     : 0.0;
 }
 
-/// a dominates b when it is at least as good on every objective and
-/// strictly better on one.
-bool dominates(const ParetoPoint& a, const ParetoPoint& b) {
-  const bool no_worse =
-      a.ekit >= b.ekit && a.util_max <= b.util_max && a.bw_share <= b.bw_share;
-  const bool better =
-      a.ekit > b.ekit || a.util_max < b.util_max || a.bw_share < b.bw_share;
-  return no_worse && better;
-}
-
+// A point dominates another when it is at least as good on every
+// objective (EKIT >=, util <=, bw-share <=) and strictly better on one.
+//
+/// Sort-based skyline replacing the former all-pairs O(n^2) sweep.
+/// Candidates sorted by EKIT descending can only be dominated by points
+/// earlier in the sort; kept points are condensed into a (util, bw)
+/// staircase — strictly increasing util, strictly decreasing bw — so each
+/// dominance probe is one ordered-map lookup: O(n log n) overall. Output
+/// is the same set as the all-pairs sweep, in enumeration order.
 std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
   std::vector<ParetoPoint> candidates;
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -113,18 +122,80 @@ std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
                                      e.report.resources.util.max(),
                                      bandwidth_share(e.report)});
   }
-  std::vector<ParetoPoint> frontier;
-  for (const auto& c : candidates) {
-    bool dominated = false;
-    for (const auto& other : candidates) {
-      if (dominates(other, c)) {
-        dominated = true;
-        break;
+
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const ParetoPoint& pa = candidates[a];
+    const ParetoPoint& pb = candidates[b];
+    if (pa.ekit != pb.ekit) return pa.ekit > pb.ekit;
+    if (pa.util_max != pb.util_max) return pa.util_max < pb.util_max;
+    if (pa.bw_share != pb.bw_share) return pa.bw_share < pb.bw_share;
+    return a < b;
+  });
+
+  // Staircase over kept points from strictly-higher-EKIT groups. Every
+  // staircase point has strictly greater EKIT than the probe, so covering
+  // it on (util, bw) — even with equality — is domination.
+  std::map<double, double> staircase;  // util -> bw, bw strictly decreasing
+  const auto covered = [&](const ParetoPoint& c) {
+    auto it = staircase.upper_bound(c.util_max);
+    if (it == staircase.begin()) return false;
+    --it;  // greatest util <= c.util; its bw is the minimum among those
+    return it->second <= c.bw_share;
+  };
+  const auto insert_point = [&](const ParetoPoint& c) {
+    auto it = staircase.upper_bound(c.util_max);
+    if (it != staircase.begin() && std::prev(it)->second <= c.bw_share) {
+      return;  // an existing point already covers it
+    }
+    auto pos = staircase.lower_bound(c.util_max);
+    while (pos != staircase.end() && pos->second >= c.bw_share) {
+      pos = staircase.erase(pos);
+    }
+    staircase.emplace(c.util_max, c.bw_share);
+  };
+
+  std::vector<bool> keep(candidates.size(), false);
+  std::size_t g = 0;
+  while (g < order.size()) {
+    // One group of equal-EKIT candidates, in (util asc, bw asc) order.
+    std::size_t g_end = g + 1;
+    while (g_end < order.size() &&
+           candidates[order[g_end]].ekit == candidates[order[g]].ekit) {
+      ++g_end;
+    }
+    // Within the group EKIT ties, so domination needs strictness on the
+    // other two objectives. Earlier members have util <= ours; tracking
+    // the running minimum bw (and the smallest util achieving it) decides
+    // domination without a scan. Dominated members participate too:
+    // whatever they would dominate, their own dominator also dominates.
+    double g_min_bw = 0;
+    double g_min_bw_util = 0;
+    for (std::size_t k = g; k < g_end; ++k) {
+      const ParetoPoint& c = candidates[order[k]];
+      const bool by_group =
+          k > g && (g_min_bw < c.bw_share ||
+                    (g_min_bw == c.bw_share && g_min_bw_util < c.util_max));
+      keep[order[k]] = !by_group && !covered(c);
+      if (k == g || c.bw_share < g_min_bw) {
+        g_min_bw = c.bw_share;
+        g_min_bw_util = c.util_max;  // first achiever has the smallest util
       }
     }
-    if (!dominated) frontier.push_back(c);
+    // Merge the group's survivors only after the whole group is probed:
+    // equal-EKIT points must not dominate through the staircase.
+    for (std::size_t k = g; k < g_end; ++k) {
+      if (keep[order[k]]) insert_point(candidates[order[k]]);
+    }
+    g = g_end;
   }
-  return frontier;  // candidates were scanned in enumeration order
+
+  std::vector<ParetoPoint> frontier;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (keep[i]) frontier.push_back(candidates[i]);
+  }
+  return frontier;  // candidates were built in enumeration order
 }
 
 }  // namespace
@@ -137,9 +208,10 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
       frontend::enumerate_variants(n, options.max_lanes, options.include_seq);
 
   std::vector<std::optional<cost::CostReport>> slots(variants.size());
-  evaluate_batch(variants, lower, db, options.cache,
-                 resolve_threads(options.num_threads, variants.size()), slots,
-                 result.cache_stats);
+  evaluate_batch(
+      variants, lower, db, options.cache,
+      resolve_threads(options.num_threads, variants.size(), options.cache),
+      slots, result.cache_stats);
 
   // Deterministic merge in enumeration order.
   result.entries.reserve(variants.size());

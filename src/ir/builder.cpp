@@ -14,52 +14,37 @@ std::string FunctionBuilder::fresh_name() {
   return "t" + std::to_string(next_id_++);
 }
 
-void FunctionBuilder::note_defined(const std::string& name) {
-  if (std::find(defined_.begin(), defined_.end(), name) != defined_.end()) {
-    throw std::invalid_argument("FunctionBuilder: redefinition of %" + name);
+void FunctionBuilder::note_defined(const std::string& name, const Type& type) {
+  for (const auto& [defined, _] : defined_) {
+    if (defined == name) {
+      throw std::invalid_argument("FunctionBuilder: redefinition of %" + name);
+    }
   }
-  defined_.push_back(name);
+  defined_.emplace_back(name, type);
 }
 
 std::string FunctionBuilder::param(Type type, std::string name) {
-  note_defined(name);
+  note_defined(name, type);
   func_.params.push_back({type, name});
   return name;
 }
 
 std::string FunctionBuilder::offset(const std::string& base, std::int64_t off,
                                     std::string name) {
-  if (std::find(defined_.begin(), defined_.end(), base) == defined_.end()) {
+  // The defined-value list carries each value's type, so resolving the
+  // base is one scan of the (short) name list, not of the whole body.
+  const Type* base_type = nullptr;
+  for (const auto& [defined, type] : defined_) {
+    if (defined == base) base_type = &type;
+  }
+  if (base_type == nullptr) {
     throw std::invalid_argument("FunctionBuilder: offset of unknown value %" + base);
   }
-  // Find the base type among params / previous results.
-  Type type;
-  bool found = false;
-  for (const auto& p : func_.params) {
-    if (p.name == base) {
-      type = p.type;
-      found = true;
-    }
-  }
-  if (!found) {
-    for (const auto& item : func_.body) {
-      if (const auto* o = std::get_if<OffsetDecl>(&item); o != nullptr && o->result == base) {
-        type = o->type;
-        found = true;
-      }
-      if (const auto* i = std::get_if<Instr>(&item); i != nullptr && i->result == base) {
-        type = i->type;
-        found = true;
-      }
-    }
-  }
-  if (!found) {
-    throw std::invalid_argument("FunctionBuilder: cannot infer type of %" + base);
-  }
+  const Type type = *base_type;
   if (name.empty()) {
     name = base + (off >= 0 ? "_p" : "_n") + std::to_string(off >= 0 ? off : -off);
   }
-  note_defined(name);
+  note_defined(name, type);
   OffsetDecl decl;
   decl.type = type;
   decl.result = name;
@@ -78,7 +63,7 @@ std::string FunctionBuilder::instr(Opcode op, Type type,
         std::to_string(info.arity) + " operands, got " + std::to_string(args.size()));
   }
   if (name.empty()) name = fresh_name();
-  note_defined(name);
+  note_defined(name, type);
   Instr instr;
   instr.op = op;
   instr.type = type;
@@ -149,6 +134,13 @@ ModuleBuilder& ModuleBuilder::set_ii(std::uint32_t ii) {
   return *this;
 }
 
+ModuleBuilder& ModuleBuilder::reserve_ports(std::size_t ports) {
+  mod_.memobjs.reserve(mod_.memobjs.size() + ports);
+  mod_.streamobjs.reserve(mod_.streamobjs.size() + ports);
+  mod_.ports.reserve(mod_.ports.size() + ports);
+  return *this;
+}
+
 void ModuleBuilder::add_port(const std::string& name, Type type, StreamDir dir,
                              AccessPattern pattern, std::uint64_t stride,
                              std::uint64_t size_words) {
@@ -157,30 +149,27 @@ void ModuleBuilder::add_port(const std::string& name, Type type, StreamDir dir,
         "ModuleBuilder: set_ndrange must precede add_*_port (memory objects "
         "are sized to the NDRange)");
   }
-  MemObject mem;
+  MemObject& mem = mod_.memobjs.emplace_back();
   mem.name = "m_" + name;
   mem.elem = type.scalar;
   mem.size_words =
       size_words != 0 ? size_words : mod_.meta.global_size * type.lanes;
   mem.space = AddrSpace::Global;
-  mod_.memobjs.push_back(mem);
 
-  StreamObject so;
+  StreamObject& so = mod_.streamobjs.emplace_back();
   so.name = "strobj_" + name;
   so.memobj = mem.name;
   so.dir = dir;
   so.pattern = pattern;
   so.stride_words = stride;
-  mod_.streamobjs.push_back(so);
 
-  PortBinding port;
+  PortBinding& port = mod_.ports.emplace_back();
   port.name = name;
   port.space = AddrSpace::Global;
   port.type = type;
   port.dir = dir;
   port.pattern = pattern;
   port.streamobj = so.name;
-  mod_.ports.push_back(port);
 }
 
 ModuleBuilder& ModuleBuilder::add_input_port(const std::string& name, Type type,

@@ -79,6 +79,7 @@ ir::Module make_hotspot(const HotspotConfig& cfg) {
   mb.set_ndrange(n).set_nki(cfg.nki).set_form(cfg.form);
 
   const std::uint64_t per_lane = n / cfg.lanes;
+  mb.reserve_ports((std::size(kHotspotInputs) + 1) * cfg.lanes);
   const auto port_name = [&](const char* base, std::uint32_t lane) {
     return cfg.lanes == 1 ? std::string(base) : lane_port_name(base, lane);
   };
@@ -97,6 +98,7 @@ ir::Module make_hotspot(const HotspotConfig& cfg) {
 
   const auto lane_args = [&](std::uint32_t lane) {
     std::vector<Operand> args;
+    args.reserve(std::size(kHotspotInputs) + 1);
     for (const char* name : kHotspotInputs) {
       args.push_back(Operand::global(port_name(name, lane)));
     }

@@ -74,6 +74,7 @@ ir::Module make_lavamd(const LavamdConfig& cfg) {
   mb.set_ndrange(cfg.particles).set_nki(cfg.nki).set_form(cfg.form);
 
   const std::uint64_t per_lane = cfg.particles / cfg.lanes;
+  mb.reserve_ports((std::size(kLavamdInputs) + 1) * cfg.lanes);
   const auto port_name = [&](const char* base, std::uint32_t lane) {
     return cfg.lanes == 1 ? std::string(base) : lane_port_name(base, lane);
   };
@@ -91,6 +92,7 @@ ir::Module make_lavamd(const LavamdConfig& cfg) {
 
   const auto lane_args = [&](std::uint32_t lane) {
     std::vector<Operand> args;
+    args.reserve(std::size(kLavamdInputs) + 1);
     for (const char* name : kLavamdInputs) {
       args.push_back(Operand::global(port_name(name, lane)));
     }

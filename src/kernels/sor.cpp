@@ -82,6 +82,7 @@ ir::Module make_sor(const SorConfig& cfg) {
   mb.set_ndrange(n).set_nki(cfg.nki).set_form(cfg.form);
 
   const std::uint64_t per_lane = n / cfg.lanes;
+  mb.reserve_ports(10 * cfg.lanes);
   if (cfg.lanes == 1) {
     for (const char* name : kSorInputs) mb.add_input_port(name, t);
     mb.add_output_port("p_new", t);
@@ -100,6 +101,7 @@ ir::Module make_sor(const SorConfig& cfg) {
 
   const auto lane_args = [&](std::uint32_t lane) {
     std::vector<Operand> args;
+    args.reserve(std::size(kSorInputs) + 1);
     for (const char* name : kSorInputs) {
       args.push_back(Operand::global(cfg.lanes == 1 ? name
                                                     : lane_port_name(name, lane)));

@@ -5,7 +5,14 @@
 namespace tytra::kernels {
 
 std::string lane_port_name(const std::string& base, std::uint32_t lane) {
-  return base + "_l" + std::to_string(lane);
+  // One allocation: size the result before appending (lane sweeps call
+  // this per port per lane).
+  std::string out;
+  out.reserve(base.size() + 2 + 10);
+  out += base;
+  out += "_l";
+  out += std::to_string(lane);
+  return out;
 }
 
 sim::StreamMap partition_streams(const sim::StreamMap& full,

@@ -25,8 +25,15 @@ constexpr double kPerOffsetBubble = 0.006;
 TimingResult simulate_timing(const ir::Module& module,
                              const target::DeviceDesc& device,
                              const TimingOptions& options) {
+  return simulate_timing(module, device, ir::summarize(module), options);
+}
+
+TimingResult simulate_timing(const ir::Module& module,
+                             const target::DeviceDesc& device,
+                             const ir::AnalysisSummary& summary,
+                             const TimingOptions& options) {
   TimingResult out;
-  const ir::DesignParams p = ir::extract_params(module);
+  const ir::DesignParams& p = summary.params;
   if (p.ngs == 0) return out;
 
   double fd = options.freq_hz;
@@ -39,10 +46,7 @@ TimingResult simulate_timing(const ir::Module& module,
   const double total_bytes = ngs * p.nwpt * word_bytes;
 
   // Count offset streams (bubble sources).
-  double n_offsets = 0;
-  for (const auto& f : module.functions) {
-    n_offsets += static_cast<double>(f.offsets().size());
-  }
+  const double n_offsets = static_cast<double>(summary.offset_count);
 
   // --- Device-side cycles for one kernel instance --------------------------
   const membench::DramModel dram(device.dram);
@@ -54,16 +58,13 @@ TimingResult simulate_timing(const ir::Module& module,
 
   // Strided ports stream slower; compute an effective aggregate rate.
   double worst_port_bw = dram.peak_bw();
-  for (const auto& port : module.ports) {
-    std::uint64_t stride = 1;
-    if (const auto* so = module.find_streamobj(port.streamobj)) {
-      stride = so->stride_words;
-    }
+  for (const auto& ps : summary.ports) {
     // Evaluate at the total transfer size: the port streams run
     // concurrently and form one long aggregate DRAM transfer.
     const double bw = dram.sustained_bw(
-        static_cast<std::uint64_t>(std::max(1.0, total_bytes)), port.pattern,
-        stride * device.word_bytes, device.word_bytes);
+        static_cast<std::uint64_t>(std::max(1.0, total_bytes)),
+        ps.port->pattern, ps.stride_words * device.word_bytes,
+        device.word_bytes);
     // All ports share the memory system; the slowest pattern bounds it.
     worst_port_bw = std::min(worst_port_bw, bw);
   }

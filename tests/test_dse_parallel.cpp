@@ -252,6 +252,69 @@ TEST(DsePareto, FrontierCoversBothEndsOfTheTradeoff) {
   EXPECT_TRUE(cheapest_on_frontier);
 }
 
+TEST(DsePareto, SkylineMatchesBruteForceFrontier) {
+  // The sort-based skyline must select exactly the set the O(n^2)
+  // all-pairs definition selects, across kernels and sweep widths.
+  struct Case {
+    std::uint64_t n;
+    dse::LowerFn lower;
+    std::uint32_t max_lanes;
+  };
+  const Case cases[] = {
+      {kDim * kDim * kDim, sor_lower(), 16},
+      {kDim * kDim * kDim, sor_lower(), 48},
+      {kDim * kDim, hotspot_lower(), 24},
+      {1024, lavamd_lower(), 16},
+  };
+  for (const auto& c : cases) {
+    DseOptions opt;
+    opt.max_lanes = c.max_lanes;
+    const DseResult r = dse::explore(c.n, c.lower, fig15_db(), opt);
+
+    // Brute force over the valid entries.
+    std::vector<dse::ParetoPoint> candidates;
+    for (std::size_t i = 0; i < r.entries.size(); ++i) {
+      const auto& rep = r.entries[i].report;
+      if (!rep.valid) continue;
+      const double bw_share =
+          rep.throughput.seconds_per_instance > 0
+              ? rep.throughput.t_mem_stream /
+                    rep.throughput.seconds_per_instance
+              : 0.0;
+      candidates.push_back(dse::ParetoPoint{i, rep.throughput.ekit,
+                                            rep.resources.util.max(),
+                                            bw_share});
+    }
+    std::vector<std::size_t> expected;
+    for (const auto& p : candidates) {
+      bool dominated = false;
+      for (const auto& q : candidates) dominated |= dominates(q, p);
+      if (!dominated) expected.push_back(p.index);
+    }
+    std::vector<std::size_t> actual;
+    for (const auto& p : r.pareto) actual.push_back(p.index);
+    EXPECT_EQ(actual, expected) << "max_lanes=" << c.max_lanes;
+  }
+}
+
+TEST(DseCache, FewerShardsThanWorkersStaysDeterministic) {
+  // The explorer caps its worker count at the cache's shard count; a
+  // 1-shard cache must still produce the byte-identical sweep.
+  DseOptions plain;
+  plain.num_threads = 1;
+  const DseResult base = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                      fig15_db(), plain);
+  CostCache tiny(1);
+  DseOptions opt;
+  opt.num_threads = 8;
+  opt.cache = &tiny;
+  const DseResult r = dse::explore(kDim * kDim * kDim, sor_lower(),
+                                   fig15_db(), opt);
+  EXPECT_EQ(dse::format_sweep(r), dse::format_sweep(base));
+  EXPECT_EQ(tiny.shard_count(), 1u);
+  EXPECT_EQ(r.cache_stats.misses, r.entries.size());
+}
+
 TEST(DsePareto, NoValidEntriesMeansEmptyFrontier) {
   // A device too small for even one lane: every variant is invalid.
   auto tiny = target::fig15_profile();

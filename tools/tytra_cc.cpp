@@ -263,14 +263,16 @@ int main(int argc, char** argv) {
   if (do_print) {
     std::printf("%s", ir::print_module(module).c_str());
   }
+  // One analysis traversal serves every remaining action (tree, params,
+  // cost) — the summary bundles what each used to re-derive on its own.
+  const ir::AnalysisSummary summary = ir::summarize(module);
   if (do_tree) {
-    std::printf("%s", ir::format_config_tree(ir::build_config_tree(module)).c_str());
+    std::printf("%s", ir::format_config_tree(summary.tree).c_str());
     std::printf("configuration class: %s\n",
-                std::string(ir::config_class_name(ir::classify_config(module)))
-                    .c_str());
+                std::string(ir::config_class_name(summary.config)).c_str());
   }
   if (do_params) {
-    const ir::DesignParams p = ir::extract_params(module);
+    const ir::DesignParams& p = summary.params;
     std::printf("NGS=%llu NWPT=%.1f NKI=%u Noff=%llu KPD=%d NTO=%.2f NI=%.1f "
                 "KNL=%u DV=%u form=%s\n",
                 static_cast<unsigned long long>(p.ngs), p.nwpt, p.nki,
@@ -279,7 +281,9 @@ int main(int argc, char** argv) {
   }
   if (do_cost) {
     const auto db = cost::DeviceCostDb::calibrate(device);
-    std::printf("%s", cost::format_report(cost::cost_design(module, db)).c_str());
+    std::printf("%s",
+                cost::format_report(cost::cost_design(module, db, summary))
+                    .c_str());
   }
   if (!hdl_path.empty()) {
     const auto design = codegen::emit_verilog(module);
