@@ -3,9 +3,17 @@
 // a second versus ~70 s for a vendor tool's preliminary estimate — is
 // measured against the fabric synthesizer (full netlist + placement).
 // On top of that, the driver times the DSE hot path itself: the SOR
-// nd=64 variant sweep, single-threaded, with a cold cost pipeline and
-// with a warm memoizing cache, reported as per-variant microseconds and
-// variants/second.
+// nd=64 variant sweep, single-threaded, in the three cache regimes a
+// sweep can hit —
+//   cold             no cache: lower + summarize + cost per variant;
+//   warm-structural  warm cache through a key-less LowerFn: every hit
+//                    still lowers the variant and streams its structural
+//                    digest before the table answers;
+//   warm (variant-key)  warm cache through a KeyedLowerer: identity is
+//                    resolved before lowering, so a hit is a hash of a
+//                    dozen integers plus one lock-free probe — no IR
+//                    exists at all.
+// Each is reported as per-variant microseconds and variants/second.
 //
 // Usage:
 //   bench_estimator_speed [--json <path>] [--baseline <path>]
@@ -13,12 +21,14 @@
 //                        perf-trajectory artifact, BENCH_estimator.json)
 //     --baseline <path>  read a previous JSON and exit non-zero when the
 //                        warm-cache per-variant cost regressed by more
-//                        than 2x (CI regression gate)
+//                        than 2x, or when the variant-key warm path falls
+//                        under 5x faster than cold (CI regression gates)
 //
 // Baselines travel between machines: every report carries a
 // machine-speed probe (a fixed CPU-bound workload), and the regression
 // gate rescales the baseline by the probe ratio, so a slower CI runner
 // is not mistaken for a code regression (nor a faster one for a fix).
+// The warm<=cold/5 gate needs no rescaling: both sides run here.
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +43,7 @@
 #include "tytra/dse/explorer.hpp"
 #include "tytra/fabric/synth.hpp"
 #include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/lowerers.hpp"
 #include "tytra/support/hash.hpp"
 
 namespace {
@@ -51,14 +62,28 @@ const cost::DeviceCostDb& db() {
   return calibrated;
 }
 
-dse::LowerFn sor_lower() {
-  return [](const frontend::Variant& v) {
-    kernels::SorConfig cfg;
-    cfg.im = cfg.jm = cfg.km = kNd;
-    cfg.nki = 10;
+kernels::SorConfig sor_config() {
+  kernels::SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = kNd;
+  cfg.nki = 10;
+  return cfg;
+}
+
+/// The variant-key path: identity resolved before lowering.
+const dse::KeyedLowerer& sor_keyed_lower() {
+  static const dse::KeyedLowerer lower = kernels::sor_lowerer(sor_config());
+  return lower;
+}
+
+/// The key-less path every pre-Lowerer caller uses: identity resolved
+/// from the lowered module's structural digest.
+const dse::FnLowerer& sor_fn_lower() {
+  static const dse::FnLowerer lower{[](const frontend::Variant& v) {
+    kernels::SorConfig cfg = sor_config();
     cfg.lanes = v.lanes();
     return kernels::make_sor(cfg);
-  };
+  }};
+  return lower;
 }
 
 double now_minus(const std::chrono::steady_clock::time_point& t0) {
@@ -70,11 +95,13 @@ struct SweepTiming {
   std::size_t variants{0};
   double us_per_variant{0};
   double variants_per_sec{0};
+  dse::CacheStats stats;  ///< the final rep's per-sweep hit accounting
 };
 
 /// Times `explore` over the SOR family, best-of-N to shed scheduler
 /// noise. `cache` may be null (the cold configuration).
-SweepTiming time_sweep(dse::CostCache* cache, int reps) {
+SweepTiming time_sweep(const dse::Lowerer& lower, dse::CostCache* cache,
+                       int reps) {
   dse::DseOptions opt;
   opt.num_threads = kThreads;
   opt.cache = cache;
@@ -83,9 +110,10 @@ SweepTiming time_sweep(dse::CostCache* cache, int reps) {
   double best = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = dse::explore(n, sor_lower(), db(), opt);
+    const auto r = dse::explore(n, lower, db(), opt);
     const double s = now_minus(t0);
     out.variants = r.entries.size();
+    out.stats = r.cache_stats;
     best = std::min(best, s);
   }
   out.us_per_variant = best / static_cast<double>(out.variants) * 1e6;
@@ -166,18 +194,42 @@ int main(int argc, char** argv) {
   std::printf("speedup             : %10.0fx   (paper: >200x)\n",
               synth_s / est_s);
 
-  // --- The DSE hot path: per-variant cost, cold and warm ----------------
-  const SweepTiming cold = time_sweep(nullptr, 60);
+  // --- The DSE hot path: per-variant cost by cache regime ---------------
+  const SweepTiming cold = time_sweep(sor_keyed_lower(), nullptr, 60);
   dse::CostCache cache;
-  time_sweep(&cache, 1);  // fill
-  const SweepTiming warm = time_sweep(&cache, 120);
+  time_sweep(sor_keyed_lower(), &cache, 1);  // fill both cache levels
+  // Key-less lowering against the warm cache: every hit still lowers and
+  // streams the structural digest — the pre-variant-key warm path.
+  const SweepTiming warm_structural = time_sweep(sor_fn_lower(), &cache, 120);
+  // Keyed lowering against the warm cache: no IR is materialized at all.
+  const SweepTiming warm = time_sweep(sor_keyed_lower(), &cache, 120);
+  if (warm.stats.variant_hits != warm.variants ||
+      warm_structural.stats.hits != warm_structural.variants ||
+      warm_structural.stats.variant_hits != 0) {
+    std::fprintf(stderr,
+                 "bench_estimator_speed: hit accounting is off — warm "
+                 "variant-key hits %llu/%zu, structural-warm hits %llu/%zu "
+                 "(variant %llu); the regimes are not measuring what their "
+                 "labels claim\n",
+                 static_cast<unsigned long long>(warm.stats.variant_hits),
+                 warm.variants,
+                 static_cast<unsigned long long>(warm_structural.stats.hits),
+                 warm_structural.variants,
+                 static_cast<unsigned long long>(
+                     warm_structural.stats.variant_hits));
+    return 1;
+  }
 
   std::printf("\n=== SOR nd=%u sweep, %u thread(s), %zu variants ===\n", kNd,
               kThreads, cold.variants);
-  std::printf("cold pipeline : %8.2f us/variant  (%.0f variants/s)\n",
+  std::printf("cold pipeline      : %8.2f us/variant  (%.0f variants/s)\n",
               cold.us_per_variant, cold.variants_per_sec);
-  std::printf("warm cache    : %8.2f us/variant  (%.0f variants/s)\n",
+  std::printf("warm, structural   : %8.2f us/variant  (%.0f variants/s)\n",
+              warm_structural.us_per_variant, warm_structural.variants_per_sec);
+  std::printf("warm, variant-key  : %8.2f us/variant  (%.0f variants/s)\n",
               warm.us_per_variant, warm.variants_per_sec);
+  std::printf("variant-key speedup: %8.1fx vs cold\n",
+              cold.us_per_variant / warm.us_per_variant);
 
   const double probe_us = machine_probe_us();
 
@@ -192,8 +244,15 @@ int main(int argc, char** argv) {
     os << "  \"threads\": " << kThreads << ",\n";
     os << "  \"cold\": {\"us_per_variant\": " << cold.us_per_variant
        << ", \"variants_per_sec\": " << cold.variants_per_sec << "},\n";
+    os << "  \"warm_structural\": {\"us_per_variant\": "
+       << warm_structural.us_per_variant
+       << ", \"variants_per_sec\": " << warm_structural.variants_per_sec
+       << "},\n";
     os << "  \"warm\": {\"us_per_variant\": " << warm.us_per_variant
-       << ", \"variants_per_sec\": " << warm.variants_per_sec << "},\n";
+       << ", \"variants_per_sec\": " << warm.variants_per_sec
+       << ", \"hit_level\": \"variant-key\"},\n";
+    os << "  \"warm_speedup_vs_cold\": "
+       << cold.us_per_variant / warm.us_per_variant << ",\n";
     os << "  \"estimate_seconds_16lane\": " << est_s << ",\n";
     os << "  \"synth_seconds_16lane\": " << synth_s << ",\n";
     os << "  \"speedup_vs_synth\": " << synth_s / est_s << "\n";
@@ -244,6 +303,17 @@ int main(int argc, char** argv) {
                    "cost %.2f us exceeds 2x the machine-adjusted baseline "
                    "%.2f us\n",
                    warm.us_per_variant, base_warm);
+      return 1;
+    }
+    // The variant-key fast path must stay categorically faster than
+    // lowering + costing: warm <= cold/5. Both sides run on this machine,
+    // so no probe rescaling is involved.
+    if (warm.us_per_variant > cold.us_per_variant / 5.0) {
+      std::fprintf(stderr,
+                   "bench_estimator_speed: REGRESSION — variant-key warm "
+                   "path %.2f us/variant is under 5x faster than the cold "
+                   "path %.2f us/variant\n",
+                   warm.us_per_variant, cold.us_per_variant);
       return 1;
     }
   }

@@ -6,36 +6,48 @@
 // surveys re-cost whole families); one shared CostCache makes every
 // repeat evaluation a lookup instead of a cost-model run.
 //
-// Design identity is structural and streamed: a lookup hashes the device
-// fingerprint plus the module structure directly into a 128-bit digest
-// (`ir::structural_digest`) with zero string materialization — the
-// printed IR is never built on the lookup path. The calibrated database
-// is a pure function of the device description, so the device
-// fingerprint pins every law and table the cost model reads; two modules
-// with equal printed IR costed against equal devices share an entry, and
-// the cached report is exact, not approximate. The full identity text is
-// materialized lazily, only when an entry is first inserted, as the
-// collision fallback / debugging record.
+// Identity is two-level:
 //
-// The cache is sharded: concurrent DSE workers hash to different shards
-// and rarely contend on a lock, and the cost-model run itself always
-// happens outside any lock. The shard count is configurable (more shards
-// for very wide sweeps; the explorer caps its worker count at the shard
-// count so workers never outnumber the locks that serve them).
+//  1. Variant key (fast path, optional): when the caller lowers through a
+//     Lowerer that can name its designs (dse::KeyedLowerer), the cache is
+//     consulted with kernel-identity + variant-shape + device fingerprint
+//     BEFORE any IR exists. A hit returns the memoized report without
+//     lowering at all — the warm-sweep path drops from "materialize a
+//     module, walk it, hash it" to "hash a dozen integers, probe a table".
+//  2. Structural digest (ground truth): on a variant-key miss (or for
+//     key-less lowerers) the variant is lowered and the lookup keys on
+//     the device fingerprint plus the streamed 128-bit structural digest
+//     of the module (`ir::structural_digest`) — the authoritative design
+//     identity, independent of which lowerer produced the module. The
+//     full identity text (printed IR + device fingerprint) is
+//     materialized only on first insert as the collision fallback /
+//     audit record. Debug builds cross-check the two levels: every
+//     variant-key hit re-lowers and verifies the structural digest the
+//     key was first inserted under.
+//
+// Reads are lock-free: each level is a sharded open-addressed table whose
+// slots hold atomically published pointers to immutable entries, so N
+// workers hammering a warm cache scale linearly instead of serializing on
+// shard mutexes. A mutex is taken only to insert (and the cost-model run
+// itself always happens outside it). clear() is the one exception: it
+// frees entries and must not race with concurrent cost() calls.
 
 #include <cstdint>
-#include <mutex>
-#include <string>
-#include <unordered_map>
-#include <vector>
+#include <memory>
 
 #include "tytra/cost/report.hpp"
+#include "tytra/dse/lowerer.hpp"
 
 namespace tytra::dse {
 
 struct CacheStats {
+  /// Lookups served from the cache at either level. `variant_hits` is the
+  /// subset answered by the pre-lowering variant-key table (the only hits
+  /// that skip IR materialization); `hits - variant_hits` were answered
+  /// by the structural-digest level after lowering.
   std::uint64_t hits{0};
   std::uint64_t misses{0};
+  std::uint64_t variant_hits{0};
 
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
@@ -51,49 +63,60 @@ class CostCache {
  public:
   static constexpr std::size_t kMinDefaultShards = 16;
 
-  /// `shards` sets the lock granularity (clamped to >= 1). Concurrent
-  /// workers contend only when their designs hash to the same shard, so a
-  /// cache serving N workers wants at least N shards. The default (0)
-  /// auto-sizes to max(kMinDefaultShards, hardware threads), so a
-  /// default-constructed cache never makes the explorer's worker cap bind
-  /// below the machine's own parallelism.
-  explicit CostCache(std::size_t shards = 0);
+  /// Which level answered a two-level lookup.
+  enum class HitLevel : std::uint8_t {
+    Miss,        ///< cost model ran
+    Structural,  ///< lowered, then hit on the structural digest
+    Variant,     ///< hit on the variant key — no lowering happened
+  };
 
-  /// Returns the cached report for `module` on `db`, or runs the cost
-  /// model and remembers the result. Safe to call concurrently. Lookups
-  /// verify the full 128-bit digest, so a 64-bit key collision degrades
-  /// to a recomputation instead of returning another design's report,
-  /// and hits never materialize the printed IR. When `was_hit` is
-  /// non-null it receives this lookup's outcome (for per-sweep accounting
-  /// independent of the global counters).
+  /// `shards` sets the insert-lock granularity of each level (clamped to
+  /// >= 1). Reads never lock, so the shard count no longer bounds how
+  /// many workers a warm cache can serve; it only spreads insert
+  /// contention on cold sweeps. The default (0) auto-sizes to
+  /// max(kMinDefaultShards, hardware threads).
+  explicit CostCache(std::size_t shards = 0);
+  ~CostCache();
+
+  CostCache(const CostCache&) = delete;
+  CostCache& operator=(const CostCache&) = delete;
+
+  /// Structural-level lookup: returns the cached report for `module` on
+  /// `db`, or runs the cost model and remembers the result. Safe to call
+  /// concurrently; the read path takes no lock. Lookups verify the full
+  /// 128-bit digest, so a 64-bit key collision degrades to a
+  /// recomputation instead of returning another design's report, and hits
+  /// never materialize the printed IR. When `was_hit` is non-null it
+  /// receives this lookup's outcome (for per-sweep accounting independent
+  /// of the global counters).
   cost::CostReport cost(const ir::Module& module, const cost::DeviceCostDb& db,
                         bool* was_hit = nullptr);
 
+  /// Two-level lookup: consults the variant-key table first (when
+  /// `lowerer` provides keys) and only lowers + runs the structural level
+  /// on a miss, memoizing the variant key so the next warm lookup skips
+  /// lowering entirely. `arena` is optional per-worker builder scratch
+  /// handed to `lowerer.lower`; modules lowered internally are recycled
+  /// into it. When `level` is non-null it receives which level answered.
+  cost::CostReport cost(const frontend::Variant& variant, const Lowerer& lowerer,
+                        const cost::DeviceCostDb& db, HitLevel* level = nullptr,
+                        ir::BuildArena* arena = nullptr);
+
   [[nodiscard]] CacheStats stats() const;
+  /// Number of memoized designs (structural-level entries).
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Number of memoized variant keys (fast-path entries).
+  [[nodiscard]] std::size_t variant_size() const;
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Drops every entry and resets the counters. NOT safe to run
+  /// concurrently with cost() — entries are freed, and a lock-free reader
+  /// could still be probing them.
   void clear();
 
  private:
-  struct Entry {
-    std::uint64_t check;  ///< second digest half (collision guard)
-    /// Full identity text (printed IR + device fingerprint), built once
-    /// on insert: the byte-level ground truth the digest condenses.
-    /// Debug builds verify it on every hit; release lookups never read
-    /// it, keeping hits allocation-free at ~1 printed module of memory
-    /// per cached design.
-    std::string identity;
-    cost::CostReport report;
-  };
-
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::uint64_t, Entry> map;
-    std::uint64_t hits{0};
-    std::uint64_t misses{0};
-  };
-
-  std::vector<Shard> shards_;  ///< sized once; never resized (mutexes pin it)
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace tytra::dse

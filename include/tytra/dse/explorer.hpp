@@ -13,23 +13,24 @@
 // single best design, the sweep yields the Pareto frontier over
 // throughput, resource pressure and bandwidth share, so callers see the
 // whole trade-off surface.
+//
+// Lowering goes through the Lowerer interface (dse/lowerer.hpp): a
+// KeyedLowerer lets a warm cache answer from the variant-key table
+// without materializing any IR, each worker reuses a private BuildArena
+// for the cold lowerings, and the plain-LowerFn overloads keep
+// std::function callers working unchanged (no key, structural-digest
+// caching only).
 
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "tytra/cost/report.hpp"
 #include "tytra/dse/cache.hpp"
+#include "tytra/dse/lowerer.hpp"
 #include "tytra/frontend/transform.hpp"
 #include "tytra/ir/module.hpp"
 
 namespace tytra::dse {
-
-/// Lowers a variant to a concrete TyTra-IR design (the kernel library
-/// provides these for SOR/Hotspot/LavaMD; custom kernels supply their own).
-/// With num_threads > 1 the function is invoked concurrently from worker
-/// threads and must be safe to call in parallel (pure builders are).
-using LowerFn = std::function<ir::Module(const frontend::Variant&)>;
 
 struct DseEntry {
   frontend::Variant variant;
@@ -46,11 +47,11 @@ struct DseOptions {
   /// thread, 1 runs the sequential path inline. Explicit requests are
   /// clamped: never more than 4x the hardware concurrency (beyond that
   /// workers only add scheduler contention, and an unbounded request
-  /// could exhaust OS thread limits mid-spawn), never more workers than
-  /// variants, and — when `cache` is set — never more workers than the
-  /// cache has shards, since each extra worker past that point can only
-  /// queue on another worker's shard lock (size the cache with
-  /// `CostCache(shards)` to lift this).
+  /// could exhaust OS thread limits mid-spawn) and never more workers
+  /// than variants. Workers are NOT clamped to the cache's shard count:
+  /// cache reads are lock-free, so warm (hit-dominated) sweeps scale
+  /// past the shard count instead of queuing on shard locks — shards
+  /// only spread the insert contention of cold sweeps.
   std::uint32_t num_threads{0};
   /// Optional memoizing cache shared across sweeps (tuner trajectories,
   /// bench reruns, multi-device surveys). May be null.
@@ -80,12 +81,19 @@ struct DseResult {
   }
 };
 
-/// Explores the reshape family for a kernel of `n` work-items.
+/// Explores the reshape family for a kernel of `n` work-items. When
+/// `lower` provides variant keys and `options.cache` is warm, the sweep
+/// never lowers IR at all.
+DseResult explore(std::uint64_t n, const Lowerer& lower,
+                  const cost::DeviceCostDb& db, const DseOptions& options = {});
+/// std::function shim: structural-digest caching only (no variant keys).
 DseResult explore(std::uint64_t n, const LowerFn& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options = {});
 
 /// The MaxJ-like HLS baseline: pipeline parallelism only, no architectural
 /// exploration — i.e. the baseline (1-lane) variant's cost report.
+cost::CostReport maxj_baseline(std::uint64_t n, const Lowerer& lower,
+                               const cost::DeviceCostDb& db);
 cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,
                                const cost::DeviceCostDb& db);
 

@@ -29,17 +29,24 @@ struct TuneStep {
 
 struct TuneResult {
   std::vector<TuneStep> trajectory;
-  std::size_t best{0};  ///< index of the best valid step
+  std::size_t best{0};  ///< index of the best valid step; meaningful only
+                        ///< when the trajectory is non-empty
   std::string verdict;  ///< final diagnosis (which wall stopped progress)
 
+  /// Precondition: the trajectory is non-empty (max_steps >= 1).
   [[nodiscard]] const TuneStep& best_step() const { return trajectory[best]; }
 };
 
 /// Tunes the design for a kernel of `n` work-items starting from the
 /// baseline pipeline. Evaluates at most `max_steps` variants — typically
-/// far fewer than the exhaustive sweep. When `cache` is given, variants
-/// already costed (by a prior sweep, or a prior tuner run over the same
-/// kernel) are looked up instead of re-evaluated.
+/// far fewer than the exhaustive sweep (max_steps <= 0 yields an empty
+/// trajectory). When `cache` is given, variants already costed (by a
+/// prior sweep, or a prior tuner run over the same kernel) are looked up
+/// instead of re-evaluated — and a keyed lowerer answers those lookups
+/// from the variant-key table without lowering IR.
+TuneResult tune(std::uint64_t n, const Lowerer& lower,
+                const cost::DeviceCostDb& db, int max_steps = 12,
+                CostCache* cache = nullptr);
 TuneResult tune(std::uint64_t n, const LowerFn& lower,
                 const cost::DeviceCostDb& db, int max_steps = 12,
                 CostCache* cache = nullptr);

@@ -60,6 +60,14 @@ Variant baseline_variant(std::uint64_t n);
 /// Throws std::invalid_argument when `outer` does not divide the size.
 Variant reshape_to(const Variant& v, std::uint64_t outer, ParAnn outer_ann);
 
+/// All divisors of `n` that are <= `cap`, ascending. One O(sqrt n)
+/// enumeration (O(min(cap, sqrt n)) when cap is small) — the shared
+/// divisor source of the variant enumerator and the tuner's lane ladder,
+/// replacing their former per-step O(n) scans. Throws
+/// std::invalid_argument when n is zero.
+std::vector<std::uint64_t> divisors(std::uint64_t n,
+                                    std::uint64_t cap = ~std::uint64_t{0});
+
 /// Enumerates the C1/C2 reshape family: the baseline plus par(pipe)
 /// variants for every lane count in [2, max_lanes] dividing n; optionally
 /// the sequential (C4) variant.

@@ -1,0 +1,97 @@
+#pragma once
+
+// Reusable lowering scratch. Building a Module heap-allocates dozens of
+// small vectors — one per instruction's operand list, one per function
+// body, three per port — and a variant sweep repeats that for every
+// design it lowers. A BuildArena recycles exactly those buffers: the
+// builders draw their vectors from the arena's free lists instead of the
+// allocator, and `recycle(Module&&)` walks a finished module and returns
+// every buffer (including each instruction's operand vector) to the
+// pools, so steady-state lowering reuses capacity instead of paying
+// malloc/free per variant.
+//
+// The arena is deliberately NOT thread-safe: it models per-worker scratch
+// (each DSE worker owns one), which is what keeps it free of any
+// synchronization. A builder given a null arena behaves exactly as
+// before — the arena is an optimization, never a semantic dependency;
+// the produced Module owns plain std::vectors either way and outlives
+// the arena freely (recycling is the caller's opt-in, not a lifetime
+// requirement).
+
+#include <utility>
+#include <vector>
+
+#include "tytra/ir/module.hpp"
+
+namespace tytra::ir {
+
+class BuildArena {
+ public:
+  BuildArena() = default;
+  // Pools are per-worker scratch; copying one would duplicate capacity
+  // for no benefit, so the arena is move-only.
+  BuildArena(const BuildArena&) = delete;
+  BuildArena& operator=(const BuildArena&) = delete;
+  BuildArena(BuildArena&&) = default;
+  BuildArena& operator=(BuildArena&&) = default;
+
+  [[nodiscard]] std::vector<Operand> take_operands() { return take(operands_); }
+  [[nodiscard]] std::vector<BodyItem> take_body() { return take(bodies_); }
+  [[nodiscard]] std::vector<Param> take_params() { return take(params_); }
+  [[nodiscard]] std::vector<Function> take_functions() {
+    return take(functions_);
+  }
+  [[nodiscard]] std::vector<MemObject> take_memobjs() { return take(memobjs_); }
+  [[nodiscard]] std::vector<StreamObject> take_streamobjs() {
+    return take(streamobjs_);
+  }
+  [[nodiscard]] std::vector<PortBinding> take_ports() { return take(ports_); }
+
+  /// Returns a finished module's buffers to the pools: every function's
+  /// params and body, every instruction's and call's operand vector, and
+  /// the module-level Manage-IR vectors. The module is consumed.
+  void recycle(Module&& module);
+
+  /// Returns a detached function's buffers (for callers that build
+  /// functions they never add to a module).
+  void recycle(Function&& function);
+
+ private:
+  /// Per-pool retention cap. Pools drain through take() only when the
+  /// builders actually draw from this arena; a caller that recycles
+  /// modules produced without it (e.g. a sweep through the key-less
+  /// FnLowerer shim, whose lowering ignores the arena) would otherwise
+  /// grow the pools by one module's worth of vectors per variant,
+  /// unbounded. Past the cap, put() drops the buffer — i.e. frees it,
+  /// exactly what a no-arena build would have done. The cap comfortably
+  /// exceeds the vector count of the widest built-in module, so balanced
+  /// take/put cycles never hit it.
+  static constexpr std::size_t kMaxPoolVectors = 1024;
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> take(std::vector<std::vector<T>>& pool) {
+    if (pool.empty()) return {};
+    std::vector<T> v = std::move(pool.back());
+    pool.pop_back();
+    return v;  // already cleared by put()
+  }
+
+  template <typename T>
+  void put(std::vector<std::vector<T>>& pool, std::vector<T>&& v) {
+    if (v.capacity() == 0 || pool.size() >= kMaxPoolVectors) return;
+    v.clear();
+    pool.push_back(std::move(v));
+  }
+
+  void harvest(Function& function);
+
+  std::vector<std::vector<Operand>> operands_;
+  std::vector<std::vector<BodyItem>> bodies_;
+  std::vector<std::vector<Param>> params_;
+  std::vector<std::vector<Function>> functions_;
+  std::vector<std::vector<MemObject>> memobjs_;
+  std::vector<std::vector<StreamObject>> streamobjs_;
+  std::vector<std::vector<PortBinding>> ports_;
+};
+
+}  // namespace tytra::ir

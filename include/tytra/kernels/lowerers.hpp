@@ -1,0 +1,26 @@
+#pragma once
+
+// Keyed lowerers for the built-in kernels: the bridge between the kernel
+// library and the DSE engines' variant-key fast path. Each factory wraps
+// the corresponding `make_*` builder in a dse::KeyedLowerer whose
+// fingerprint pins every configuration field that shapes the produced IR
+// (grid dims, NKI, element type, execution form, ...), so a warm
+// CostCache can answer repeat sweeps from the variant-key table without
+// lowering any IR. The `lanes` field of the passed config is ignored —
+// it is overwritten per variant with `Variant::lanes()`.
+
+#include "tytra/dse/lowerer.hpp"
+#include "tytra/kernels/kernels.hpp"
+
+namespace tytra::kernels {
+
+/// SOR over an im x jm x km grid; explore with n = im*jm*km.
+dse::KeyedLowerer sor_lowerer(SorConfig config);
+
+/// Hotspot over a rows x cols floorplan; explore with n = rows*cols.
+dse::KeyedLowerer hotspot_lowerer(HotspotConfig config);
+
+/// LavaMD over `particles` work-items; explore with n = particles.
+dse::KeyedLowerer lavamd_lowerer(LavamdConfig config);
+
+}  // namespace tytra::kernels

@@ -1,8 +1,11 @@
 #include "tytra/dse/cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/structural_hash.hpp"
@@ -48,12 +51,12 @@ std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
 }
 
 /// The 128-bit identity of a (design, database) pair, streamed: the
-/// device fingerprint seeds both digest halves, then the module structure
-/// is walked once into each. No strings are built, no parameters are
-/// extracted — one allocation-free traversal.
+/// device fingerprint (`dev`, hashed once per lookup by the callers)
+/// seeds both digest halves, then the module structure is walked once
+/// into each. No strings are built, no parameters are extracted — one
+/// allocation-free traversal.
 ir::StructuralDigest design_digest(const ir::Module& module,
-                                   const cost::DeviceCostDb& db) {
-  const std::uint64_t dev = device_fingerprint(db.device());
+                                   std::uint64_t dev) {
   const ir::StructuralDigest structure = ir::structural_digest(module);
   return {HashBuilder{}.u64(dev).u64(structure.key).value(),
           HashBuilder{}.u64(dev).u64(structure.check).value()};
@@ -63,18 +66,17 @@ ir::StructuralDigest design_digest(const ir::Module& module,
 /// an entry is first inserted (never on the lookup path): the printed IR
 /// — the canonical structural identity the digest condenses — plus the
 /// device fingerprint.
-std::string design_identity(const ir::Module& module,
-                            const cost::DeviceCostDb& db) {
+std::string design_identity(const ir::Module& module, std::uint64_t dev) {
   std::string identity = ir::print_module(module);
   identity += '\x1f';
-  identity += std::to_string(device_fingerprint(db.device()));
+  identity += std::to_string(dev);
   return identity;
 }
 
 }  // namespace
 
 std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db) {
-  return design_digest(module, db).key;
+  return design_digest(module, device_fingerprint(db.device())).key;
 }
 
 namespace {
@@ -85,30 +87,205 @@ std::size_t resolve_shards(std::size_t requested) {
                                std::thread::hardware_concurrency());
 }
 
+/// Open-addressed hash table with lock-free reads. Slots hold atomic
+/// pointers to heap-allocated immutable nodes; a node, once published
+/// with a release store, is never mutated, moved or freed until clear()
+/// (so a reader can dereference whatever it loads). Inserts serialize on
+/// a per-shard mutex. Growth publishes a bigger slot array and RETAINS
+/// the old one: a reader still probing a retired array sees a consistent
+/// (if stale) view, at worst misses an entry that only the newer array
+/// holds, and the resulting recompute-and-insert finds the resident node
+/// under the mutex. The identity is the full (key, check) 128-bit pair —
+/// probing continues past a slot whose check half disagrees, so two
+/// designs colliding on the 64-bit key coexist instead of thrashing.
+template <typename V>
+class AtomicTable {
+ public:
+  struct Node {
+    std::uint64_t key;
+    std::uint64_t check;
+    V value;
+  };
+
+  explicit AtomicTable(std::size_t shards) : shards_(shards) {}
+
+  /// Lock-free: one acquire load of the live slot array, then a linear
+  /// probe of acquire-loaded slots. Returns null on a miss.
+  const Node* find(std::uint64_t key, std::uint64_t check) const {
+    const Shard& shard = shards_[key % shards_.size()];
+    const Slots* t = shard.live.load(std::memory_order_acquire);
+    return probe(*t, key, check);
+  }
+
+  /// Publishes (key, check, value) unless an equal identity is already
+  /// resident — another writer won the race, or the caller probed a
+  /// retired slot array — and returns the resident node either way.
+  const Node* insert(std::uint64_t key, std::uint64_t check, V&& value) {
+    Shard& shard = shards_[key % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slots* t = shard.live.load(std::memory_order_relaxed);
+    if (const Node* resident = probe(*t, key, check)) return resident;
+    // Keep load factor under 70% so probe chains always end on a null.
+    if ((shard.size + 1) * 10 > t->slot.size() * 7) t = grow(shard, t);
+    shard.nodes.push_back(
+        std::make_unique<Node>(Node{key, check, std::move(value)}));
+    Node* node = shard.nodes.back().get();
+    publish(*t, node);
+    ++shard.size;
+    return node;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.size;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Frees every node and slot array. Requires external quiescence: a
+  /// concurrent lock-free reader could still be probing the freed memory.
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      auto fresh = std::make_unique<Slots>(kInitialSlots);
+      s.live.store(fresh.get(), std::memory_order_release);
+      s.tables.clear();
+      s.tables.push_back(std::move(fresh));
+      s.nodes.clear();
+      s.size = 0;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  struct Slots {
+    explicit Slots(std::size_t n) : slot(n) {}  // atomics value-init to null
+    std::vector<std::atomic<Node*>> slot;
+  };
+
+  struct Shard {
+    Shard() {
+      tables.push_back(std::make_unique<Slots>(kInitialSlots));
+      live.store(tables.back().get(), std::memory_order_relaxed);
+    }
+    std::atomic<Slots*> live{nullptr};
+    mutable std::mutex mu;              ///< guards everything below
+    std::size_t size{0};
+    /// Every slot-array generation ever published. Retired arrays are
+    /// kept until clear()/destruction so readers holding them stay safe;
+    /// geometric growth bounds the total at ~2x the live array.
+    std::vector<std::unique_ptr<Slots>> tables;
+    std::vector<std::unique_ptr<Node>> nodes;  ///< owns the entries
+  };
+
+  static const Node* probe(const Slots& t, std::uint64_t key,
+                           std::uint64_t check) {
+    const std::size_t mask = t.slot.size() - 1;
+    for (std::size_t i = key & mask;; i = (i + 1) & mask) {
+      const Node* n = t.slot[i].load(std::memory_order_acquire);
+      if (n == nullptr) return nullptr;
+      if (n->key == key && n->check == check) return n;
+    }
+  }
+
+  static void publish(Slots& t, Node* node) {
+    const std::size_t mask = t.slot.size() - 1;
+    for (std::size_t i = node->key & mask;; i = (i + 1) & mask) {
+      if (t.slot[i].load(std::memory_order_relaxed) == nullptr) {
+        t.slot[i].store(node, std::memory_order_release);
+        return;
+      }
+    }
+  }
+
+  Slots* grow(Shard& shard, Slots* old) {
+    auto bigger = std::make_unique<Slots>(old->slot.size() * 2);
+    for (const auto& s : old->slot) {
+      Node* n = s.load(std::memory_order_relaxed);
+      if (n != nullptr) publish(*bigger, n);
+    }
+    Slots* fresh = bigger.get();
+    shard.tables.push_back(std::move(bigger));
+    // Publish the bigger array only after its slots are fully written;
+    // readers acquire-load `live` and synchronize with this store.
+    shard.live.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  std::vector<Shard> shards_;
+};
+
 }  // namespace
 
-CostCache::CostCache(std::size_t shards) : shards_(resolve_shards(shards)) {}
+struct CostCache::Impl {
+  /// Structural-level entry: the ground-truth identity record.
+  struct StructuralValue {
+    /// Full identity text (printed IR + device fingerprint), built once
+    /// on insert: the byte-level ground truth the digest condenses.
+    /// Debug builds verify it on every hit; release lookups never read
+    /// it, keeping hits allocation-free at ~1 printed module of memory
+    /// per cached design.
+    std::string identity;
+    cost::CostReport report;
+  };
 
-cost::CostReport CostCache::cost(const ir::Module& module,
-                                 const cost::DeviceCostDb& db, bool* was_hit) {
-  const ir::StructuralDigest digest = design_digest(module, db);
-  Shard& shard = shards_[digest.key % shards_.size()];
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(digest.key);
-    // Verify the independent second half so a 64-bit collision degrades
-    // to a recomputation instead of returning another design's report.
-    if (it != shard.map.end() && it->second.check == digest.check) {
-      // Debug builds exercise the byte-level fallback the digest
-      // condenses: a digest match must mean byte-identical identity
-      // text. Release hits never materialize the probe's identity.
-      assert(it->second.identity == design_identity(module, db));
-      ++shard.hits;
-      if (was_hit) *was_hit = true;
-      return it->second.report;
-    }
-    ++shard.misses;
+  /// Variant-level entry: the design digest it was inserted under (the
+  /// cross-check target for debug builds) plus the memoized report.
+  struct VariantValue {
+    ir::StructuralDigest design;
+    cost::CostReport report;
+  };
+
+  /// Padded per-shard counters so hit accounting does not ping-pong one
+  /// cache line between warm workers.
+  struct alignas(64) Counter {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> variant_hits{0};
+  };
+
+  explicit Impl(std::size_t shards)
+      : structural(shards), variant(shards), counters(shards) {}
+
+  Counter& counter(std::uint64_t key) { return counters[key % counters.size()]; }
+
+  /// Structural-level lookup with the device fingerprint and digest
+  /// already in hand, so callers that need them for their own bookkeeping
+  /// (the variant-level insert) hash the device and walk the module once.
+  cost::CostReport cost_structural(const ir::Module& module,
+                                   const cost::DeviceCostDb& db,
+                                   std::uint64_t dev,
+                                   const ir::StructuralDigest& digest,
+                                   bool* was_hit);
+
+  AtomicTable<StructuralValue> structural;
+  AtomicTable<VariantValue> variant;
+  std::vector<Counter> counters;
+};
+
+CostCache::CostCache(std::size_t shards)
+    : impl_(std::make_unique<Impl>(resolve_shards(shards))) {}
+
+CostCache::~CostCache() = default;
+
+cost::CostReport CostCache::Impl::cost_structural(
+    const ir::Module& module, const cost::DeviceCostDb& db,
+    std::uint64_t dev, const ir::StructuralDigest& digest, bool* was_hit) {
+  if (const auto* node = structural.find(digest.key, digest.check)) {
+    // Debug builds exercise the byte-level fallback the digest condenses:
+    // a digest match must mean byte-identical identity text. Release hits
+    // never materialize the probe's identity.
+    assert(node->value.identity == design_identity(module, dev));
+    counter(digest.key).hits.fetch_add(1, std::memory_order_relaxed);
+    if (was_hit) *was_hit = true;
+    return node->value.report;
   }
+  counter(digest.key).misses.fetch_add(1, std::memory_order_relaxed);
   if (was_hit) *was_hit = false;
   // Cost outside the lock: the model run dominates, and concurrent misses
   // on the same key merely compute the same report twice. The summary is
@@ -117,40 +294,93 @@ cost::CostReport CostCache::cost(const ir::Module& module,
   cost::CostReport report = cost::cost_design(module, db, summary);
   // First insert materializes the identity text (collision fallback /
   // audit record); hits never do.
-  std::string identity = design_identity(module, db);
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.insert_or_assign(
-        digest.key, Entry{digest.check, std::move(identity), report});
+  structural.insert(digest.key, digest.check,
+                    Impl::StructuralValue{design_identity(module, dev), report});
+  return report;
+}
+
+cost::CostReport CostCache::cost(const ir::Module& module,
+                                 const cost::DeviceCostDb& db, bool* was_hit) {
+  const std::uint64_t dev = device_fingerprint(db.device());
+  return impl_->cost_structural(module, db, dev, design_digest(module, dev),
+                                was_hit);
+}
+
+cost::CostReport CostCache::cost(const frontend::Variant& variant,
+                                 const Lowerer& lowerer,
+                                 const cost::DeviceCostDb& db, HitLevel* level,
+                                 ir::BuildArena* arena) {
+  // One device hash serves the whole lookup: the variant-key fold, and on
+  // a miss the structural digest and the identity text.
+  const std::uint64_t dev = device_fingerprint(db.device());
+  const std::optional<VariantKey> vk = lowerer.key(variant);
+  VariantKey full{};
+  if (vk) {
+    // Fold the device fingerprint into both halves: the same variant
+    // costed against different calibrations must not cross-hit.
+    full = VariantKey{HashBuilder{}.u64(dev).u64(vk->key).value(),
+                      HashBuilder{}.u64(dev).u64(vk->check).value()};
+    if (const auto* node = impl_->variant.find(full.key, full.check)) {
+#ifndef NDEBUG
+      // Two-level cross-check: the lowerer's identity promise must agree
+      // with the authoritative structural digest the key was inserted
+      // under. Debug builds pay the lowering this level exists to skip.
+      {
+        ir::Module check_module = lowerer.lower(variant, arena);
+        assert(design_digest(check_module, dev) == node->value.design);
+        if (arena) arena->recycle(std::move(check_module));
+      }
+#endif
+      Impl::Counter& c = impl_->counter(full.key);
+      c.hits.fetch_add(1, std::memory_order_relaxed);
+      c.variant_hits.fetch_add(1, std::memory_order_relaxed);
+      if (level) *level = HitLevel::Variant;
+      return node->value.report;
+    }
   }
+  // Variant-key miss (or key-less lowerer): lower and resolve at the
+  // structural level, then memoize the key so the next warm lookup skips
+  // lowering entirely. The digest is computed once and shared between
+  // the structural lookup and the variant-level insert.
+  ir::Module module = lowerer.lower(variant, arena);
+  const ir::StructuralDigest digest = design_digest(module, dev);
+  bool structural_hit = false;
+  cost::CostReport report =
+      impl_->cost_structural(module, db, dev, digest, &structural_hit);
+  if (vk) {
+    impl_->variant.insert(full.key, full.check,
+                          Impl::VariantValue{digest, report});
+  }
+  if (arena) arena->recycle(std::move(module));
+  if (level) *level = structural_hit ? HitLevel::Structural : HitLevel::Miss;
   return report;
 }
 
 CacheStats CostCache::stats() const {
   CacheStats out;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    out.hits += s.hits;
-    out.misses += s.misses;
+  for (const Impl::Counter& c : impl_->counters) {
+    out.hits += c.hits.load(std::memory_order_relaxed);
+    out.misses += c.misses.load(std::memory_order_relaxed);
+    out.variant_hits += c.variant_hits.load(std::memory_order_relaxed);
   }
   return out;
 }
 
-std::size_t CostCache::size() const {
-  std::size_t n = 0;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    n += s.map.size();
-  }
-  return n;
+std::size_t CostCache::size() const { return impl_->structural.size(); }
+
+std::size_t CostCache::variant_size() const { return impl_->variant.size(); }
+
+std::size_t CostCache::shard_count() const {
+  return impl_->structural.shard_count();
 }
 
 void CostCache::clear() {
-  for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mu);
-    s.map.clear();
-    s.hits = 0;
-    s.misses = 0;
+  impl_->structural.clear();
+  impl_->variant.clear();
+  for (Impl::Counter& c : impl_->counters) {
+    c.hits.store(0, std::memory_order_relaxed);
+    c.misses.store(0, std::memory_order_relaxed);
+    c.variant_hits.store(0, std::memory_order_relaxed);
   }
 }
 

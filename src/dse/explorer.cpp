@@ -15,21 +15,16 @@ namespace tytra::dse {
 
 namespace {
 
-std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items,
-                              const CostCache* cache) {
+std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
   // The clamping policy is documented on DseOptions::num_threads: at most
-  // 4x the core count, at most one worker per variant, and at most one
-  // worker per cache shard (an extra worker past that can only queue on
-  // another worker's shard lock).
+  // 4x the core count and at most one worker per variant. The former
+  // worker<=shard clamp is gone — cache reads are lock-free, so a warm
+  // (hit-dominated) sweep scales past the shard count instead of queuing
+  // on shard locks.
   std::uint32_t cores = std::thread::hardware_concurrency();
   if (cores == 0) cores = 1;
   std::uint32_t n = requested == 0 ? cores : std::min(requested, 4 * cores);
   if (work_items < n) n = static_cast<std::uint32_t>(work_items);
-  if (cache != nullptr) {
-    n = std::min<std::uint32_t>(
-        n, static_cast<std::uint32_t>(
-               std::min<std::size_t>(cache->shard_count(), 0xffffffffu)));
-  }
   return n == 0 ? 1 : n;
 }
 
@@ -38,30 +33,43 @@ std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items,
 /// results, and the merge in enumeration order is deterministic no matter
 /// the interleaving.
 void evaluate_batch(const std::vector<frontend::Variant>& variants,
-                    const LowerFn& lower, const cost::DeviceCostDb& db,
+                    const Lowerer& lower, const cost::DeviceCostDb& db,
                     CostCache* cache, std::uint32_t num_threads,
                     std::vector<std::optional<cost::CostReport>>& slots,
                     CacheStats& sweep_stats) {
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> variant_hits{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
   auto worker = [&] {
+    // Per-worker lowering scratch: cold variants recycle builder buffers
+    // instead of paying allocation churn per module. Never shared, so no
+    // synchronization.
+    ir::BuildArena arena;
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= variants.size()) return;
       try {
-        ir::Module module = lower(variants[i]);
         if (cache) {
-          bool was_hit = false;
-          slots[i] = cache->cost(module, db, &was_hit);
+          CostCache::HitLevel level = CostCache::HitLevel::Miss;
+          slots[i] = cache->cost(variants[i], lower, db, &level, &arena);
           // Per-sweep accounting: independent of the cache's global
           // counters, which concurrent sweeps sharing it also advance.
-          (was_hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+          if (level == CostCache::HitLevel::Miss) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            if (level == CostCache::HitLevel::Variant) {
+              variant_hits.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
         } else {
+          ir::Module module = lower.lower(variants[i], &arena);
           slots[i] = cost::cost_design(module, db);
+          arena.recycle(std::move(module));
         }
       } catch (...) {
         {
@@ -94,6 +102,7 @@ void evaluate_batch(const std::vector<frontend::Variant>& variants,
   if (first_error) std::rethrow_exception(first_error);
   sweep_stats.hits = hits.load(std::memory_order_relaxed);
   sweep_stats.misses = misses.load(std::memory_order_relaxed);
+  sweep_stats.variant_hits = variant_hits.load(std::memory_order_relaxed);
 }
 
 /// The streaming share of the per-instance time: how much of the budget
@@ -200,7 +209,7 @@ std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
 
 }  // namespace
 
-DseResult explore(std::uint64_t n, const LowerFn& lower,
+DseResult explore(std::uint64_t n, const Lowerer& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
   DseResult result;
@@ -208,10 +217,9 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
       frontend::enumerate_variants(n, options.max_lanes, options.include_seq);
 
   std::vector<std::optional<cost::CostReport>> slots(variants.size());
-  evaluate_batch(
-      variants, lower, db, options.cache,
-      resolve_threads(options.num_threads, variants.size(), options.cache),
-      slots, result.cache_stats);
+  evaluate_batch(variants, lower, db, options.cache,
+                 resolve_threads(options.num_threads, variants.size()), slots,
+                 result.cache_stats);
 
   // Deterministic merge in enumeration order.
   result.entries.reserve(variants.size());
@@ -232,6 +240,16 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
   result.explore_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
   return result;
+}
+
+DseResult explore(std::uint64_t n, const LowerFn& lower,
+                  const cost::DeviceCostDb& db, const DseOptions& options) {
+  return explore(n, FnLowerer(lower), db, options);
+}
+
+cost::CostReport maxj_baseline(std::uint64_t n, const Lowerer& lower,
+                               const cost::DeviceCostDb& db) {
+  return cost::cost_design(lower.lower(frontend::baseline_variant(n)), db);
 }
 
 cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,

@@ -1,34 +1,46 @@
 #include "tytra/dse/tuner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace tytra::dse {
 
 namespace {
 
-/// Smallest divisor of n strictly greater than `lanes`, or 0.
-std::uint64_t next_lane_count(std::uint64_t n, std::uint64_t lanes) {
-  for (std::uint64_t k = lanes + 1; k <= 2 * lanes && k <= n; ++k) {
-    if (n % k == 0) return k;
-  }
-  for (std::uint64_t k = 2 * lanes; k <= n; ++k) {
-    if (n % k == 0) return k;
-  }
-  return 0;
+/// Smallest divisor of n strictly greater than `lanes`, or 0 — one
+/// upper_bound on the pre-enumerated divisor ladder (the former per-step
+/// O(n) scan also probed 2*lanes twice from its two overlapping ranges).
+std::uint64_t next_lane_count(const std::vector<std::uint64_t>& divs,
+                              std::uint64_t lanes) {
+  const auto it = std::upper_bound(divs.begin(), divs.end(), lanes);
+  return it == divs.end() ? 0 : *it;
 }
 
 }  // namespace
 
-TuneResult tune(std::uint64_t n, const LowerFn& lower,
+TuneResult tune(std::uint64_t n, const Lowerer& lower,
                 const cost::DeviceCostDb& db, int max_steps, CostCache* cache) {
   TuneResult result;
+  if (max_steps <= 0) {
+    // Guard the degenerate budget instead of indexing an empty trajectory.
+    result.verdict = "stopped: no step budget (max_steps <= 0)";
+    return result;
+  }
+  // One O(sqrt n) enumeration serves every step's "next lane count" probe.
+  const std::vector<std::uint64_t> lane_ladder = frontend::divisors(n);
+  ir::BuildArena arena;
   frontend::Variant current = frontend::baseline_variant(n);
   std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
 
   for (int step = 0; step < max_steps; ++step) {
-    const ir::Module module = lower(current);
-    cost::CostReport report =
-        cache ? cache->cost(module, db) : cost::cost_design(module, db);
+    cost::CostReport report;
+    if (cache) {
+      report = cache->cost(current, lower, db, nullptr, &arena);
+    } else {
+      ir::Module module = lower.lower(current, &arena);
+      report = cost::cost_design(module, db);
+      arena.recycle(std::move(module));
+    }
     const bool valid = report.valid;
     const cost::Wall wall = report.throughput.limiting;
     result.trajectory.emplace_back(current, std::move(report), action);
@@ -54,7 +66,8 @@ TuneResult tune(std::uint64_t n, const LowerFn& lower,
     }
 
     // Compute-bound (or fill-bound): add lanes.
-    const std::uint64_t next = next_lane_count(n, placed.report.params.knl);
+    const std::uint64_t next =
+        next_lane_count(lane_ladder, placed.report.params.knl);
     if (next == 0 || next > 1024) {
       result.verdict = "stopped: no further lane count divides the NDRange";
       break;
@@ -80,6 +93,11 @@ TuneResult tune(std::uint64_t n, const LowerFn& lower,
   return result;
 }
 
+TuneResult tune(std::uint64_t n, const LowerFn& lower,
+                const cost::DeviceCostDb& db, int max_steps, CostCache* cache) {
+  return tune(n, FnLowerer(lower), db, max_steps, cache);
+}
+
 std::string format_tune(const TuneResult& result) {
   std::ostringstream os;
   for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
@@ -91,8 +109,12 @@ std::string format_tune(const TuneResult& result) {
        << (s.report.valid ? "" : " [does not fit]") << "\n";
   }
   os << result.verdict << "\n";
-  os << "best: step " << result.best << " ("
-     << result.trajectory[result.best].variant.describe() << ")\n";
+  // An empty trajectory (max_steps <= 0) has no best step to report;
+  // indexing it was undefined behavior.
+  if (!result.trajectory.empty()) {
+    os << "best: step " << result.best << " ("
+       << result.trajectory[result.best].variant.describe() << ")\n";
+  }
   return os.str();
 }
 

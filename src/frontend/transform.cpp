@@ -1,5 +1,6 @@
 #include "tytra/frontend/transform.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -79,13 +80,31 @@ Variant reshape_to(const Variant& v, std::uint64_t outer, ParAnn outer_ann) {
   return Variant(std::move(dims), std::move(anns));
 }
 
+std::vector<std::uint64_t> divisors(std::uint64_t n, std::uint64_t cap) {
+  if (n == 0) throw std::invalid_argument("divisors: n must be positive");
+  std::vector<std::uint64_t> out;
+  // Walk i up to min(cap, sqrt n): every divisor <= cap either is such an
+  // i, or is the cofactor n/i of one (only possible when cap > sqrt n).
+  // Each candidate is probed exactly once — the old ladder's double probe
+  // of 2*lanes came from two overlapping scan ranges.
+  // i <= n / i, not i * i <= n: the square overflows for n near 2^64.
+  for (std::uint64_t i = 1; i <= cap && i <= n / i; ++i) {
+    if (n % i != 0) continue;
+    out.push_back(i);
+    const std::uint64_t cofactor = n / i;
+    if (cofactor != i && cofactor <= cap) out.push_back(cofactor);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<Variant> enumerate_variants(std::uint64_t n,
                                         std::uint32_t max_lanes,
                                         bool include_seq) {
   std::vector<Variant> out;
   out.push_back(baseline_variant(n));
-  for (std::uint64_t lanes = 2; lanes <= max_lanes; ++lanes) {
-    if (n % lanes != 0) continue;
+  for (const std::uint64_t lanes : divisors(n, max_lanes)) {
+    if (lanes < 2) continue;
     out.push_back(reshape_to(baseline_variant(n), lanes, ParAnn::Par));
   }
   if (include_seq) out.push_back(Variant({n}, {ParAnn::Seq}));

@@ -1,0 +1,32 @@
+#include "tytra/ir/arena.hpp"
+
+#include <variant>
+
+namespace tytra::ir {
+
+void BuildArena::harvest(Function& function) {
+  // The operand vectors live inside the body items; pull them out before
+  // the body vector itself is cleared (clearing destroys the items and
+  // would free their operand storage with them).
+  for (BodyItem& item : function.body) {
+    if (auto* instr = std::get_if<Instr>(&item)) {
+      put(operands_, std::move(instr->args));
+    } else if (auto* call = std::get_if<Call>(&item)) {
+      put(operands_, std::move(call->args));
+    }
+  }
+  put(bodies_, std::move(function.body));
+  put(params_, std::move(function.params));
+}
+
+void BuildArena::recycle(Function&& function) { harvest(function); }
+
+void BuildArena::recycle(Module&& module) {
+  for (Function& f : module.functions) harvest(f);
+  put(functions_, std::move(module.functions));
+  put(memobjs_, std::move(module.memobjs));
+  put(streamobjs_, std::move(module.streamobjs));
+  put(ports_, std::move(module.ports));
+}
+
+}  // namespace tytra::ir

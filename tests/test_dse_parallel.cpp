@@ -1,13 +1,19 @@
 // Tests for the parallel batched DSE engine: deterministic merge (the
 // parallel sweep must be byte-identical to the sequential one), the
-// memoizing cost-model cache, and the Pareto-frontier archive.
+// memoizing cost-model cache (including multi-threaded hammering of its
+// lock-free read path), and the Pareto-frontier archive.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
 
 #include "tytra/dse/cache.hpp"
 #include "tytra/dse/explorer.hpp"
 #include "tytra/dse/tuner.hpp"
 #include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/lowerers.hpp"
+#include "tytra/support/rng.hpp"
 
 namespace {
 
@@ -298,8 +304,10 @@ TEST(DsePareto, SkylineMatchesBruteForceFrontier) {
 }
 
 TEST(DseCache, FewerShardsThanWorkersStaysDeterministic) {
-  // The explorer caps its worker count at the cache's shard count; a
-  // 1-shard cache must still produce the byte-identical sweep.
+  // Workers are no longer clamped to the shard count (reads are
+  // lock-free; shards only spread insert contention), so 8 workers
+  // really do hammer a 1-shard cache here — the sweep must still be
+  // byte-identical.
   DseOptions plain;
   plain.num_threads = 1;
   const DseResult base = dse::explore(kDim * kDim * kDim, sor_lower(),
@@ -325,6 +333,153 @@ TEST(DsePareto, NoValidEntriesMeansEmptyFrontier) {
   EXPECT_FALSE(r.best.has_value());
   EXPECT_TRUE(r.pareto.empty());
   EXPECT_NE(dse::format_pareto(r).find("0 of"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Lock-free read correctness under concurrency
+// --------------------------------------------------------------------------
+
+// format_report covers every user-visible field; the trailing
+// "estimated in" line carries this run's wall time, so strip it.
+std::string stable_report(const cost::CostReport& r) {
+  const std::string text = cost::format_report(r);
+  return text.substr(0, text.rfind("estimated in"));
+}
+
+TEST(DseCacheHammer, ConcurrentMixedHitsAndMissesReturnExactReports) {
+  // One shard on purpose: every design lands in the same open-addressed
+  // table, the entry count crosses the growth threshold mid-hammer, and
+  // all 8 workers read it lock-free while writers keep publishing.
+  CostCache cache(1);
+  ASSERT_EQ(cache.shard_count(), 1u);
+
+  // A design set wide enough to force table growth (> 44 entries in the
+  // 64-slot initial table): lane x nki SOR variants plus two other
+  // kernels, against two calibrations.
+  struct Design {
+    ir::Module module;
+    const cost::DeviceCostDb* db;
+    std::string expected;
+  };
+  std::vector<Design> designs;
+  for (const std::uint32_t lanes : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    for (const std::uint32_t nki : {1u, 5u, 10u, 20u, 40u}) {
+      kernels::SorConfig cfg;
+      cfg.im = cfg.jm = cfg.km = kDim;
+      cfg.lanes = lanes;
+      cfg.nki = nki;
+      designs.push_back({kernels::make_sor(cfg), &fig15_db(), {}});
+    }
+  }
+  for (const std::uint32_t lanes : {1u, 2u, 4u, 8u}) {
+    kernels::HotspotConfig hcfg;
+    hcfg.rows = hcfg.cols = kDim;
+    hcfg.lanes = lanes;
+    designs.push_back({kernels::make_hotspot(hcfg), &sv_db(), {}});
+    kernels::LavamdConfig lcfg;
+    lcfg.particles = 1024;
+    lcfg.lanes = lanes;
+    designs.push_back({kernels::make_lavamd(lcfg), &fig15_db(), {}});
+  }
+  for (Design& d : designs) {
+    d.expected = stable_report(cost::cost_design(d.module, *d.db));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kLookups = 2000;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      tytra::SplitMix64 rng(0x9000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kLookups; ++i) {
+        const auto& d = designs[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(designs.size()) - 1))];
+        const cost::CostReport got = cache.cost(d.module, *d.db);
+        if (stable_report(got) != d.expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), designs.size());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups(),
+            static_cast<std::uint64_t>(kThreads) * kLookups);
+  // Every design misses at least once; racing misses may recompute, but
+  // never more often than once per thread per design.
+  EXPECT_GE(stats.misses, designs.size());
+  EXPECT_LE(stats.misses,
+            static_cast<std::uint64_t>(kThreads) * designs.size());
+}
+
+TEST(DseCacheHammer, ConcurrentVariantKeyLookupsReturnExactReports) {
+  CostCache cache(2);
+  const dse::KeyedLowerer sor = [] {
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = kDim;
+    cfg.nki = 10;
+    return kernels::sor_lowerer(cfg);
+  }();
+  const dse::KeyedLowerer hotspot = [] {
+    kernels::HotspotConfig cfg;
+    cfg.rows = cfg.cols = kDim;
+    return kernels::hotspot_lowerer(cfg);
+  }();
+
+  struct Probe {
+    const dse::KeyedLowerer* lower;
+    frontend::Variant variant;
+    std::string expected;
+  };
+  std::vector<Probe> probes;
+  for (const auto& v :
+       frontend::enumerate_variants(kDim * kDim * kDim, 16)) {
+    probes.push_back({&sor, v, {}});
+  }
+  for (const auto& v : frontend::enumerate_variants(kDim * kDim, 16)) {
+    probes.push_back({&hotspot, v, {}});
+  }
+  for (Probe& p : probes) {
+    p.expected = stable_report(
+        cost::cost_design(p.lower->lower(p.variant), fig15_db()));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kLookups = 400;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      tytra::SplitMix64 rng(0x7000 + static_cast<std::uint64_t>(t));
+      ir::BuildArena arena;
+      for (int i = 0; i < kLookups; ++i) {
+        const auto& p = probes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(probes.size()) - 1))];
+        const cost::CostReport got =
+            cache.cost(p.variant, *p.lower, fig15_db(), nullptr, &arena);
+        if (stable_report(got) != p.expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), probes.size());
+  EXPECT_EQ(cache.variant_size(), probes.size());
+  const auto stats = cache.stats();
+  // The steady state is variant-key hits: everything beyond the initial
+  // miss-and-insert races resolves before lowering.
+  EXPECT_GE(stats.variant_hits,
+            static_cast<std::uint64_t>(kThreads) * kLookups -
+                static_cast<std::uint64_t>(kThreads) * probes.size());
 }
 
 TEST(DsePareto, FormatListsOneRowPerPoint) {

@@ -26,6 +26,8 @@
 #include <sstream>
 #include <string>
 
+#include <optional>
+
 #include "tytra/codegen/verilog.hpp"
 #include "tytra/cost/report.hpp"
 #include "tytra/dse/explorer.hpp"
@@ -34,6 +36,7 @@
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
 #include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/lowerers.hpp"
 
 namespace {
 
@@ -86,33 +89,26 @@ int run_explore(const ExploreSpec& spec, const tytra::target::DeviceDesc& device
                  spec.nd);
     return 1;
   }
+  // Keyed lowerers (kernels/lowerers.hpp): identity-carrying lowering, so
+  // a cache-backed sweep resolves repeat variants before materializing IR.
   std::uint64_t n = 0;
-  dse::LowerFn lower;
+  std::optional<dse::KeyedLowerer> lower;
   if (spec.kernel == "sor") {
     n = static_cast<std::uint64_t>(spec.nd) * spec.nd * spec.nd;
-    lower = [&spec](const frontend::Variant& v) {
-      kernels::SorConfig cfg;
-      cfg.im = cfg.jm = cfg.km = spec.nd;
-      cfg.nki = 10;
-      cfg.lanes = v.lanes();
-      return kernels::make_sor(cfg);
-    };
+    kernels::SorConfig cfg;
+    cfg.im = cfg.jm = cfg.km = spec.nd;
+    cfg.nki = 10;
+    lower.emplace(kernels::sor_lowerer(cfg));
   } else if (spec.kernel == "hotspot") {
     n = static_cast<std::uint64_t>(spec.nd) * spec.nd;
-    lower = [&spec](const frontend::Variant& v) {
-      kernels::HotspotConfig cfg;
-      cfg.rows = cfg.cols = spec.nd;
-      cfg.lanes = v.lanes();
-      return kernels::make_hotspot(cfg);
-    };
+    kernels::HotspotConfig cfg;
+    cfg.rows = cfg.cols = spec.nd;
+    lower.emplace(kernels::hotspot_lowerer(cfg));
   } else if (spec.kernel == "lavamd") {
     n = spec.nd;
-    lower = [&spec](const frontend::Variant& v) {
-      kernels::LavamdConfig cfg;
-      cfg.particles = spec.nd;
-      cfg.lanes = v.lanes();
-      return kernels::make_lavamd(cfg);
-    };
+    kernels::LavamdConfig cfg;
+    cfg.particles = spec.nd;
+    lower.emplace(kernels::lavamd_lowerer(cfg));
   } else {
     std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (sor|hotspot|lavamd)\n",
                  spec.kernel.c_str());
@@ -123,11 +119,14 @@ int run_explore(const ExploreSpec& spec, const tytra::target::DeviceDesc& device
   dse::DseOptions options;
   options.max_lanes = spec.max_lanes;
   options.num_threads = spec.jobs;
-  // No CostCache here: a single sweep evaluates each variant exactly once,
-  // so a per-invocation cache would be pure keying overhead.
+  // No CostCache here: a single sweep evaluates each variant exactly
+  // once, so a per-invocation cache would be pure keying + insert
+  // overhead. The keyed lowerer is what matters — any caller that does
+  // share a cache across sweeps (the tuner, bench reruns) resolves
+  // these kernels' identity before lowering.
   dse::DseResult result;
   try {
-    result = dse::explore(n, lower, db, options);
+    result = dse::explore(n, *lower, db, options);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tytra-cc: exploration failed: %s\n", e.what());
     return 1;
