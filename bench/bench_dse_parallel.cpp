@@ -6,14 +6,21 @@
 //   bench_dse_parallel [--smoke]
 //
 // --smoke shrinks the grid and repetition count for CI.
+//
+// Runs through dse::Session — the same entry point users drive — with
+// one session per regime: a cache-less session for the sequential and
+// parallel sweeps (so they measure evaluation, not lookups) and a
+// cache-owning session whose second sweep is the warm rerun. Lowering
+// stays a plain LowerFn (structural-digest caching, no variant keys),
+// measuring the same regimes this bench always has.
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 
-#include "tytra/dse/cache.hpp"
-#include "tytra/dse/explorer.hpp"
+#include "tytra/dse/session.hpp"
 #include "tytra/kernels/kernels.hpp"
 
 namespace {
@@ -36,13 +43,12 @@ dse::LowerFn sor_lower(std::uint32_t dim) {
   };
 }
 
-double sweep_seconds(std::uint64_t n, const dse::LowerFn& lower,
-                     const cost::DeviceCostDb& db, const dse::DseOptions& opt,
-                     int reps, std::size_t& variants_out) {
+double sweep_seconds(dse::Session& session, const dse::Job& job, int reps,
+                     std::size_t& variants_out) {
   double best = 1e300;
   for (int r = 0; r < reps; ++r) {
     const double t0 = now_seconds();
-    const auto result = dse::explore(n, lower, db, opt);
+    const auto result = session.explore(job);
     const double t = now_seconds() - t0;
     if (t < best) best = t;
     variants_out = result.entries.size();
@@ -61,29 +67,39 @@ int main(int argc, char** argv) {
   const std::uint32_t dim = smoke ? 24 : 48;
   const int reps = smoke ? 1 : 3;
   const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim * dim;
-  const auto lower = sor_lower(dim);
   const auto db = cost::DeviceCostDb::calibrate(target::stratix_v_gsd8());
   const unsigned cores = std::thread::hardware_concurrency();
+
+  dse::Job job;
+  job.workload = "sor";
+  job.nd = dim;
+  job.n = n;
+  job.lower = std::make_shared<dse::FnLowerer>(sor_lower(dim));
+  job.db = &db;
+  job.max_lanes = 64;
 
   std::printf("=== parallel DSE sweep: SOR %u^3 (%llu items), max_lanes=64, "
               "%u hardware threads ===\n\n",
               dim, static_cast<unsigned long long>(n), cores);
 
-  dse::DseOptions seq;
-  seq.max_lanes = 64;
-  seq.num_threads = 1;
-  dse::DseOptions par = seq;
-  par.num_threads = 0;  // one worker per core
+  dse::SessionOptions seq_opts;
+  seq_opts.num_threads = 1;
+  seq_opts.enable_cache = false;
+  dse::SessionOptions par_opts = seq_opts;
+  par_opts.num_threads = 0;  // one worker per core
+  dse::SessionOptions warm_opts = par_opts;
+  warm_opts.enable_cache = true;
+
+  dse::Session seq(seq_opts);
+  dse::Session par(par_opts);
+  dse::Session warm(warm_opts);
 
   std::size_t variants = 0;
-  const double t_seq = sweep_seconds(n, lower, db, seq, reps, variants);
-  const double t_par = sweep_seconds(n, lower, db, par, reps, variants);
+  const double t_seq = sweep_seconds(seq, job, reps, variants);
+  const double t_par = sweep_seconds(par, job, reps, variants);
 
-  dse::CostCache cache;
-  dse::DseOptions cached = par;
-  cached.cache = &cache;
-  dse::explore(n, lower, db, cached);  // cold fill
-  const double t_warm = sweep_seconds(n, lower, db, cached, reps, variants);
+  warm.explore(job);  // cold fill of the session cache
+  const double t_warm = sweep_seconds(warm, job, reps, variants);
 
   std::printf("%-28s %10.2f ms  (%.3f ms/variant)\n", "sequential (1 thread)",
               t_seq * 1e3, t_seq * 1e3 / static_cast<double>(variants));

@@ -35,15 +35,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "tytra/cost/report.hpp"
-#include "tytra/dse/cache.hpp"
-#include "tytra/dse/explorer.hpp"
+#include "tytra/dse/session.hpp"
 #include "tytra/fabric/synth.hpp"
 #include "tytra/kernels/kernels.hpp"
-#include "tytra/kernels/lowerers.hpp"
+#include "tytra/kernels/registry.hpp"
 #include "tytra/support/hash.hpp"
 
 namespace {
@@ -69,21 +69,31 @@ kernels::SorConfig sor_config() {
   return cfg;
 }
 
-/// The variant-key path: identity resolved before lowering.
-const dse::KeyedLowerer& sor_keyed_lower() {
-  static const dse::KeyedLowerer lower = kernels::sor_lowerer(sor_config());
-  return lower;
+/// The variant-key path: identity resolved before lowering. Built by the
+/// workload registry — the same job `tytra-cc explore sor` runs (the
+/// registry's SOR config matches sor_config(): nd^3 grid, nki=10).
+dse::Job sor_keyed_job() {
+  auto job = kernels::Registry::instance().make_job("sor", kNd);
+  if (!job.ok()) {
+    std::fprintf(stderr, "bench_estimator_speed: %s\n",
+                 job.error_message().c_str());
+    std::exit(1);
+  }
+  dse::Job out = std::move(job).take();
+  out.db = &db();
+  return out;
 }
 
 /// The key-less path every pre-Lowerer caller uses: identity resolved
 /// from the lowered module's structural digest.
-const dse::FnLowerer& sor_fn_lower() {
-  static const dse::FnLowerer lower{[](const frontend::Variant& v) {
+dse::Job sor_fn_job() {
+  dse::Job job = sor_keyed_job();
+  job.lower = std::make_shared<dse::FnLowerer>([](const frontend::Variant& v) {
     kernels::SorConfig cfg = sor_config();
     cfg.lanes = v.lanes();
     return kernels::make_sor(cfg);
-  }};
-  return lower;
+  });
+  return job;
 }
 
 double now_minus(const std::chrono::steady_clock::time_point& t0) {
@@ -98,19 +108,16 @@ struct SweepTiming {
   dse::CacheStats stats;  ///< the final rep's per-sweep hit accounting
 };
 
-/// Times `explore` over the SOR family, best-of-N to shed scheduler
-/// noise. `cache` may be null (the cold configuration).
-SweepTiming time_sweep(const dse::Lowerer& lower, dse::CostCache* cache,
-                       int reps) {
-  dse::DseOptions opt;
-  opt.num_threads = kThreads;
-  opt.cache = cache;
-  const std::uint64_t n = std::uint64_t(kNd) * kNd * kNd;
+/// Times a session sweep over the SOR family, best-of-N to shed
+/// scheduler noise. The session decides the cache regime: a cache-less
+/// session is the cold configuration, a warm session's cache answers
+/// per the job's lowerer (variant-key for keyed, structural for plain).
+SweepTiming time_sweep(dse::Session& session, const dse::Job& job, int reps) {
   SweepTiming out;
   double best = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    const auto r = dse::explore(n, lower, db(), opt);
+    const auto r = session.explore(job);
     const double s = now_minus(t0);
     out.variants = r.entries.size();
     out.stats = r.cache_stats;
@@ -119,6 +126,14 @@ SweepTiming time_sweep(const dse::Lowerer& lower, dse::CostCache* cache,
   out.us_per_variant = best / static_cast<double>(out.variants) * 1e6;
   out.variants_per_sec = static_cast<double>(out.variants) / best;
   return out;
+}
+
+/// One session per cache regime, same thread policy.
+dse::Session make_session(bool enable_cache) {
+  dse::SessionOptions so;
+  so.num_threads = kThreads;
+  so.enable_cache = enable_cache;
+  return dse::Session(so);
 }
 
 /// A fixed CPU-bound workload (integer mixing, the same family of
@@ -195,14 +210,17 @@ int main(int argc, char** argv) {
               synth_s / est_s);
 
   // --- The DSE hot path: per-variant cost by cache regime ---------------
-  const SweepTiming cold = time_sweep(sor_keyed_lower(), nullptr, 60);
-  dse::CostCache cache;
-  time_sweep(sor_keyed_lower(), &cache, 1);  // fill both cache levels
+  const dse::Job keyed_job = sor_keyed_job();
+  const dse::Job fn_job = sor_fn_job();
+  dse::Session cold_session = make_session(/*enable_cache=*/false);
+  const SweepTiming cold = time_sweep(cold_session, keyed_job, 60);
+  dse::Session warm_session = make_session(/*enable_cache=*/true);
+  time_sweep(warm_session, keyed_job, 1);  // fill both cache levels
   // Key-less lowering against the warm cache: every hit still lowers and
   // streams the structural digest — the pre-variant-key warm path.
-  const SweepTiming warm_structural = time_sweep(sor_fn_lower(), &cache, 120);
+  const SweepTiming warm_structural = time_sweep(warm_session, fn_job, 120);
   // Keyed lowering against the warm cache: no IR is materialized at all.
-  const SweepTiming warm = time_sweep(sor_keyed_lower(), &cache, 120);
+  const SweepTiming warm = time_sweep(warm_session, keyed_job, 120);
   if (warm.stats.variant_hits != warm.variants ||
       warm_structural.stats.hits != warm_structural.variants ||
       warm_structural.stats.variant_hits != 0) {

@@ -41,6 +41,9 @@ struct DseEntry {
 };
 
 struct DseOptions {
+  /// Lane-count cap of the sweep. Validated at the API boundary: 0 is
+  /// rejected with std::invalid_argument (an empty sweep is always a
+  /// caller bug, never a request).
   std::uint32_t max_lanes{16};
   bool include_seq{false};
   /// Worker threads for the batched evaluation; 0 means one per hardware
@@ -84,14 +87,22 @@ struct DseResult {
 /// Explores the reshape family for a kernel of `n` work-items. When
 /// `lower` provides variant keys and `options.cache` is warm, the sweep
 /// never lowers IR at all.
+///
+/// Deprecation-ready: prefer dse::Session (dse/session.hpp), which owns
+/// the cache/devices/arenas this overload set threads by hand. This free
+/// function is a thin shim over a temporary Session — byte-identical
+/// results — and will gain [[deprecated]] once in-tree callers migrate.
+/// Throws std::invalid_argument when options are invalid (max_lanes == 0).
 DseResult explore(std::uint64_t n, const Lowerer& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options = {});
 /// std::function shim: structural-digest caching only (no variant keys).
+/// Deprecation-ready: prefer dse::Session::explore (see above).
 DseResult explore(std::uint64_t n, const LowerFn& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options = {});
 
 /// The MaxJ-like HLS baseline: pipeline parallelism only, no architectural
 /// exploration — i.e. the baseline (1-lane) variant's cost report.
+/// Deprecation-ready: prefer dse::Session::baseline (dse/session.hpp).
 cost::CostReport maxj_baseline(std::uint64_t n, const Lowerer& lower,
                                const cost::DeviceCostDb& db);
 cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,

@@ -1,0 +1,219 @@
+#pragma once
+
+// The object-oriented entry point to design-space exploration — the
+// "compiler with a feedback path" of paper §I/§VI as one engine object
+// instead of a pile of free-function overloads with caches, arenas and
+// thread counts threaded by hand.
+//
+// A Session owns everything repeated exploration wants to share:
+//
+//   * the two-level CostCache (see dse/cache.hpp) — every sweep, tune
+//     walk and campaign job run by the session warms the same cache, so
+//     a tuner trajectory after a sweep, or a campaign's repeat sizes,
+//     resolve at the variant-key level without lowering any IR;
+//   * a device table of named, calibrated DeviceCostDbs — calibrate a
+//     board once, cost any number of jobs against it by name;
+//   * the thread-pool policy (SessionOptions::num_threads, the same
+//     clamping rules DseOptions documents);
+//   * the per-worker BuildArenas — cold lowering recycles builder
+//     storage *across* jobs, not just within one sweep.
+//
+// Work is described by a Job ({workload, size, device} plus per-job
+// knobs) and submitted through explore / tune / baseline, or batched as
+// a Campaign whose result adds the cross-device comparison and a merged
+// Pareto view over every job. The legacy free functions in explorer.hpp
+// and tuner.hpp are thin shims over a temporary Session and produce
+// byte-identical results (tests/test_session.cpp pins this).
+//
+// Thread-safety: the session's cache is safe for concurrent use, but
+// Session methods themselves are not — they share the per-worker arena
+// pool. Run one job (or campaign) at a time per Session; each job
+// parallelizes internally.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/dse/cache.hpp"
+#include "tytra/dse/explorer.hpp"
+#include "tytra/dse/tuner.hpp"
+#include "tytra/ir/arena.hpp"
+#include "tytra/target/device.hpp"
+
+namespace tytra::dse {
+
+/// Session-wide policy. Validated at construction: a zero lane cap is
+/// rejected (a sweep over no lane counts is always a caller bug).
+struct SessionOptions {
+  /// Default lane-count cap for jobs that do not set their own.
+  std::uint32_t max_lanes{16};
+  /// Worker threads per job evaluation; same semantics and clamping as
+  /// DseOptions::num_threads (0 = one per hardware thread).
+  std::uint32_t num_threads{0};
+  /// Shard count forwarded to the session's CostCache (0 = auto).
+  std::size_t cache_shards{0};
+  /// When false the session owns no cache and jobs run uncached unless a
+  /// per-call override is supplied — the legacy free-function semantics
+  /// (their shims construct a cache-less Session so that a caller who
+  /// passed no cache keeps paying exactly zero caching overhead).
+  bool enable_cache{true};
+};
+
+/// One unit of exploration work: which design family, how big, against
+/// which device, under which per-job knobs.
+struct Job {
+  /// Workload label for reports ("sor", "hotspot", ..., or free-form for
+  /// custom lowerers). Purely descriptive; kernels::Registry fills it.
+  std::string workload;
+  /// Problem dimension the NDRange was derived from (descriptive; 0 when
+  /// the job was built directly from `n`).
+  std::uint32_t nd{0};
+  /// NDRange size (work-items per kernel instance). Must be >= 1.
+  std::uint64_t n{0};
+  /// How variants materialize. Shared so campaign jobs own their lowerer;
+  /// shims alias the caller's without taking ownership.
+  std::shared_ptr<const Lowerer> lower;
+  /// Device-table name to cost against; empty selects the default device
+  /// (the first one added). Ignored when `db` is set.
+  std::string device;
+  /// Direct database override bypassing the device table (non-owning;
+  /// must outlive the call). The legacy shims use this to borrow the
+  /// caller's already-calibrated database without copying it.
+  const cost::DeviceCostDb* db{nullptr};
+  /// Lane-count cap for this job; 0 inherits SessionOptions::max_lanes.
+  std::uint32_t max_lanes{0};
+  /// Also enumerate the sequential (C4) variant.
+  bool include_seq{false};
+  /// Step budget for tune() (<= 0 yields an empty trajectory, matching
+  /// the free function).
+  int max_steps{12};
+};
+
+/// A batch of jobs fanned through one shared warm cache.
+struct Campaign {
+  std::vector<Job> jobs;
+};
+
+/// One campaign job's sweep, with the job echoed for labeling.
+struct CampaignJobResult {
+  Job job;
+  DseResult result;
+};
+
+/// A merged-frontier member: `point.index` indexes jobs[job].result.entries.
+struct CampaignParetoPoint {
+  std::size_t job{0};
+  ParetoPoint point;
+};
+
+struct CampaignResult {
+  std::vector<CampaignJobResult> jobs;     ///< in campaign order
+  /// The Pareto frontier over every job's valid entries — the
+  /// cross-workload, cross-device trade-off surface. Dominance uses the
+  /// same three objectives as per-job frontiers; points keep
+  /// (job, enumeration) order.
+  std::vector<CampaignParetoPoint> pareto;
+  CacheStats cache_stats;                  ///< summed per-job sweep stats
+  double campaign_seconds{0};
+
+  [[nodiscard]] const DseEntry& entry(const CampaignParetoPoint& p) const {
+    return jobs[p.job].result.entries[p.point.index];
+  }
+};
+
+/// The DSE engine object. Owns cache, device table, thread policy and
+/// per-worker arenas; every sweep/tune/baseline/campaign runs through it.
+class Session {
+ public:
+  /// Throws std::invalid_argument when options are invalid
+  /// (max_lanes == 0).
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Calibrates `desc` and adds it to the device table under its own
+  /// name. Throws std::invalid_argument on a duplicate name. Returns the
+  /// calibrated database (stable address for the session's lifetime).
+  const cost::DeviceCostDb& add_device(const target::DeviceDesc& desc);
+  /// Adds an already-calibrated database under `name` (moves it in).
+  const cost::DeviceCostDb& add_device(std::string name,
+                                       cost::DeviceCostDb db);
+  /// Looks a device up by name; null when absent.
+  [[nodiscard]] const cost::DeviceCostDb* find_device(
+      std::string_view name) const;
+  /// Device names in the order they were added (front = default device).
+  [[nodiscard]] const std::vector<std::string>& device_names() const {
+    return device_order_;
+  }
+
+  /// Sweeps the job's reshape family. Validates the job at this boundary
+  /// — null lowerer, n == 0, an effective lane cap of 0, or an unknown
+  /// device name all throw std::invalid_argument with a message naming
+  /// the offending field. `cache_override` replaces the session cache
+  /// for this call (the legacy shims route their caller's cache through
+  /// here); null means the session cache, or uncached when caching is
+  /// disabled.
+  DseResult explore(const Job& job, CostCache* cache_override = nullptr);
+
+  /// Walks the feedback path from the baseline variant (see dse/tuner.hpp),
+  /// riding the session cache — after explore() of the same job, the whole
+  /// trajectory answers at the variant-key level.
+  TuneResult tune(const Job& job, CostCache* cache_override = nullptr);
+
+  /// The MaxJ-like HLS baseline: the 1-lane variant's cost report.
+  cost::CostReport baseline(const Job& job,
+                            CostCache* cache_override = nullptr);
+
+  /// Runs every job in order through the shared cache and merges the
+  /// cross-device comparison + Pareto view.
+  CampaignResult run(const Campaign& campaign);
+
+  /// The session cache (null when SessionOptions::enable_cache is false).
+  [[nodiscard]] CostCache* cache() { return cache_.get(); }
+  [[nodiscard]] const SessionOptions& options() const { return options_; }
+
+ private:
+  struct ResolvedJob {
+    const cost::DeviceCostDb* db;
+    const Lowerer* lower;
+    std::uint64_t n;
+    std::uint32_t max_lanes;
+  };
+  [[nodiscard]] ResolvedJob resolve(const Job& job) const;
+  [[nodiscard]] CostCache* effective_cache(CostCache* override_cache) {
+    return override_cache ? override_cache : cache_.get();
+  }
+  /// Grows the arena pool to at least `n` workers.
+  std::vector<ir::BuildArena>& arenas(std::size_t n);
+
+  SessionOptions options_;
+  std::unique_ptr<CostCache> cache_;
+  std::map<std::string, cost::DeviceCostDb, std::less<>> devices_;
+  std::vector<std::string> device_order_;
+  std::vector<ir::BuildArena> arenas_;
+};
+
+/// Cross-device comparison table: one row per campaign job (workload,
+/// nd, device, variant count, best design). Deterministic — no wall
+/// times — so output is directly comparable across runs.
+std::string format_campaign(const CampaignResult& result);
+
+/// The merged frontier, labeled with workload/device per row.
+std::string format_campaign_pareto(const CampaignResult& result);
+
+// ---------------------------------------------------------------------------
+// Structured (JSON) renderings — the machine-readable counterpart of the
+// format_* tables, used by `tytra-cc --json` and the CI smoke step.
+// ---------------------------------------------------------------------------
+
+std::string format_sweep_json(const DseResult& result);
+std::string format_tune_json(const TuneResult& result);
+std::string format_campaign_json(const CampaignResult& result);
+
+}  // namespace tytra::dse

@@ -44,6 +44,11 @@ struct TuneResult {
 /// prior sweep, or a prior tuner run over the same kernel) are looked up
 /// instead of re-evaluated — and a keyed lowerer answers those lookups
 /// from the variant-key table without lowering IR.
+///
+/// Deprecation-ready: prefer dse::Session::tune (dse/session.hpp), whose
+/// session cache makes the sweep-then-tune pattern automatic. This free
+/// function is a thin shim over a temporary Session — byte-identical
+/// results — and will gain [[deprecated]] once in-tree callers migrate.
 TuneResult tune(std::uint64_t n, const Lowerer& lower,
                 const cost::DeviceCostDb& db, int max_steps = 12,
                 CostCache* cache = nullptr);

@@ -1,0 +1,100 @@
+#pragma once
+
+// The workload registry: one place that knows every kernel the DSE
+// engines can explore. A WorkloadInfo bundles everything a driver needs
+// to turn "a name and a problem dimension" into a runnable dse::Job —
+// the nd→NDRange mapping (with overflow/zero validation as a structured
+// Result, not an exit()), a keyed-lowerer factory, and the reference-
+// simulation hook that anchors a workload to its plain-C++ ground truth.
+//
+// SOR, Hotspot and LavaMD register themselves; adding a workload is one
+// Registry::add (or a static kernels::WorkloadRegistrar in the defining
+// translation unit) — after which `tytra-cc` lists it, validates its
+// name, explores/tunes it and includes it in campaigns with zero driver
+// changes. The `if (name == "sor") ... else if ...` ladder the tool used
+// to hardcode is gone; its usage text is generated from this table.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tytra/dse/lowerer.hpp"
+#include "tytra/dse/session.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::kernels {
+
+/// Everything the drivers need to know about one explorable workload.
+struct WorkloadInfo {
+  /// Registry key and CLI name ("sor", "hotspot", ...).
+  std::string name;
+  /// One-line description for generated usage/help text.
+  std::string summary;
+  /// What the --nd dimension means for this workload ("dim of the dim^3
+  /// grid", "particle count", ...), also for generated help.
+  std::string nd_help;
+  /// Default problem dimension when the caller gives none.
+  std::uint32_t default_nd{24};
+  /// Maps the problem dimension to the NDRange size (work-items per
+  /// kernel instance). Returns a Diag error for nd == 0 and for
+  /// dimensions whose NDRange overflows uint64 — the validation the tool
+  /// used to do ad hoc for SOR only.
+  std::function<tytra::Result<std::uint64_t>(std::uint32_t nd)> ndrange;
+  /// Builds the keyed lowerer for dimension nd (see kernels/lowerers.hpp);
+  /// the fingerprint pins the full configuration, so session caches
+  /// answer repeat jobs at the variant-key level.
+  std::function<dse::KeyedLowerer(std::uint32_t nd)> make_lowerer;
+  /// Reference-simulation hook: runs the plain-C++ reference
+  /// implementation at dimension nd and folds the outputs into one
+  /// deterministic checksum. Ties the registered lowering config to the
+  /// kernel's ground truth (tests pin it; sized for small nd).
+  std::function<double(std::uint32_t nd)> reference_checksum;
+};
+
+/// The process-wide workload table. The built-in kernels are registered
+/// on first access; user workloads join via add() / WorkloadRegistrar.
+/// Not synchronized: register during startup, read afterwards.
+class Registry {
+ public:
+  /// The singleton, with SOR/Hotspot/LavaMD already present.
+  static Registry& instance();
+
+  /// Registers a workload. Throws std::invalid_argument on an empty or
+  /// duplicate name or a missing ndrange/make_lowerer hook.
+  void add(WorkloadInfo info);
+
+  /// Looks a workload up by name; null when absent.
+  [[nodiscard]] const WorkloadInfo* find(std::string_view name) const;
+
+  /// All workloads, in registration order (built-ins first).
+  [[nodiscard]] const std::vector<WorkloadInfo>& all() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// "sor|hotspot|lavamd" — for generated usage text, so the list can
+  /// never drift from what is actually registered.
+  [[nodiscard]] std::string names_joined(std::string_view sep = "|") const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Builds a ready-to-run dse::Job for `workload` at dimension `nd`:
+  /// resolves the NDRange (propagating the structured validation error),
+  /// instantiates the keyed lowerer, and labels the job. The caller
+  /// still picks the device (Job::device / Job::db).
+  [[nodiscard]] tytra::Result<dse::Job> make_job(std::string_view workload,
+                                                 std::uint32_t nd) const;
+
+ private:
+  std::vector<WorkloadInfo> entries_;
+};
+
+/// Static-initialization helper: `static WorkloadRegistrar reg{info};`
+/// in a workload's translation unit self-registers it before main.
+struct WorkloadRegistrar {
+  explicit WorkloadRegistrar(WorkloadInfo info) {
+    Registry::instance().add(std::move(info));
+  }
+};
+
+}  // namespace tytra::kernels

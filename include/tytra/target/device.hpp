@@ -9,8 +9,10 @@
 // boards are described in the `.tgt` text format parsed below.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "tytra/support/diag.hpp"
 
@@ -77,6 +79,15 @@ DeviceDesc virtex7_690t();
 /// A scaled-down Stratix-V profile whose resource budget and link
 /// bandwidths place the Fig. 15 walls inside a 16-lane sweep.
 DeviceDesc fig15_profile();
+
+/// The CLI names of the built-in presets above, in a stable order —
+/// drivers generate their usage text and validation from this list so it
+/// cannot drift from what is actually supported.
+const std::vector<std::string>& preset_names();
+
+/// Looks a preset up by its CLI name ("stratix-v-gsd8", "virtex7-690t",
+/// "fig15"); nullopt when unknown.
+std::optional<DeviceDesc> preset(std::string_view name);
 
 /// Parses the `.tgt` device description format:
 ///

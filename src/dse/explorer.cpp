@@ -1,245 +1,47 @@
 #include "tytra/dse/explorer.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <exception>
-#include <map>
-#include <mutex>
 #include <sstream>
-#include <thread>
+#include <stdexcept>
 
+#include "tytra/dse/session.hpp"
 #include "tytra/support/strings.hpp"
+
+// The sweep engine lives in session.cpp (dse::Session is the one
+// evaluation path); this file keeps the legacy free-function surface —
+// thin shims over a temporary cache-less Session — and the table
+// renderers.
 
 namespace tytra::dse {
 
+namespace detail {
+// Shim plumbing shared with tuner.cpp; defined in session.cpp.
+Job borrow_job(std::uint64_t n, const Lowerer& lower,
+               const cost::DeviceCostDb& db);
+Session shim_session(std::uint32_t num_threads);
+}  // namespace detail
+
 namespace {
 
-std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
-  // The clamping policy is documented on DseOptions::num_threads: at most
-  // 4x the core count and at most one worker per variant. The former
-  // worker<=shard clamp is gone — cache reads are lock-free, so a warm
-  // (hit-dominated) sweep scales past the shard count instead of queuing
-  // on shard locks.
-  std::uint32_t cores = std::thread::hardware_concurrency();
-  if (cores == 0) cores = 1;
-  std::uint32_t n = requested == 0 ? cores : std::min(requested, 4 * cores);
-  if (work_items < n) n = static_cast<std::uint32_t>(work_items);
-  return n == 0 ? 1 : n;
-}
-
-/// Evaluates variants [0, n) into per-variant slots. The work-queue is a
-/// single atomic cursor; slots are disjoint, so workers never contend on
-/// results, and the merge in enumeration order is deterministic no matter
-/// the interleaving.
-void evaluate_batch(const std::vector<frontend::Variant>& variants,
-                    const Lowerer& lower, const cost::DeviceCostDb& db,
-                    CostCache* cache, std::uint32_t num_threads,
-                    std::vector<std::optional<cost::CostReport>>& slots,
-                    CacheStats& sweep_stats) {
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> variant_hits{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-
-  auto worker = [&] {
-    // Per-worker lowering scratch: cold variants recycle builder buffers
-    // instead of paying allocation churn per module. Never shared, so no
-    // synchronization.
-    ir::BuildArena arena;
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= variants.size()) return;
-      try {
-        if (cache) {
-          CostCache::HitLevel level = CostCache::HitLevel::Miss;
-          slots[i] = cache->cost(variants[i], lower, db, &level, &arena);
-          // Per-sweep accounting: independent of the cache's global
-          // counters, which concurrent sweeps sharing it also advance.
-          if (level == CostCache::HitLevel::Miss) {
-            misses.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            hits.fetch_add(1, std::memory_order_relaxed);
-            if (level == CostCache::HitLevel::Variant) {
-              variant_hits.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
-        } else {
-          ir::Module module = lower.lower(variants[i], &arena);
-          slots[i] = cost::cost_design(module, db);
-          arena.recycle(std::move(module));
-        }
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        cursor.store(variants.size(), std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  if (num_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    try {
-      for (std::uint32_t t = 0; t < num_threads; ++t) pool.emplace_back(worker);
-    } catch (...) {
-      // Thread spawn failed (e.g. EAGAIN): drain the queue, join what
-      // started, and surface the error instead of terminating on a
-      // joinable thread's destructor.
-      cursor.store(variants.size(), std::memory_order_relaxed);
-      for (auto& th : pool) th.join();
-      throw;
-    }
-    for (auto& th : pool) th.join();
+void validate_options(const DseOptions& options) {
+  // API-boundary validation: a zero lane cap always meant "empty sweep by
+  // accident", never a real request — reject it with a structured error
+  // instead of silently enumerating nothing.
+  if (options.max_lanes == 0) {
+    throw std::invalid_argument(
+        "dse::explore: DseOptions::max_lanes must be >= 1");
   }
-  if (first_error) std::rethrow_exception(first_error);
-  sweep_stats.hits = hits.load(std::memory_order_relaxed);
-  sweep_stats.misses = misses.load(std::memory_order_relaxed);
-  sweep_stats.variant_hits = variant_hits.load(std::memory_order_relaxed);
-}
-
-/// The streaming share of the per-instance time: how much of the budget
-/// the DRAM term claims (0 for form-C designs, ~1 on a bandwidth wall).
-double bandwidth_share(const cost::CostReport& report) {
-  const auto& t = report.throughput;
-  return t.seconds_per_instance > 0 ? t.t_mem_stream / t.seconds_per_instance
-                                    : 0.0;
-}
-
-// A point dominates another when it is at least as good on every
-// objective (EKIT >=, util <=, bw-share <=) and strictly better on one.
-//
-/// Sort-based skyline replacing the former all-pairs O(n^2) sweep.
-/// Candidates sorted by EKIT descending can only be dominated by points
-/// earlier in the sort; kept points are condensed into a (util, bw)
-/// staircase — strictly increasing util, strictly decreasing bw — so each
-/// dominance probe is one ordered-map lookup: O(n log n) overall. Output
-/// is the same set as the all-pairs sweep, in enumeration order.
-std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
-  std::vector<ParetoPoint> candidates;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& e = entries[i];
-    if (!e.report.valid) continue;
-    candidates.push_back(ParetoPoint{i, e.report.throughput.ekit,
-                                     e.report.resources.util.max(),
-                                     bandwidth_share(e.report)});
-  }
-
-  std::vector<std::size_t> order(candidates.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const ParetoPoint& pa = candidates[a];
-    const ParetoPoint& pb = candidates[b];
-    if (pa.ekit != pb.ekit) return pa.ekit > pb.ekit;
-    if (pa.util_max != pb.util_max) return pa.util_max < pb.util_max;
-    if (pa.bw_share != pb.bw_share) return pa.bw_share < pb.bw_share;
-    return a < b;
-  });
-
-  // Staircase over kept points from strictly-higher-EKIT groups. Every
-  // staircase point has strictly greater EKIT than the probe, so covering
-  // it on (util, bw) — even with equality — is domination.
-  std::map<double, double> staircase;  // util -> bw, bw strictly decreasing
-  const auto covered = [&](const ParetoPoint& c) {
-    auto it = staircase.upper_bound(c.util_max);
-    if (it == staircase.begin()) return false;
-    --it;  // greatest util <= c.util; its bw is the minimum among those
-    return it->second <= c.bw_share;
-  };
-  const auto insert_point = [&](const ParetoPoint& c) {
-    auto it = staircase.upper_bound(c.util_max);
-    if (it != staircase.begin() && std::prev(it)->second <= c.bw_share) {
-      return;  // an existing point already covers it
-    }
-    auto pos = staircase.lower_bound(c.util_max);
-    while (pos != staircase.end() && pos->second >= c.bw_share) {
-      pos = staircase.erase(pos);
-    }
-    staircase.emplace(c.util_max, c.bw_share);
-  };
-
-  std::vector<bool> keep(candidates.size(), false);
-  std::size_t g = 0;
-  while (g < order.size()) {
-    // One group of equal-EKIT candidates, in (util asc, bw asc) order.
-    std::size_t g_end = g + 1;
-    while (g_end < order.size() &&
-           candidates[order[g_end]].ekit == candidates[order[g]].ekit) {
-      ++g_end;
-    }
-    // Within the group EKIT ties, so domination needs strictness on the
-    // other two objectives. Earlier members have util <= ours; tracking
-    // the running minimum bw (and the smallest util achieving it) decides
-    // domination without a scan. Dominated members participate too:
-    // whatever they would dominate, their own dominator also dominates.
-    double g_min_bw = 0;
-    double g_min_bw_util = 0;
-    for (std::size_t k = g; k < g_end; ++k) {
-      const ParetoPoint& c = candidates[order[k]];
-      const bool by_group =
-          k > g && (g_min_bw < c.bw_share ||
-                    (g_min_bw == c.bw_share && g_min_bw_util < c.util_max));
-      keep[order[k]] = !by_group && !covered(c);
-      if (k == g || c.bw_share < g_min_bw) {
-        g_min_bw = c.bw_share;
-        g_min_bw_util = c.util_max;  // first achiever has the smallest util
-      }
-    }
-    // Merge the group's survivors only after the whole group is probed:
-    // equal-EKIT points must not dominate through the staircase.
-    for (std::size_t k = g; k < g_end; ++k) {
-      if (keep[order[k]]) insert_point(candidates[order[k]]);
-    }
-    g = g_end;
-  }
-
-  std::vector<ParetoPoint> frontier;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (keep[i]) frontier.push_back(candidates[i]);
-  }
-  return frontier;  // candidates were built in enumeration order
 }
 
 }  // namespace
 
 DseResult explore(std::uint64_t n, const Lowerer& lower,
                   const cost::DeviceCostDb& db, const DseOptions& options) {
-  const auto t0 = std::chrono::steady_clock::now();
-  DseResult result;
-  const auto variants =
-      frontend::enumerate_variants(n, options.max_lanes, options.include_seq);
-
-  std::vector<std::optional<cost::CostReport>> slots(variants.size());
-  evaluate_batch(variants, lower, db, options.cache,
-                 resolve_threads(options.num_threads, variants.size()), slots,
-                 result.cache_stats);
-
-  // Deterministic merge in enumeration order.
-  result.entries.reserve(variants.size());
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    result.entries.emplace_back(variants[i], std::move(*slots[i]));
-  }
-  for (std::size_t i = 0; i < result.entries.size(); ++i) {
-    const auto& e = result.entries[i];
-    if (!e.report.valid) continue;
-    if (!result.best ||
-        e.report.throughput.ekit >
-            result.entries[*result.best].report.throughput.ekit) {
-      result.best = i;
-    }
-  }
-  result.pareto = pareto_frontier(result.entries);
-  const auto t1 = std::chrono::steady_clock::now();
-  result.explore_seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
-  return result;
+  validate_options(options);
+  Session session = detail::shim_session(options.num_threads);
+  Job job = detail::borrow_job(n, lower, db);
+  job.max_lanes = options.max_lanes;
+  job.include_seq = options.include_seq;
+  return session.explore(job, options.cache);
 }
 
 DseResult explore(std::uint64_t n, const LowerFn& lower,
@@ -249,12 +51,13 @@ DseResult explore(std::uint64_t n, const LowerFn& lower,
 
 cost::CostReport maxj_baseline(std::uint64_t n, const Lowerer& lower,
                                const cost::DeviceCostDb& db) {
-  return cost::cost_design(lower.lower(frontend::baseline_variant(n)), db);
+  Session session = detail::shim_session(1);
+  return session.baseline(detail::borrow_job(n, lower, db));
 }
 
 cost::CostReport maxj_baseline(std::uint64_t n, const LowerFn& lower,
                                const cost::DeviceCostDb& db) {
-  return cost::cost_design(lower(frontend::baseline_variant(n)), db);
+  return maxj_baseline(n, FnLowerer(lower), db);
 }
 
 std::string format_sweep(const DseResult& result) {

@@ -1,0 +1,760 @@
+#include "tytra/dse/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "tytra/support/strings.hpp"
+
+// This file IS the DSE engine: the batched parallel sweep, the tuner's
+// feedback walk and the Pareto skyline all live here, and the free
+// functions in explorer.cpp / tuner.cpp are thin shims over a temporary
+// Session. There is exactly one evaluation path, so the Session API and
+// the legacy API cannot drift apart.
+
+namespace tytra::dse {
+
+namespace {
+
+std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
+  // The clamping policy is documented on DseOptions::num_threads: at most
+  // 4x the core count and at most one worker per variant. Workers are not
+  // clamped to the cache's shard count — cache reads are lock-free, so a
+  // warm (hit-dominated) sweep scales past the shard count instead of
+  // queuing on shard locks.
+  std::uint32_t cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = 1;
+  std::uint32_t n = requested == 0 ? cores : std::min(requested, 4 * cores);
+  if (work_items < n) n = static_cast<std::uint32_t>(work_items);
+  return n == 0 ? 1 : n;
+}
+
+/// Evaluates variants [0, n) into per-variant slots. The work-queue is a
+/// single atomic cursor; slots are disjoint, so workers never contend on
+/// results, and the merge in enumeration order is deterministic no matter
+/// the interleaving. Worker t draws lowering scratch from arenas[t] — the
+/// session-owned pool, so recycled builder capacity survives across jobs.
+void evaluate_batch(const std::vector<frontend::Variant>& variants,
+                    const Lowerer& lower, const cost::DeviceCostDb& db,
+                    CostCache* cache, std::uint32_t num_threads,
+                    std::vector<ir::BuildArena>& arenas,
+                    std::vector<std::optional<cost::CostReport>>& slots,
+                    CacheStats& sweep_stats) {
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> variant_hits{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&](std::uint32_t worker_index) {
+    ir::BuildArena& arena = arenas[worker_index];
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= variants.size()) return;
+      try {
+        if (cache) {
+          CostCache::HitLevel level = CostCache::HitLevel::Miss;
+          slots[i] = cache->cost(variants[i], lower, db, &level, &arena);
+          // Per-sweep accounting: independent of the cache's global
+          // counters, which concurrent sweeps sharing it also advance.
+          if (level == CostCache::HitLevel::Miss) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            hits.fetch_add(1, std::memory_order_relaxed);
+            if (level == CostCache::HitLevel::Variant) {
+              variant_hits.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          ir::Module module = lower.lower(variants[i], &arena);
+          slots[i] = cost::cost_design(module, db);
+          arena.recycle(std::move(module));
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        cursor.store(variants.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    try {
+      for (std::uint32_t t = 0; t < num_threads; ++t) {
+        pool.emplace_back(worker, t);
+      }
+    } catch (...) {
+      // Thread spawn failed (e.g. EAGAIN): drain the queue, join what
+      // started, and surface the error instead of terminating on a
+      // joinable thread's destructor.
+      cursor.store(variants.size(), std::memory_order_relaxed);
+      for (auto& th : pool) th.join();
+      throw;
+    }
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  sweep_stats.hits = hits.load(std::memory_order_relaxed);
+  sweep_stats.misses = misses.load(std::memory_order_relaxed);
+  sweep_stats.variant_hits = variant_hits.load(std::memory_order_relaxed);
+}
+
+/// The streaming share of the per-instance time: how much of the budget
+/// the DRAM term claims (0 for form-C designs, ~1 on a bandwidth wall).
+double bandwidth_share(const cost::CostReport& report) {
+  const auto& t = report.throughput;
+  return t.seconds_per_instance > 0 ? t.t_mem_stream / t.seconds_per_instance
+                                    : 0.0;
+}
+
+// A point dominates another when it is at least as good on every
+// objective (EKIT >=, util <=, bw-share <=) and strictly better on one.
+//
+/// Sort-based skyline over an arbitrary candidate set. Candidates sorted
+/// by EKIT descending can only be dominated by points earlier in the
+/// sort; kept points are condensed into a (util, bw) staircase —
+/// strictly increasing util, strictly decreasing bw — so each dominance
+/// probe is one ordered-map lookup: O(n log n) overall. Returns the keep
+/// flag per candidate position; ties break on candidate position, so
+/// callers that build candidates in enumeration order get the same set
+/// and order as the all-pairs definition. Shared by per-sweep frontiers
+/// and the campaign's merged view.
+std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const ParetoPoint& pa = candidates[a];
+    const ParetoPoint& pb = candidates[b];
+    if (pa.ekit != pb.ekit) return pa.ekit > pb.ekit;
+    if (pa.util_max != pb.util_max) return pa.util_max < pb.util_max;
+    if (pa.bw_share != pb.bw_share) return pa.bw_share < pb.bw_share;
+    return a < b;
+  });
+
+  // Staircase over kept points from strictly-higher-EKIT groups. Every
+  // staircase point has strictly greater EKIT than the probe, so covering
+  // it on (util, bw) — even with equality — is domination.
+  std::map<double, double> staircase;  // util -> bw, bw strictly decreasing
+  const auto covered = [&](const ParetoPoint& c) {
+    auto it = staircase.upper_bound(c.util_max);
+    if (it == staircase.begin()) return false;
+    --it;  // greatest util <= c.util; its bw is the minimum among those
+    return it->second <= c.bw_share;
+  };
+  const auto insert_point = [&](const ParetoPoint& c) {
+    auto it = staircase.upper_bound(c.util_max);
+    if (it != staircase.begin() && std::prev(it)->second <= c.bw_share) {
+      return;  // an existing point already covers it
+    }
+    auto pos = staircase.lower_bound(c.util_max);
+    while (pos != staircase.end() && pos->second >= c.bw_share) {
+      pos = staircase.erase(pos);
+    }
+    staircase.emplace(c.util_max, c.bw_share);
+  };
+
+  std::vector<bool> keep(candidates.size(), false);
+  std::size_t g = 0;
+  while (g < order.size()) {
+    // One group of equal-EKIT candidates, in (util asc, bw asc) order.
+    std::size_t g_end = g + 1;
+    while (g_end < order.size() &&
+           candidates[order[g_end]].ekit == candidates[order[g]].ekit) {
+      ++g_end;
+    }
+    // Within the group EKIT ties, so domination needs strictness on the
+    // other two objectives. Earlier members have util <= ours; tracking
+    // the running minimum bw (and the smallest util achieving it) decides
+    // domination without a scan. Dominated members participate too:
+    // whatever they would dominate, their own dominator also dominates.
+    double g_min_bw = 0;
+    double g_min_bw_util = 0;
+    for (std::size_t k = g; k < g_end; ++k) {
+      const ParetoPoint& c = candidates[order[k]];
+      const bool by_group =
+          k > g && (g_min_bw < c.bw_share ||
+                    (g_min_bw == c.bw_share && g_min_bw_util < c.util_max));
+      keep[order[k]] = !by_group && !covered(c);
+      if (k == g || c.bw_share < g_min_bw) {
+        g_min_bw = c.bw_share;
+        g_min_bw_util = c.util_max;  // first achiever has the smallest util
+      }
+    }
+    // Merge the group's survivors only after the whole group is probed:
+    // equal-EKIT points must not dominate through the staircase.
+    for (std::size_t k = g; k < g_end; ++k) {
+      if (keep[order[k]]) insert_point(candidates[order[k]]);
+    }
+    g = g_end;
+  }
+  return keep;
+}
+
+std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
+  std::vector<ParetoPoint> candidates;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (!e.report.valid) continue;
+    candidates.push_back(ParetoPoint{i, e.report.throughput.ekit,
+                                     e.report.resources.util.max(),
+                                     bandwidth_share(e.report)});
+  }
+  const std::vector<bool> keep = skyline_keep(candidates);
+  std::vector<ParetoPoint> frontier;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (keep[i]) frontier.push_back(candidates[i]);
+  }
+  return frontier;  // candidates were built in enumeration order
+}
+
+/// Smallest divisor of n strictly greater than `lanes`, or 0 — one
+/// upper_bound on the pre-enumerated divisor ladder.
+std::uint64_t next_lane_count(const std::vector<std::uint64_t>& divs,
+                              std::uint64_t lanes) {
+  const auto it = std::upper_bound(divs.begin(), divs.end(), lanes);
+  return it == divs.end() ? 0 : *it;
+}
+
+DseResult run_sweep(std::uint64_t n, const Lowerer& lower,
+                    const cost::DeviceCostDb& db, std::uint32_t max_lanes,
+                    bool include_seq, std::uint32_t num_threads,
+                    CostCache* cache, std::vector<ir::BuildArena>& arenas) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DseResult result;
+  const auto variants = frontend::enumerate_variants(n, max_lanes, include_seq);
+
+  std::vector<std::optional<cost::CostReport>> slots(variants.size());
+  evaluate_batch(variants, lower, db, cache,
+                 resolve_threads(num_threads, variants.size()), arenas, slots,
+                 result.cache_stats);
+
+  // Deterministic merge in enumeration order.
+  result.entries.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    result.entries.emplace_back(variants[i], std::move(*slots[i]));
+  }
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    const auto& e = result.entries[i];
+    if (!e.report.valid) continue;
+    if (!result.best ||
+        e.report.throughput.ekit >
+            result.entries[*result.best].report.throughput.ekit) {
+      result.best = i;
+    }
+  }
+  result.pareto = pareto_frontier(result.entries);
+  const auto t1 = std::chrono::steady_clock::now();
+  result.explore_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return result;
+}
+
+TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
+                    const cost::DeviceCostDb& db, int max_steps,
+                    CostCache* cache, ir::BuildArena& arena) {
+  TuneResult result;
+  if (max_steps <= 0) {
+    // Guard the degenerate budget instead of indexing an empty trajectory.
+    result.verdict = "stopped: no step budget (max_steps <= 0)";
+    return result;
+  }
+  // One O(sqrt n) enumeration serves every step's "next lane count" probe.
+  const std::vector<std::uint64_t> lane_ladder = frontend::divisors(n);
+  frontend::Variant current = frontend::baseline_variant(n);
+  std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
+
+  for (int step = 0; step < max_steps; ++step) {
+    cost::CostReport report;
+    if (cache) {
+      report = cache->cost(current, lower, db, nullptr, &arena);
+    } else {
+      ir::Module module = lower.lower(current, &arena);
+      report = cost::cost_design(module, db);
+      arena.recycle(std::move(module));
+    }
+    const bool valid = report.valid;
+    const cost::Wall wall = report.throughput.limiting;
+    result.trajectory.emplace_back(current, std::move(report), action);
+    const auto& placed = result.trajectory.back();
+
+    if (!valid) {
+      result.verdict =
+          "stopped: variant exceeds the device (computation wall); keeping "
+          "the last fitting variant";
+      break;
+    }
+    if (wall == cost::Wall::HostBandwidth) {
+      result.verdict =
+          "stopped: host-bandwidth wall — replication cannot help; move to a "
+          "form-B/C memory execution or reduce host traffic";
+      break;
+    }
+    if (wall == cost::Wall::DramBandwidth) {
+      result.verdict =
+          "stopped: DRAM-bandwidth wall — replication cannot help; improve "
+          "access contiguity or tile through local memory";
+      break;
+    }
+
+    // Compute-bound (or fill-bound): add lanes.
+    const std::uint64_t next =
+        next_lane_count(lane_ladder, placed.report.params.knl);
+    if (next == 0 || next > 1024) {
+      result.verdict = "stopped: no further lane count divides the NDRange";
+      break;
+    }
+    current = frontend::reshape_to(frontend::baseline_variant(n), next,
+                                   frontend::ParAnn::Par);
+    std::ostringstream why;
+    why << "compute wall at " << placed.report.params.knl
+        << " lanes -> reshapeTo " << next << " lanes";
+    action = why.str();
+  }
+
+  // Best valid step.
+  double best_ekit = -1;
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& s = result.trajectory[i];
+    if (s.report.valid && s.report.throughput.ekit > best_ekit) {
+      best_ekit = s.report.throughput.ekit;
+      result.best = i;
+    }
+  }
+  if (result.verdict.empty()) result.verdict = "stopped: step budget exhausted";
+  return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(SessionOptions options) : options_(options) {
+  if (options_.max_lanes == 0) {
+    throw std::invalid_argument(
+        "dse::Session: SessionOptions::max_lanes must be >= 1 (a sweep over "
+        "no lane counts is empty)");
+  }
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<CostCache>(options_.cache_shards);
+  }
+}
+
+Session::~Session() = default;
+
+const cost::DeviceCostDb& Session::add_device(const target::DeviceDesc& desc) {
+  return add_device(desc.name, cost::DeviceCostDb::calibrate(desc));
+}
+
+const cost::DeviceCostDb& Session::add_device(std::string name,
+                                              cost::DeviceCostDb db) {
+  if (name.empty()) {
+    throw std::invalid_argument("dse::Session: device name must be non-empty");
+  }
+  const auto [it, inserted] = devices_.emplace(std::move(name), std::move(db));
+  if (!inserted) {
+    throw std::invalid_argument("dse::Session: device '" + it->first +
+                                "' is already in the device table");
+  }
+  device_order_.push_back(it->first);
+  return it->second;
+}
+
+const cost::DeviceCostDb* Session::find_device(std::string_view name) const {
+  const auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+Session::ResolvedJob Session::resolve(const Job& job) const {
+  if (!job.lower) {
+    throw std::invalid_argument("dse::Session: Job::lower is null — nothing "
+                                "can materialize the variants");
+  }
+  if (job.n == 0) {
+    throw std::invalid_argument(
+        "dse::Session: Job::n (NDRange size) must be >= 1");
+  }
+  const std::uint32_t max_lanes =
+      job.max_lanes != 0 ? job.max_lanes : options_.max_lanes;
+  if (max_lanes == 0) {
+    throw std::invalid_argument("dse::Session: effective max_lanes is 0");
+  }
+  const cost::DeviceCostDb* db = job.db;
+  if (!db) {
+    if (devices_.empty()) {
+      throw std::invalid_argument(
+          "dse::Session: the job names no database and the device table is "
+          "empty — add_device() first");
+    }
+    if (job.device.empty()) {
+      db = &devices_.find(device_order_.front())->second;
+    } else {
+      db = find_device(job.device);
+      if (!db) {
+        std::string known;
+        for (const auto& name : device_order_) {
+          if (!known.empty()) known += ", ";
+          known += name;
+        }
+        throw std::invalid_argument("dse::Session: unknown device '" +
+                                    job.device + "' (device table: " + known +
+                                    ")");
+      }
+    }
+  }
+  return ResolvedJob{db, job.lower.get(), job.n, max_lanes};
+}
+
+std::vector<ir::BuildArena>& Session::arenas(std::size_t n) {
+  while (arenas_.size() < n) arenas_.emplace_back();
+  return arenas_;
+}
+
+DseResult Session::explore(const Job& job, CostCache* cache_override) {
+  const ResolvedJob r = resolve(job);
+  const std::uint32_t threads = resolve_threads(
+      options_.num_threads,
+      // Thread resolution is repeated inside run_sweep against the real
+      // variant count; here it only bounds the arena pool.
+      std::numeric_limits<std::uint32_t>::max());
+  return run_sweep(r.n, *r.lower, *r.db, r.max_lanes, job.include_seq,
+                   options_.num_threads, effective_cache(cache_override),
+                   arenas(threads));
+}
+
+TuneResult Session::tune(const Job& job, CostCache* cache_override) {
+  const ResolvedJob r = resolve(job);
+  return run_tune(r.n, *r.lower, *r.db, job.max_steps,
+                  effective_cache(cache_override), arenas(1)[0]);
+}
+
+cost::CostReport Session::baseline(const Job& job, CostCache* cache_override) {
+  const ResolvedJob r = resolve(job);
+  const frontend::Variant variant = frontend::baseline_variant(r.n);
+  CostCache* cache = effective_cache(cache_override);
+  ir::BuildArena& arena = arenas(1)[0];
+  if (cache) return cache->cost(variant, *r.lower, *r.db, nullptr, &arena);
+  ir::Module module = r.lower->lower(variant, &arena);
+  cost::CostReport report = cost::cost_design(module, *r.db);
+  arena.recycle(std::move(module));
+  return report;
+}
+
+CampaignResult Session::run(const Campaign& campaign) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignResult out;
+  out.jobs.reserve(campaign.jobs.size());
+  for (const Job& job : campaign.jobs) {
+    DseResult r = explore(job);
+    out.cache_stats.hits += r.cache_stats.hits;
+    out.cache_stats.misses += r.cache_stats.misses;
+    out.cache_stats.variant_hits += r.cache_stats.variant_hits;
+    out.jobs.push_back(CampaignJobResult{job, std::move(r)});
+  }
+
+  // Merged frontier over every job's per-sweep frontier. Restricting the
+  // candidates to per-job frontiers is lossless: a point dominated within
+  // its own sweep is dominated by one of that sweep's frontier points
+  // (dominance is a finite strict partial order), which competes here.
+  std::vector<ParetoPoint> candidates;
+  std::vector<CampaignParetoPoint> mapping;
+  for (std::size_t j = 0; j < out.jobs.size(); ++j) {
+    for (const ParetoPoint& p : out.jobs[j].result.pareto) {
+      candidates.push_back(p);
+      mapping.push_back(CampaignParetoPoint{j, p});
+    }
+  }
+  const std::vector<bool> keep = skyline_keep(candidates);
+  for (std::size_t i = 0; i < mapping.size(); ++i) {
+    if (keep[i]) out.pareto.push_back(mapping[i]);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  out.campaign_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Internal engine entry points for the legacy shims (explorer.cpp /
+// tuner.cpp). Declared in those files, not in any public header.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+Job borrow_job(std::uint64_t n, const Lowerer& lower,
+               const cost::DeviceCostDb& db) {
+  Job job;
+  job.n = n;
+  // Aliasing constructor: the shim borrows the caller's lowerer for the
+  // duration of the call without taking ownership.
+  job.lower = std::shared_ptr<const Lowerer>(std::shared_ptr<void>{}, &lower);
+  job.db = &db;
+  return job;
+}
+
+Session shim_session(std::uint32_t num_threads) {
+  SessionOptions so;
+  so.num_threads = num_threads;
+  // Legacy semantics: the caller controls caching entirely through
+  // DseOptions::cache / the tune cache parameter; the temporary session
+  // owns none.
+  so.enable_cache = false;
+  return Session(so);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Campaign rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string job_label(const Job& job) {
+  return job.workload.empty() ? std::string("<custom>") : job.workload;
+}
+
+std::string device_label(const Job& job) {
+  if (!job.device.empty()) return job.device;
+  if (job.db) return job.db->device().name;
+  return "<default>";
+}
+
+/// JSON number: shortest round-trip precision; non-finite values (which
+/// JSON cannot carry) become null.
+void json_num(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os << std::setprecision(17) << v << std::setprecision(6);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_cache_stats(std::ostream& os, const CacheStats& s) {
+  os << "{\"hits\": " << s.hits << ", \"misses\": " << s.misses
+     << ", \"variant_hits\": " << s.variant_hits << "}";
+}
+
+void json_entry(std::ostream& os, const DseEntry& e) {
+  const auto& u = e.report.resources.util;
+  os << "{\"lanes\": " << e.report.params.knl << ", \"valid\": "
+     << (e.report.valid ? "true" : "false") << ", \"ekit\": ";
+  json_num(os, e.report.throughput.ekit);
+  os << ", \"limiting\": \""
+     << json_escape(cost::wall_name(e.report.throughput.limiting))
+     << "\", \"util\": {\"regs\": ";
+  json_num(os, u.regs);
+  os << ", \"aluts\": ";
+  json_num(os, u.aluts);
+  os << ", \"bram\": ";
+  json_num(os, u.bram);
+  os << ", \"dsps\": ";
+  json_num(os, u.dsps);
+  os << "}, \"bw_share\": ";
+  json_num(os, bandwidth_share(e.report));
+  os << "}";
+}
+
+void json_pareto_point(std::ostream& os, const ParetoPoint& p,
+                       const DseEntry& e) {
+  os << "{\"index\": " << p.index << ", \"lanes\": " << e.report.params.knl
+     << ", \"ekit\": ";
+  json_num(os, p.ekit);
+  os << ", \"util_max\": ";
+  json_num(os, p.util_max);
+  os << ", \"bw_share\": ";
+  json_num(os, p.bw_share);
+  os << "}";
+}
+
+void json_sweep(std::ostream& os, const DseResult& r,
+                std::string_view indent) {
+  os << "{\n" << indent << "  \"variants\": " << r.entries.size() << ",\n"
+     << indent << "  \"explore_seconds\": ";
+  json_num(os, r.explore_seconds);
+  os << ",\n" << indent << "  \"cache\": ";
+  json_cache_stats(os, r.cache_stats);
+  os << ",\n" << indent << "  \"best\": ";
+  if (r.best) {
+    os << *r.best;
+  } else {
+    os << "null";
+  }
+  os << ",\n" << indent << "  \"entries\": [";
+  for (std::size_t i = 0; i < r.entries.size(); ++i) {
+    os << (i ? ",\n" : "\n") << indent << "    ";
+    json_entry(os, r.entries[i]);
+  }
+  os << "\n" << indent << "  ],\n" << indent << "  \"pareto\": [";
+  for (std::size_t i = 0; i < r.pareto.size(); ++i) {
+    os << (i ? ",\n" : "\n") << indent << "    ";
+    json_pareto_point(os, r.pareto[i], r.entries[r.pareto[i].index]);
+  }
+  os << "\n" << indent << "  ]\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string format_campaign(const CampaignResult& result) {
+  std::ostringstream os;
+  os << tytra::pad_right("workload", 12) << tytra::pad_right("nd", 8)
+     << tytra::pad_right("device", 18) << tytra::pad_left("variants", 9)
+     << tytra::pad_left("best", 6) << tytra::pad_left("EKIT/s", 12)
+     << "  limiting\n";
+  for (const auto& jr : result.jobs) {
+    os << tytra::pad_right(job_label(jr.job), 12)
+       << tytra::pad_right(jr.job.nd ? std::to_string(jr.job.nd) : "-", 8)
+       << tytra::pad_right(device_label(jr.job), 18)
+       << tytra::pad_left(std::to_string(jr.result.entries.size()), 9);
+    if (const DseEntry* best = jr.result.best_entry()) {
+      os << tytra::pad_left(std::to_string(best->report.params.knl), 6)
+         << tytra::pad_left(
+                tytra::format_fixed(best->report.throughput.ekit, 1), 12)
+         << "  " << cost::wall_name(best->report.throughput.limiting);
+    } else {
+      os << tytra::pad_left("-", 6) << tytra::pad_left("-", 12)
+         << "  no valid design";
+    }
+    os << "\n";
+  }
+  std::uint64_t variants = 0;
+  for (const auto& jr : result.jobs) variants += jr.result.entries.size();
+  os << "campaign: " << result.jobs.size() << " jobs, " << variants
+     << " evaluations; cache: " << result.cache_stats.hits << " hits ("
+     << result.cache_stats.variant_hits << " pre-lowering) / "
+     << result.cache_stats.misses << " misses\n";
+  return os.str();
+}
+
+std::string format_campaign_pareto(const CampaignResult& result) {
+  std::ostringstream os;
+  os << tytra::pad_right("workload", 12) << tytra::pad_right("device", 18)
+     << tytra::pad_left("lanes", 6) << tytra::pad_left("EKIT/s", 12)
+     << tytra::pad_left("util%", 8) << tytra::pad_left("bw-share", 10)
+     << "  limiting\n";
+  for (const auto& p : result.pareto) {
+    const auto& jr = result.jobs[p.job];
+    const auto& e = result.entry(p);
+    os << tytra::pad_right(job_label(jr.job), 12)
+       << tytra::pad_right(device_label(jr.job), 18)
+       << tytra::pad_left(std::to_string(e.report.params.knl), 6)
+       << tytra::pad_left(tytra::format_fixed(p.point.ekit, 1), 12)
+       << tytra::pad_left(tytra::format_fixed(p.point.util_max, 1), 8)
+       << tytra::pad_left(tytra::format_fixed(p.point.bw_share, 3), 10)
+       << "  " << cost::wall_name(e.report.throughput.limiting) << "\n";
+  }
+  std::size_t frontier_in = 0;
+  for (const auto& jr : result.jobs) frontier_in += jr.result.pareto.size();
+  os << "merged frontier: " << result.pareto.size() << " of " << frontier_in
+     << " per-job frontier points\n";
+  return os.str();
+}
+
+std::string format_sweep_json(const DseResult& result) {
+  std::ostringstream os;
+  json_sweep(os, result, "");
+  os << "\n";
+  return os.str();
+}
+
+std::string format_tune_json(const TuneResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"steps\": [";
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    const auto& s = result.trajectory[i];
+    os << (i ? ",\n" : "\n") << "    {\"step\": " << i << ", \"lanes\": "
+       << s.report.params.knl << ", \"valid\": "
+       << (s.report.valid ? "true" : "false") << ", \"ekit\": ";
+    json_num(os, s.report.throughput.ekit);
+    os << ", \"limiting\": \""
+       << json_escape(cost::wall_name(s.report.throughput.limiting))
+       << "\", \"action\": \"" << json_escape(s.action) << "\"}";
+  }
+  os << "\n  ],\n  \"best\": ";
+  if (result.trajectory.empty()) {
+    os << "null";
+  } else {
+    os << result.best;
+  }
+  os << ",\n  \"verdict\": \"" << json_escape(result.verdict) << "\"\n}\n";
+  return os.str();
+}
+
+std::string format_campaign_json(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\n    \"jobs\": [";
+  for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+    const auto& jr = result.jobs[j];
+    os << (j ? ",\n" : "\n") << "      {\"workload\": \""
+       << json_escape(job_label(jr.job)) << "\", \"nd\": " << jr.job.nd
+       << ", \"n\": " << jr.job.n << ", \"device\": \""
+       << json_escape(device_label(jr.job)) << "\", \"sweep\": ";
+    json_sweep(os, jr.result, "      ");
+    os << "}";
+  }
+  os << "\n    ],\n    \"pareto\": [";
+  for (std::size_t i = 0; i < result.pareto.size(); ++i) {
+    const auto& p = result.pareto[i];
+    const auto& jr = result.jobs[p.job];
+    os << (i ? ",\n" : "\n") << "      {\"job\": " << p.job
+       << ", \"workload\": \"" << json_escape(job_label(jr.job))
+       << "\", \"device\": \"" << json_escape(device_label(jr.job))
+       << "\", ";
+    // Reuse the per-sweep point shape for the point fields.
+    std::ostringstream point;
+    json_pareto_point(point, p.point, result.entry(p));
+    const std::string text = point.str();
+    os << text.substr(1);  // drop the '{' — fields merge into this object
+  }
+  os << "\n    ],\n    \"cache\": ";
+  json_cache_stats(os, result.cache_stats);
+  os << ",\n    \"seconds\": ";
+  json_num(os, result.campaign_seconds);
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace tytra::dse

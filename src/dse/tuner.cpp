@@ -1,96 +1,28 @@
 #include "tytra/dse/tuner.hpp"
 
-#include <algorithm>
 #include <sstream>
+
+#include "tytra/dse/session.hpp"
+
+// The feedback-path walk itself lives in session.cpp (Session::tune is
+// the engine); this file keeps the legacy free-function shims and the
+// trajectory renderer.
 
 namespace tytra::dse {
 
-namespace {
-
-/// Smallest divisor of n strictly greater than `lanes`, or 0 — one
-/// upper_bound on the pre-enumerated divisor ladder (the former per-step
-/// O(n) scan also probed 2*lanes twice from its two overlapping ranges).
-std::uint64_t next_lane_count(const std::vector<std::uint64_t>& divs,
-                              std::uint64_t lanes) {
-  const auto it = std::upper_bound(divs.begin(), divs.end(), lanes);
-  return it == divs.end() ? 0 : *it;
-}
-
-}  // namespace
+namespace detail {
+// Shim plumbing shared with explorer.cpp; defined in session.cpp.
+Job borrow_job(std::uint64_t n, const Lowerer& lower,
+               const cost::DeviceCostDb& db);
+Session shim_session(std::uint32_t num_threads);
+}  // namespace detail
 
 TuneResult tune(std::uint64_t n, const Lowerer& lower,
                 const cost::DeviceCostDb& db, int max_steps, CostCache* cache) {
-  TuneResult result;
-  if (max_steps <= 0) {
-    // Guard the degenerate budget instead of indexing an empty trajectory.
-    result.verdict = "stopped: no step budget (max_steps <= 0)";
-    return result;
-  }
-  // One O(sqrt n) enumeration serves every step's "next lane count" probe.
-  const std::vector<std::uint64_t> lane_ladder = frontend::divisors(n);
-  ir::BuildArena arena;
-  frontend::Variant current = frontend::baseline_variant(n);
-  std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
-
-  for (int step = 0; step < max_steps; ++step) {
-    cost::CostReport report;
-    if (cache) {
-      report = cache->cost(current, lower, db, nullptr, &arena);
-    } else {
-      ir::Module module = lower.lower(current, &arena);
-      report = cost::cost_design(module, db);
-      arena.recycle(std::move(module));
-    }
-    const bool valid = report.valid;
-    const cost::Wall wall = report.throughput.limiting;
-    result.trajectory.emplace_back(current, std::move(report), action);
-    const auto& placed = result.trajectory.back();
-
-    if (!valid) {
-      result.verdict =
-          "stopped: variant exceeds the device (computation wall); keeping "
-          "the last fitting variant";
-      break;
-    }
-    if (wall == cost::Wall::HostBandwidth) {
-      result.verdict =
-          "stopped: host-bandwidth wall — replication cannot help; move to a "
-          "form-B/C memory execution or reduce host traffic";
-      break;
-    }
-    if (wall == cost::Wall::DramBandwidth) {
-      result.verdict =
-          "stopped: DRAM-bandwidth wall — replication cannot help; improve "
-          "access contiguity or tile through local memory";
-      break;
-    }
-
-    // Compute-bound (or fill-bound): add lanes.
-    const std::uint64_t next =
-        next_lane_count(lane_ladder, placed.report.params.knl);
-    if (next == 0 || next > 1024) {
-      result.verdict = "stopped: no further lane count divides the NDRange";
-      break;
-    }
-    current = frontend::reshape_to(frontend::baseline_variant(n), next,
-                                   frontend::ParAnn::Par);
-    std::ostringstream why;
-    why << "compute wall at " << placed.report.params.knl
-        << " lanes -> reshapeTo " << next << " lanes";
-    action = why.str();
-  }
-
-  // Best valid step.
-  double best_ekit = -1;
-  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
-    const auto& s = result.trajectory[i];
-    if (s.report.valid && s.report.throughput.ekit > best_ekit) {
-      best_ekit = s.report.throughput.ekit;
-      result.best = i;
-    }
-  }
-  if (result.verdict.empty()) result.verdict = "stopped: step budget exhausted";
-  return result;
+  Session session = detail::shim_session(1);
+  Job job = detail::borrow_job(n, lower, db);
+  job.max_steps = max_steps;
+  return session.tune(job, cache);
 }
 
 TuneResult tune(std::uint64_t n, const LowerFn& lower,

@@ -1,0 +1,176 @@
+#include "tytra/kernels/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/lowerers.hpp"
+
+namespace tytra::kernels {
+
+namespace {
+
+tytra::Diag nd_error(std::string_view workload, std::string_view what) {
+  return tytra::make_error(std::string(workload) + ": " + std::string(what));
+}
+
+/// Largest nd with nd^3 <= 2^64 - 1 (cbrt of uint64 max, floored).
+constexpr std::uint32_t kMaxSorNd = 2642245;
+
+// The nd→config mappings below must agree with the reference_checksum
+// hooks: both derive from the same config for a given nd, so the
+// registered lowering and the ground-truth simulation describe the same
+// problem instance.
+
+SorConfig sor_config(std::uint32_t nd) {
+  SorConfig cfg;
+  cfg.im = cfg.jm = cfg.km = nd;
+  cfg.nki = 10;
+  return cfg;
+}
+
+HotspotConfig hotspot_config(std::uint32_t nd) {
+  HotspotConfig cfg;
+  cfg.rows = cfg.cols = nd;
+  return cfg;
+}
+
+LavamdConfig lavamd_config(std::uint32_t nd) {
+  LavamdConfig cfg;
+  cfg.particles = nd;
+  return cfg;
+}
+
+Registry make_builtin_registry() {
+  Registry reg;
+
+  reg.add(WorkloadInfo{
+      "sor",
+      "7-point 3-D SOR stencil with reduction (the LES weather kernel)",
+      "edge of the nd^3 grid",
+      24,
+      [](std::uint32_t nd) -> tytra::Result<std::uint64_t> {
+        if (nd == 0) return nd_error("sor", "--nd must be positive");
+        if (nd > kMaxSorNd) {
+          return nd_error("sor", "--nd " + std::to_string(nd) +
+                                     " overflows the uint64 NDRange (nd^3)");
+        }
+        return static_cast<std::uint64_t>(nd) * nd * nd;
+      },
+      [](std::uint32_t nd) { return sor_lowerer(sor_config(nd)); },
+      [](std::uint32_t nd) {
+        const SorConfig cfg = sor_config(nd);
+        const SorReference ref = sor_reference(cfg, sor_inputs(cfg));
+        double sum = ref.sor_err_acc;
+        for (const double v : ref.p_new) sum += v;
+        return sum;
+      }});
+
+  reg.add(WorkloadInfo{
+      "hotspot",
+      "Rodinia processor-temperature stencil",
+      "edge of the nd^2 floorplan",
+      24,
+      [](std::uint32_t nd) -> tytra::Result<std::uint64_t> {
+        if (nd == 0) return nd_error("hotspot", "--nd must be positive");
+        // nd is 32-bit, so nd^2 always fits uint64 — no upper bound.
+        return static_cast<std::uint64_t>(nd) * nd;
+      },
+      [](std::uint32_t nd) { return hotspot_lowerer(hotspot_config(nd)); },
+      [](std::uint32_t nd) {
+        const HotspotConfig cfg = hotspot_config(nd);
+        double sum = 0;
+        for (const double v : hotspot_reference(cfg, hotspot_inputs(cfg))) {
+          sum += v;
+        }
+        return sum;
+      }});
+
+  reg.add(WorkloadInfo{
+      "lavamd",
+      "Rodinia molecular-dynamics particle kernel",
+      "particle count",
+      24,
+      [](std::uint32_t nd) -> tytra::Result<std::uint64_t> {
+        if (nd == 0) return nd_error("lavamd", "--nd must be positive");
+        return nd;
+      },
+      [](std::uint32_t nd) { return lavamd_lowerer(lavamd_config(nd)); },
+      [](std::uint32_t nd) {
+        const LavamdConfig cfg = lavamd_config(nd);
+        const LavamdReference ref = lavamd_reference(cfg, lavamd_inputs(cfg));
+        double sum = ref.pot_acc;
+        for (const double v : ref.pot) sum += v;
+        return sum;
+      }});
+
+  return reg;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  // Built-ins live in this translation unit, so using the registry from a
+  // static library can never drop them to the linker's dead-stripping.
+  static Registry reg = make_builtin_registry();
+  return reg;
+}
+
+void Registry::add(WorkloadInfo info) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("kernels::Registry: workload name is empty");
+  }
+  if (!info.ndrange || !info.make_lowerer) {
+    throw std::invalid_argument("kernels::Registry: workload '" + info.name +
+                                "' is missing the ndrange or make_lowerer "
+                                "hook");
+  }
+  if (find(info.name)) {
+    throw std::invalid_argument("kernels::Registry: workload '" + info.name +
+                                "' is already registered");
+  }
+  entries_.push_back(std::move(info));
+}
+
+const WorkloadInfo* Registry::find(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string Registry::names_joined(std::string_view sep) const {
+  std::string out;
+  for (const auto& e : entries_) {
+    if (!out.empty()) out += sep;
+    out += e.name;
+  }
+  return out;
+}
+
+tytra::Result<dse::Job> Registry::make_job(std::string_view workload,
+                                           std::uint32_t nd) const {
+  const WorkloadInfo* info = find(workload);
+  if (!info) {
+    return tytra::make_error("unknown workload '" + std::string(workload) +
+                             "' (registered: " + names_joined() + ")");
+  }
+  auto n = info->ndrange(nd);
+  if (!n.ok()) return n.diag();
+  dse::Job job;
+  job.workload = info->name;
+  job.nd = nd;
+  job.n = n.value();
+  job.lower = std::make_shared<dse::KeyedLowerer>(info->make_lowerer(nd));
+  return job;
+}
+
+}  // namespace tytra::kernels

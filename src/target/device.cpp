@@ -90,6 +90,19 @@ DeviceDesc fig15_profile() {
   return d;
 }
 
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> names{"stratix-v-gsd8", "virtex7-690t",
+                                              "fig15"};
+  return names;
+}
+
+std::optional<DeviceDesc> preset(std::string_view name) {
+  if (name == "stratix-v-gsd8") return stratix_v_gsd8();
+  if (name == "virtex7-690t") return virtex7_690t();
+  if (name == "fig15") return fig15_profile();
+  return std::nullopt;
+}
+
 namespace {
 
 /// Strips a trailing comment and surrounding whitespace.

@@ -1,53 +1,70 @@
 // tytra-cc: the TyTra back-end compiler driver (TyBEC). Parses a textual
 // TyTra-IR design, verifies it, and either costs it against a target
 // device or emits synthesizeable Verilog — the two paths of Fig. 11 —
-// or runs the parallel design-space explorer over a built-in kernel.
+// or drives the DSE engine (dse::Session) over the workload registry.
 //
 // Usage:
-//   tytra-cc <design.tirl> [options]
-//   tytra-cc --explore <sor|hotspot|lavamd> [options]
-//     --target <file.tgt>   device description (default: stratix-v-gsd8)
-//     --preset <name>       stratix-v-gsd8 | virtex7-690t | fig15
-//     --cost                print the cost report (default action)
-//     --params              print the extracted Table-I parameters
-//     --tree                print the configuration tree (Fig. 8)
-//     --emit-hdl <out.v>    generate Verilog into the given file
-//     --print-ir            echo the parsed IR back (round-trip)
-//   explore-mode options:
-//     --nd <dim>            problem dimension (sor: dim^3 grid, hotspot:
-//                           dim^2 grid, lavamd: dim particles; default 24)
-//     --max-lanes <n>       lane-count cap of the sweep (default 16)
-//     --jobs <n>            evaluation worker threads (0 = all cores)
-//     --pareto              print the Pareto frontier after the sweep
+//   tytra-cc <design.tirl> [options]            cost / analyze / emit HDL
+//   tytra-cc explore <kernel> [options]         sweep one kernel's variants
+//   tytra-cc tune <kernel> [options]            walk the feedback path
+//   tytra-cc campaign [options]                 {kernel x size x device} batch
+//   tytra-cc list [--names]                     enumerate registered kernels
+//
+// The kernel list, usage text and name validation all come from
+// kernels::Registry — registering a workload is the only step needed for
+// it to appear here. Devices are the target presets or any .tgt file.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
-
-#include <optional>
+#include <vector>
 
 #include "tytra/codegen/verilog.hpp"
 #include "tytra/cost/report.hpp"
-#include "tytra/dse/explorer.hpp"
+#include "tytra/dse/session.hpp"
 #include "tytra/ir/analysis.hpp"
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
-#include "tytra/kernels/kernels.hpp"
-#include "tytra/kernels/lowerers.hpp"
+#include "tytra/kernels/registry.hpp"
+#include "tytra/target/device.hpp"
 
 namespace {
 
+using namespace tytra;
+
+std::string kernel_list() {
+  return kernels::Registry::instance().names_joined();
+}
+
+std::string preset_list() {
+  std::string out;
+  for (const auto& name : target::preset_names()) {
+    if (!out.empty()) out += "|";
+    out += name;
+  }
+  return out;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: tytra-cc <design.tirl> [--target file.tgt | --preset "
-               "name] [--cost] [--params] [--tree] [--emit-hdl out.v] "
-               "[--print-ir]\n"
-               "       tytra-cc --explore <sor|hotspot|lavamd> [--nd dim] "
-               "[--max-lanes n] [--jobs n] [--pareto] [--target file.tgt | "
-               "--preset name]\n");
+  const std::string kernels = kernel_list();
+  const std::string presets = preset_list();
+  std::fprintf(
+      stderr,
+      "usage: tytra-cc <design.tirl> [--target file.tgt | --preset name] "
+      "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n"
+      "       tytra-cc explore <%s> [--nd dim] [--max-lanes n] [--jobs n] "
+      "[--pareto] [--json] [--device %s|file.tgt]\n"
+      "       tytra-cc tune <%s> [--nd dim] [--max-steps n] [--json] "
+      "[--device %s|file.tgt]\n"
+      "       tytra-cc campaign [--kernel name]... [--nd dim]... "
+      "[--device name|file.tgt]... [--max-lanes n] [--jobs n] [--pareto] "
+      "[--json]\n"
+      "       tytra-cc list [--names]\n",
+      kernels.c_str(), presets.c_str(), kernels.c_str(), presets.c_str());
   return 2;
 }
 
@@ -69,83 +86,302 @@ bool parse_u32(const char* text, std::uint32_t& out) {
   return true;
 }
 
+/// Resolves a --device argument: a preset name, a preset's device name
+/// (the spelling the output tables print, e.g. "fig15-profile" — so a
+/// name copied from tytra-cc's own output round-trips), or a path to a
+/// .tgt file.
+tytra::Result<target::DeviceDesc> resolve_device(const std::string& spec) {
+  if (auto p = target::preset(spec)) return *p;
+  for (const auto& name : target::preset_names()) {
+    if (auto p = target::preset(name); p && p->name == spec) return *p;
+  }
+  std::string text;
+  if (!read_file(spec, text)) {
+    return tytra::make_error("unknown device '" + spec + "' (presets: " +
+                             preset_list() + "; or a readable .tgt file)");
+  }
+  return target::parse_target(text);
+}
+
+// ---------------------------------------------------------------------------
+// Explore-family subcommands (Session + Registry driven)
+// ---------------------------------------------------------------------------
+
 struct ExploreSpec {
   std::string kernel;
-  std::uint32_t nd{24};
+  std::optional<std::uint32_t> nd;  ///< default: the workload's default_nd
   std::uint32_t max_lanes{16};
   std::uint32_t jobs{0};
+  int max_steps{12};
   bool pareto{false};
+  bool json{false};
+  std::vector<std::string> devices;  ///< empty: stratix-v-gsd8
 };
 
-int run_explore(const ExploreSpec& spec, const tytra::target::DeviceDesc& device) {
-  using namespace tytra;
-
-  if (spec.nd == 0) {
-    std::fprintf(stderr, "tytra-cc: --nd must be positive\n");
+/// Builds the registry job for the spec and runs it through a session
+/// holding the resolved devices. `mode` is "explore" or "tune".
+int run_job_command(const std::string& mode, const ExploreSpec& spec) {
+  const auto& registry = kernels::Registry::instance();
+  const kernels::WorkloadInfo* info = registry.find(spec.kernel);
+  if (!info) {
+    std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (%s)\n",
+                 spec.kernel.c_str(), kernel_list().c_str());
     return 1;
   }
-  if (spec.kernel == "sor" && spec.nd > 2642245) {  // cbrt(2^64)
-    std::fprintf(stderr, "tytra-cc: --nd %u overflows the sor NDRange\n",
-                 spec.nd);
-    return 1;
-  }
-  // Keyed lowerers (kernels/lowerers.hpp): identity-carrying lowering, so
-  // a cache-backed sweep resolves repeat variants before materializing IR.
-  std::uint64_t n = 0;
-  std::optional<dse::KeyedLowerer> lower;
-  if (spec.kernel == "sor") {
-    n = static_cast<std::uint64_t>(spec.nd) * spec.nd * spec.nd;
-    kernels::SorConfig cfg;
-    cfg.im = cfg.jm = cfg.km = spec.nd;
-    cfg.nki = 10;
-    lower.emplace(kernels::sor_lowerer(cfg));
-  } else if (spec.kernel == "hotspot") {
-    n = static_cast<std::uint64_t>(spec.nd) * spec.nd;
-    kernels::HotspotConfig cfg;
-    cfg.rows = cfg.cols = spec.nd;
-    lower.emplace(kernels::hotspot_lowerer(cfg));
-  } else if (spec.kernel == "lavamd") {
-    n = spec.nd;
-    kernels::LavamdConfig cfg;
-    cfg.particles = spec.nd;
-    lower.emplace(kernels::lavamd_lowerer(cfg));
-  } else {
-    std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (sor|hotspot|lavamd)\n",
-                 spec.kernel.c_str());
+  const std::uint32_t nd = spec.nd.value_or(info->default_nd);
+  auto job_r = registry.make_job(spec.kernel, nd);
+  if (!job_r.ok()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", job_r.error_message().c_str());
     return 1;
   }
 
-  const auto db = cost::DeviceCostDb::calibrate(device);
-  dse::DseOptions options;
-  options.max_lanes = spec.max_lanes;
-  options.num_threads = spec.jobs;
-  // No CostCache here: a single sweep evaluates each variant exactly
-  // once, so a per-invocation cache would be pure keying + insert
-  // overhead. The keyed lowerer is what matters — any caller that does
-  // share a cache across sweeps (the tuner, bench reruns) resolves
-  // these kernels' identity before lowering.
-  dse::DseResult result;
+  if (spec.max_lanes == 0) {
+    std::fprintf(stderr, "tytra-cc: --max-lanes must be >= 1\n");
+    return 1;
+  }
+  dse::SessionOptions so;
+  so.max_lanes = spec.max_lanes;
+  so.num_threads = spec.jobs;
+  // A single-shot explore/tune evaluates each variant exactly once, so a
+  // per-invocation cache would be pure keying + insert overhead; only
+  // `campaign` (repeat sizes, sweep-then-tune patterns) warms one.
+  so.enable_cache = false;
+
   try {
-    result = dse::explore(n, *lower, db, options);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "tytra-cc: exploration failed: %s\n", e.what());
-    return 1;
-  }
+    dse::Session session(so);
+    const std::string device_spec =
+        spec.devices.empty() ? std::string("stratix-v-gsd8") : spec.devices[0];
+    auto device = resolve_device(device_spec);
+    if (!device.ok()) {
+      std::fprintf(stderr, "tytra-cc: %s\n", device.error_message().c_str());
+      return 1;
+    }
+    const auto& db = session.add_device(device.value());
+    dse::Job job = std::move(job_r).take();
+    job.device = db.device().name;
 
-  std::printf("exploring %s on %s: %zu variants in %.3f s\n", spec.kernel.c_str(),
-              device.name.c_str(), result.entries.size(), result.explore_seconds);
-  std::printf("%s", dse::format_sweep(result).c_str());
-  if (spec.pareto) {
-    std::printf("\npareto frontier (EKIT vs utilization vs bandwidth share):\n");
-    std::printf("%s", dse::format_pareto(result).c_str());
+    if (mode == "tune") {
+      job.max_steps = spec.max_steps;
+      const dse::TuneResult result = session.tune(job);
+      if (spec.json) {
+        std::printf("%s", dse::format_tune_json(result).c_str());
+      } else {
+        std::printf("tuning %s on %s (nd=%u, %llu work-items)\n",
+                    spec.kernel.c_str(), db.device().name.c_str(), nd,
+                    static_cast<unsigned long long>(job.n));
+        std::printf("%s", dse::format_tune(result).c_str());
+      }
+      return 0;
+    }
+
+    const dse::DseResult result = session.explore(job);
+    if (spec.json) {
+      std::printf("%s", dse::format_sweep_json(result).c_str());
+      return 0;
+    }
+    std::printf("exploring %s on %s: %zu variants in %.3f s\n",
+                spec.kernel.c_str(), db.device().name.c_str(),
+                result.entries.size(), result.explore_seconds);
+    std::printf("%s", dse::format_sweep(result).c_str());
+    if (spec.pareto) {
+      std::printf("\npareto frontier (EKIT vs utilization vs bandwidth share):\n");
+      std::printf("%s", dse::format_pareto(result).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tytra-cc: %s failed: %s\n", mode.c_str(), e.what());
+    return 1;
   }
   return 0;
+}
+
+int run_campaign(const ExploreSpec& spec,
+                 const std::vector<std::string>& kernel_names,
+                 const std::vector<std::uint32_t>& nds) {
+  const auto& registry = kernels::Registry::instance();
+  if (spec.max_lanes == 0) {
+    std::fprintf(stderr, "tytra-cc: --max-lanes must be >= 1\n");
+    return 1;
+  }
+
+  dse::SessionOptions so;
+  so.max_lanes = spec.max_lanes;
+  so.num_threads = spec.jobs;
+  try {
+    dse::Session session(so);
+
+    // Devices: resolve each spec, dedupe by resolved name, keep order.
+    std::vector<std::string> device_names;
+    const std::vector<std::string> specs =
+        spec.devices.empty() ? std::vector<std::string>{"stratix-v-gsd8"}
+                             : spec.devices;
+    for (const auto& s : specs) {
+      auto device = resolve_device(s);
+      if (!device.ok()) {
+        std::fprintf(stderr, "tytra-cc: %s\n", device.error_message().c_str());
+        return 1;
+      }
+      if (session.find_device(device.value().name)) continue;  // repeat spec
+      session.add_device(device.value());
+      device_names.push_back(device.value().name);
+    }
+
+    // Workloads: named ones, or every registered kernel.
+    const std::vector<std::string> kernels_to_run =
+        kernel_names.empty() ? registry.names() : kernel_names;
+
+    // The {workload x size x device} fan-out, through one shared cache.
+    dse::Campaign campaign;
+    for (const auto& kernel : kernels_to_run) {
+      const kernels::WorkloadInfo* info = registry.find(kernel);
+      if (!info) {
+        std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (%s)\n",
+                     kernel.c_str(), kernel_list().c_str());
+        return 1;
+      }
+      const std::vector<std::uint32_t> sizes =
+          nds.empty() ? std::vector<std::uint32_t>{info->default_nd} : nds;
+      for (const std::uint32_t nd : sizes) {
+        auto job_r = registry.make_job(kernel, nd);
+        if (!job_r.ok()) {
+          std::fprintf(stderr, "tytra-cc: %s\n", job_r.error_message().c_str());
+          return 1;
+        }
+        for (const auto& device : device_names) {
+          dse::Job job = job_r.value();
+          job.device = device;
+          campaign.jobs.push_back(std::move(job));
+        }
+      }
+    }
+
+    const dse::CampaignResult result = session.run(campaign);
+    if (spec.json) {
+      std::printf("%s", dse::format_campaign_json(result).c_str());
+      return 0;
+    }
+    std::printf("campaign: %zu jobs (%zu kernels x %zu device(s)) in %.3f s\n",
+                result.jobs.size(), kernels_to_run.size(), device_names.size(),
+                result.campaign_seconds);
+    std::printf("%s", dse::format_campaign(result).c_str());
+    if (spec.pareto) {
+      std::printf("\nmerged pareto frontier across all jobs:\n");
+      std::printf("%s", dse::format_campaign_pareto(result).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tytra-cc: campaign failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int run_list(bool names_only) {
+  const auto& registry = kernels::Registry::instance();
+  if (names_only) {
+    for (const auto& info : registry.all()) {
+      std::printf("%s\n", info.name.c_str());
+    }
+    return 0;
+  }
+  std::printf("workloads (kernels::Registry):\n");
+  for (const auto& info : registry.all()) {
+    std::printf("  %-10s %s\n", info.name.c_str(), info.summary.c_str());
+    std::printf("  %-10s --nd: %s (default %u)\n", "",
+                info.nd_help.c_str(), info.default_nd);
+  }
+  std::printf("device presets: %s (or any .tgt file)\n",
+              preset_list().c_str());
+  return 0;
+}
+
+/// Parses the flags shared by explore/tune/campaign. Returns false (after
+/// printing usage) on a malformed flag.
+bool parse_explore_flags(int argc, char** argv, int& i, ExploreSpec& spec,
+                         std::vector<std::string>* kernels,
+                         std::vector<std::uint32_t>* nds) {
+  const std::string arg = argv[i];
+  if (arg == "--nd" && i + 1 < argc) {
+    std::uint32_t nd = 0;
+    if (!parse_u32(argv[++i], nd)) return false;
+    spec.nd = nd;
+    if (nds) nds->push_back(nd);
+  } else if (arg == "--max-lanes" && i + 1 < argc) {
+    if (!parse_u32(argv[++i], spec.max_lanes)) return false;
+  } else if (arg == "--jobs" && i + 1 < argc) {
+    if (!parse_u32(argv[++i], spec.jobs)) return false;
+  } else if (arg == "--max-steps" && i + 1 < argc) {
+    std::uint32_t steps = 0;
+    if (!parse_u32(argv[++i], steps) || steps > 10000) return false;
+    spec.max_steps = static_cast<int>(steps);
+  } else if (arg == "--device" && i + 1 < argc) {
+    spec.devices.emplace_back(argv[++i]);
+  } else if ((arg == "--preset" || arg == "--target") && i + 1 < argc) {
+    // Classic-mode spellings accepted as synonyms of --device.
+    spec.devices.emplace_back(argv[++i]);
+  } else if (arg == "--kernel" && kernels && i + 1 < argc) {
+    kernels->emplace_back(argv[++i]);
+  } else if (arg == "--pareto") {
+    spec.pareto = true;
+  } else if (arg == "--json") {
+    spec.json = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int run_subcommand(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "list") {
+    bool names_only = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--names") == 0) names_only = true;
+      else return usage();
+    }
+    return run_list(names_only);
+  }
+
+  ExploreSpec spec;
+  std::vector<std::string> kernels_arg;
+  std::vector<std::uint32_t> nds_arg;
+  int i = 2;
+  if (cmd != "campaign") {
+    if (i >= argc || argv[i][0] == '-') {
+      std::fprintf(stderr, "tytra-cc: %s needs a kernel name (%s)\n",
+                   cmd.c_str(), kernel_list().c_str());
+      return 2;
+    }
+    spec.kernel = argv[i++];
+  }
+  for (; i < argc; ++i) {
+    if (!parse_explore_flags(argc, argv, i, spec,
+                             cmd == "campaign" ? &kernels_arg : nullptr,
+                             cmd == "campaign" ? &nds_arg : nullptr)) {
+      return usage();
+    }
+  }
+  if (cmd == "campaign") return run_campaign(spec, kernels_arg, nds_arg);
+  if (cmd != "explore" && cmd != "tune") return usage();
+  if (spec.devices.size() > 1) {
+    std::fprintf(stderr,
+                 "tytra-cc: %s takes one --device; use `tytra-cc campaign` "
+                 "for multi-device runs\n",
+                 cmd.c_str());
+    return 2;
+  }
+  return run_job_command(cmd, spec);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tytra;
+
+  if (argc >= 2) {
+    const std::string cmd = argv[1];
+    if (cmd == "explore" || cmd == "tune" || cmd == "campaign" ||
+        cmd == "list") {
+      return run_subcommand(cmd, argc, argv);
+    }
+  }
 
   std::string input_path;
   std::string target_path;
@@ -172,7 +408,9 @@ int main(int argc, char** argv) {
       do_explore = true;
       spec.kernel = argv[++i];
     } else if (arg == "--nd" && i + 1 < argc) {
-      if (!parse_u32(argv[++i], spec.nd)) return usage();
+      std::uint32_t nd = 0;
+      if (!parse_u32(argv[++i], nd)) return usage();
+      spec.nd = nd;
       explore_flags_seen = true;
     } else if (arg == "--max-lanes" && i + 1 < argc) {
       if (!parse_u32(argv[++i], spec.max_lanes)) return usage();
@@ -193,7 +431,7 @@ int main(int argc, char** argv) {
   if (!do_explore && explore_flags_seen) {
     std::fprintf(stderr,
                  "tytra-cc: --nd/--max-lanes/--jobs/--pareto only apply to "
-                 "--explore mode\n");
+                 "explore mode\n");
     return 2;
   }
   if (do_explore &&
@@ -210,6 +448,16 @@ int main(int argc, char** argv) {
     do_cost = true;
   }
 
+  if (do_explore) {
+    // Legacy spelling of the explore subcommand; one deprecation notice,
+    // then the exact same Session + Registry path.
+    std::fprintf(stderr,
+                 "tytra-cc: note: --explore is deprecated; use `tytra-cc "
+                 "explore <kernel>`\n");
+    spec.devices.push_back(!target_path.empty() ? target_path : preset);
+    return run_job_command("explore", spec);
+  }
+
   target::DeviceDesc device;
   if (!target_path.empty()) {
     std::string text;
@@ -224,18 +472,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     device = parsed_target.value();
-  } else if (preset == "stratix-v-gsd8") {
-    device = target::stratix_v_gsd8();
-  } else if (preset == "virtex7-690t") {
-    device = target::virtex7_690t();
-  } else if (preset == "fig15") {
-    device = target::fig15_profile();
+  } else if (auto p = target::preset(preset)) {
+    device = *p;
   } else {
-    std::fprintf(stderr, "tytra-cc: unknown preset '%s'\n", preset.c_str());
+    std::fprintf(stderr, "tytra-cc: unknown preset '%s' (%s)\n",
+                 preset.c_str(), preset_list().c_str());
     return 1;
   }
-
-  if (do_explore) return run_explore(spec, device);
 
   std::string source;
   if (!read_file(input_path, source)) {
