@@ -1,11 +1,16 @@
 // Measures the parallel batched DSE engine against the sequential path:
 // wall-clock for a full SOR variant sweep at max_lanes=64, sequential vs
 // one worker per core, plus the warm-cache rerun (the tuner/bench-rerun
-// case, where every evaluation is a lookup).
+// case, where every evaluation is a lookup) — and the campaign regime:
+// many small {workload x size x device} jobs scheduled job-by-job versus
+// campaign-wide through Session::run's flattened work list.
 //
-//   bench_dse_parallel [--smoke]
+//   bench_dse_parallel [--smoke] [--gate]
 //
-// --smoke shrinks the grid and repetition count for CI.
+// --smoke shrinks the grid and repetition count for CI. --gate fails the
+// run (exit 1) when the campaign-wide schedule is not at least 2x faster
+// than the job-by-job loop; the gate is skipped on machines with fewer
+// than 4 hardware threads, where the headroom does not exist.
 //
 // Runs through dse::Session — the same entry point users drive — with
 // one session per regime: a cache-less session for the sequential and
@@ -19,9 +24,11 @@
 #include <cstring>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "tytra/dse/session.hpp"
 #include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/registry.hpp"
 
 namespace {
 
@@ -56,12 +63,68 @@ double sweep_seconds(dse::Session& session, const dse::Job& job, int reps,
   return best;
 }
 
+/// The many-small-jobs serving shape: {sor, hotspot, lavamd} x several
+/// prime-ish sizes x two devices. Prime nd gives 1-2 variants per job
+/// (only 1 and nd-derived divisors fit under the lane cap), so per-job
+/// parallelism has nothing to chew on — the regime campaign-wide
+/// scheduling exists for.
+dse::Campaign small_jobs_campaign(bool smoke, std::size_t& variants_out) {
+  const std::vector<std::uint32_t> sizes =
+      smoke ? std::vector<std::uint32_t>{17, 19}
+            : std::vector<std::uint32_t>{17, 19, 23, 29};
+  // The jobs pin their own lane cap, and the variant count is derived
+  // from the same value, so the printed total cannot drift from what
+  // the campaign actually evaluates if session defaults change.
+  constexpr std::uint32_t kLaneCap = 16;
+  dse::Campaign campaign;
+  variants_out = 0;
+  for (const char* kernel : {"sor", "hotspot", "lavamd"}) {
+    for (const std::uint32_t nd : sizes) {
+      for (const char* device : {"stratix-v-gsd8", "fig15-profile"}) {
+        auto job = kernels::Registry::instance().make_job(kernel, nd);
+        if (!job.ok()) continue;
+        dse::Job j = std::move(job).take();
+        j.device = device;
+        j.max_lanes = kLaneCap;
+        variants_out += frontend::divisors(j.n, kLaneCap).size();
+        campaign.jobs.push_back(std::move(j));
+      }
+    }
+  }
+  return campaign;
+}
+
+/// Best-of-`reps` wall clock of `iters` back-to-back campaign runs,
+/// either job-by-job (the pre-pool Session::run schedule: each job's
+/// sweep parallelizes alone, jobs strictly in sequence) or campaign-wide
+/// through Session::run's flattened work list.
+double campaign_seconds(dse::Session& session, const dse::Campaign& campaign,
+                        int reps, int iters, bool flattened) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    for (int it = 0; it < iters; ++it) {
+      if (flattened) {
+        const auto result = session.run(campaign);
+        if (result.jobs.size() != campaign.jobs.size()) return -1;
+      } else {
+        for (const dse::Job& job : campaign.jobs) session.explore(job);
+      }
+    }
+    const double t = now_seconds() - t0;
+    if (t < best) best = t;
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
   }
 
   const std::uint32_t dim = smoke ? 24 : 48;
@@ -110,5 +173,71 @@ int main(int argc, char** argv) {
   std::printf("\n%zu variants; parallel and sequential sweeps are "
               "byte-identical (asserted in tests/test_dse_parallel.cpp)\n",
               variants);
+
+  // -------------------------------------------------------------------
+  // Campaign regime: many small jobs, job-by-job vs campaign-wide
+  // -------------------------------------------------------------------
+  std::size_t campaign_variants = 0;
+  const dse::Campaign campaign = small_jobs_campaign(smoke, campaign_variants);
+  // The spans being compared are sub-millisecond; enough iterations per
+  // timed rep (and best-of over several reps) amortize pool wakeups and
+  // scheduler noise so the gate is stable on shared CI runners.
+  const int campaign_reps = smoke ? 5 : 7;
+  const int campaign_iters = smoke ? 16 : 24;
+
+  // Cache-less sessions on both sides: the comparison is pure
+  // scheduling, not lookups (the jobs are all distinct anyway).
+  dse::SessionOptions campaign_opts;
+  campaign_opts.num_threads = 0;  // one worker per core, both schedules
+  campaign_opts.enable_cache = false;
+  dse::Session job_by_job(campaign_opts);
+  dse::Session flattened(campaign_opts);
+  job_by_job.add_device(*target::preset("stratix-v-gsd8"));
+  job_by_job.add_device(*target::preset("fig15"));
+  flattened.add_device(*target::preset("stratix-v-gsd8"));
+  flattened.add_device(*target::preset("fig15"));
+
+  std::printf("\n=== campaign scheduling: %zu small jobs (%zu variants "
+              "total), %u hardware threads ===\n\n",
+              campaign.jobs.size(), campaign_variants, cores);
+  double speedup = 0;
+  for (int attempt = 0;; ++attempt) {
+    const double t_jobs = campaign_seconds(job_by_job, campaign,
+                                           campaign_reps, campaign_iters,
+                                           false);
+    const double t_flat = campaign_seconds(flattened, campaign, campaign_reps,
+                                           campaign_iters, true);
+    if (t_jobs < 0 || t_flat < 0) {
+      std::fprintf(stderr, "campaign regime failed to run\n");
+      return 1;
+    }
+    speedup = t_jobs / t_flat;
+    std::printf("%-28s %10.2f ms\n", "job-by-job (per-job workers)",
+                t_jobs * 1e3 / campaign_iters);
+    std::printf("%-28s %10.2f ms  (%.2fx speedup)\n",
+                "campaign-wide (flattened)", t_flat * 1e3 / campaign_iters,
+                speedup);
+    // Re-measure (up to twice) before a gate verdict: the spans are
+    // sub-millisecond, and on a shared 4-vCPU runner — where the
+    // theoretical ceiling leaves the least margin over 2x — a transient
+    // noisy-neighbor spike should not fail CI.
+    if (!gate || cores < 4 || speedup >= 2.0 || attempt == 2) break;
+    std::printf("(below the 2x gate — re-measuring)\n");
+  }
+
+  if (gate) {
+    if (cores < 4) {
+      std::printf("\ncampaign gate skipped: %u hardware threads (< 4), no "
+                  "parallel headroom to gate on\n", cores);
+    } else if (speedup < 2.0) {
+      std::fprintf(stderr,
+                   "\nFAIL: campaign-wide scheduling is only %.2fx faster "
+                   "than job-by-job (gate requires >= 2x on >= 4 cores)\n",
+                   speedup);
+      return 1;
+    } else {
+      std::printf("\ncampaign gate passed: %.2fx >= 2x\n", speedup);
+    }
+  }
   return 0;
 }

@@ -13,22 +13,35 @@
 //     resolve at the variant-key level without lowering any IR;
 //   * a device table of named, calibrated DeviceCostDbs — calibrate a
 //     board once, cost any number of jobs against it by name;
-//   * the thread-pool policy (SessionOptions::num_threads, the same
-//     clamping rules DseOptions documents);
-//   * the per-worker BuildArenas — cold lowering recycles builder
-//     storage *across* jobs, not just within one sweep.
+//   * the persistent worker pool (dse::ThreadPool) — created lazily on
+//     the first batch that resolves to more than one worker under the
+//     clamping policy SessionOptions::num_threads documents, then reused
+//     for every subsequent sweep, tune walk and campaign, so repeated
+//     small jobs stop paying thread spawn/join churn;
+//   * the per-worker BuildArenas — worker index i is pinned to one pool
+//     thread for the session's lifetime, so arena i is only ever touched
+//     by that thread and recycled builder storage survives *across*
+//     jobs, not just within one sweep.
 //
 // Work is described by a Job ({workload, size, device} plus per-job
 // knobs) and submitted through explore / tune / baseline, or batched as
 // a Campaign whose result adds the cross-device comparison and a merged
-// Pareto view over every job. The legacy free functions in explorer.hpp
-// and tuner.hpp are thin shims over a temporary Session and produce
-// byte-identical results (tests/test_session.cpp pins this).
+// Pareto view over every job. run(Campaign) schedules campaign-wide:
+// every job's variants are flattened into one work list and evaluated
+// concurrently through the shared cache (many small jobs keep every
+// worker busy instead of parallelizing each job alone), while the
+// per-job merge, best and Pareto computation stay in enumeration order —
+// campaign output is byte-identical to running the jobs one at a time.
+// The legacy free functions in explorer.hpp and tuner.hpp are thin shims
+// over a temporary Session and produce byte-identical results
+// (tests/test_session.cpp pins this).
 //
-// Thread-safety: the session's cache is safe for concurrent use, but
-// Session methods themselves are not — they share the per-worker arena
-// pool. Run one job (or campaign) at a time per Session; each job
-// parallelizes internally.
+// Thread-safety: the session's cache is safe for concurrent use —
+// including one cache shared across sessions via the cache_override
+// parameters — but Session methods themselves are not: explore / tune /
+// baseline / run share the persistent pool and its per-worker arenas.
+// Drive one job or campaign at a time per Session; each call
+// parallelizes internally on the session's pool.
 
 #include <cstdint>
 #include <map>
@@ -40,6 +53,7 @@
 #include "tytra/cost/calibration.hpp"
 #include "tytra/dse/cache.hpp"
 #include "tytra/dse/explorer.hpp"
+#include "tytra/dse/pool.hpp"
 #include "tytra/dse/tuner.hpp"
 #include "tytra/ir/arena.hpp"
 #include "tytra/target/device.hpp"
@@ -51,8 +65,11 @@ namespace tytra::dse {
 struct SessionOptions {
   /// Default lane-count cap for jobs that do not set their own.
   std::uint32_t max_lanes{16};
-  /// Worker threads per job evaluation; same semantics and clamping as
-  /// DseOptions::num_threads (0 = one per hardware thread).
+  /// Worker threads per batch evaluation; same semantics and clamping as
+  /// DseOptions::num_threads (0 = one per hardware thread). The workers
+  /// are persistent: the session spawns its ThreadPool once, on the
+  /// first batch that resolves to more than one worker, and reuses it
+  /// for every subsequent sweep, tune walk and campaign.
   std::uint32_t num_threads{0};
   /// Shard count forwarded to the session's CostCache (0 = auto).
   std::size_t cache_shards{0};
@@ -85,6 +102,9 @@ struct Job {
   /// caller's already-calibrated database without copying it.
   const cost::DeviceCostDb* db{nullptr};
   /// Lane-count cap for this job; 0 inherits SessionOptions::max_lanes.
+  /// Bounds both the sweep's enumeration and the tuner's reshape walk
+  /// (tune stops with a "lane cap reached" verdict instead of walking
+  /// past it).
   std::uint32_t max_lanes{0};
   /// Also enumerate the sequential (C4) variant.
   bool include_seq{false};
@@ -111,7 +131,13 @@ struct CampaignParetoPoint {
 };
 
 struct CampaignResult {
-  std::vector<CampaignJobResult> jobs;     ///< in campaign order
+  /// Per-job results in campaign order. Campaign jobs are evaluated as
+  /// one flattened concurrent batch, so each job's
+  /// `result.explore_seconds` reports the campaign's shared evaluation
+  /// wall clock, not a per-job span; everything else (entries, best,
+  /// pareto, cache_stats) is exactly what running the job alone through
+  /// the same cache state would produce.
+  std::vector<CampaignJobResult> jobs;
   /// The Pareto frontier over every job's valid entries — the
   /// cross-workload, cross-device trade-off surface. Dominance uses the
   /// same three objectives as per-job frontiers; points keep
@@ -163,16 +189,35 @@ class Session {
 
   /// Walks the feedback path from the baseline variant (see dse/tuner.hpp),
   /// riding the session cache — after explore() of the same job, the whole
-  /// trajectory answers at the variant-key level.
+  /// trajectory answers at the variant-key level. The walk is bounded by
+  /// the job's resolved lane cap (Job::max_lanes, falling back to
+  /// SessionOptions::max_lanes).
   TuneResult tune(const Job& job, CostCache* cache_override = nullptr);
 
   /// The MaxJ-like HLS baseline: the 1-lane variant's cost report.
   cost::CostReport baseline(const Job& job,
                             CostCache* cache_override = nullptr);
 
-  /// Runs every job in order through the shared cache and merges the
-  /// cross-device comparison + Pareto view.
-  CampaignResult run(const Campaign& campaign);
+  /// Runs the whole campaign through the shared cache and merges the
+  /// cross-device comparison + Pareto view. Scheduling is campaign-wide:
+  /// all jobs' variants form one flattened work list drained by the
+  /// session pool, in two waves — first every distinct design (dedup by
+  /// variant key + database, so a design repeated across jobs is
+  /// evaluated once), then the repeats, which resolve at the variant-key
+  /// level against the now-warm cache. Per-job merge, best, Pareto and
+  /// cache stats are computed in enumeration order, so campaign output
+  /// (text and JSON, wall times aside) is byte-identical across thread
+  /// counts and to running the jobs one by one. The stats-determinism
+  /// guarantee assumes repeated designs are visible to the dedup, i.e.
+  /// they share a variant key and a database address (jobs naming the
+  /// same device-table entry do). Designs that only coincide later —
+  /// key-less FnLowerer jobs, keyed lowerers with different fingerprints
+  /// lowering to identical IR, or distinct Job::db copies calibrated
+  /// from one device — race at the structural level instead, and their
+  /// per-job hit/miss stats may vary across thread counts; the reports,
+  /// entries, best and frontiers are still exact.
+  CampaignResult run(const Campaign& campaign,
+                     CostCache* cache_override = nullptr);
 
   /// The session cache (null when SessionOptions::enable_cache is false).
   [[nodiscard]] CostCache* cache() { return cache_.get(); }
@@ -191,13 +236,30 @@ class Session {
   }
   /// Grows the arena pool to at least `n` workers.
   std::vector<ir::BuildArena>& arenas(std::size_t n);
+  /// The widest batch this session will ever run (the num_threads clamp
+  /// applied to unbounded work) — the pool's capacity.
+  [[nodiscard]] std::uint32_t max_participants() const;
+  /// The session pool sized for max_participants(), created on the first
+  /// call that needs more than one participant; null for serial batches.
+  ThreadPool* pool_for(std::uint32_t participants);
 
   SessionOptions options_;
   std::unique_ptr<CostCache> cache_;
   std::map<std::string, cost::DeviceCostDb, std::less<>> devices_;
   std::vector<std::string> device_order_;
   std::vector<ir::BuildArena> arenas_;
+  std::unique_ptr<ThreadPool> pool_;
 };
+
+namespace detail {
+/// The skyline shared by per-sweep frontiers and the campaign's merged
+/// view: keep[i] says whether candidates[i] is non-dominated under
+/// (EKIT max, util min, bw-share min), ties breaking on position.
+/// Candidates with a non-finite objective are never kept — NaN would
+/// break the sort's strict weak ordering — and do not dominate anything.
+/// Exposed for tests; not a stable public API.
+std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates);
+}  // namespace detail
 
 /// Cross-device comparison table: one row per campaign job (workload,
 /// nd, device, variant count, best design). Deterministic — no wall

@@ -11,6 +11,7 @@
 // wall; stop with a diagnosis on a bandwidth wall, which no amount of
 // replication fixes).
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,12 +30,14 @@ struct TuneStep {
 
 struct TuneResult {
   std::vector<TuneStep> trajectory;
-  std::size_t best{0};  ///< index of the best valid step; meaningful only
-                        ///< when the trajectory is non-empty
+  /// Index of the highest-EKIT valid step; nullopt when no step is valid
+  /// (an empty trajectory, or every visited variant exceeds the device —
+  /// the same "no valid design" encoding as DseResult::best).
+  std::optional<std::size_t> best;
   std::string verdict;  ///< final diagnosis (which wall stopped progress)
 
-  /// Precondition: the trajectory is non-empty (max_steps >= 1).
-  [[nodiscard]] const TuneStep& best_step() const { return trajectory[best]; }
+  /// Precondition: `best` is engaged (at least one valid step).
+  [[nodiscard]] const TuneStep& best_step() const { return trajectory[*best]; }
 };
 
 /// Tunes the design for a kernel of `n` work-items starting from the

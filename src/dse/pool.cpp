@@ -1,0 +1,133 @@
+#include "tytra/dse/pool.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tytra::dse {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers park here between batches
+  std::condition_variable done_cv;  ///< run_batch parks here until drained
+
+  // The current batch, published under `mu`. `generation` is the wake
+  // token: a worker remembers the last generation it served and a new
+  // batch is simply "generation changed". Workers whose index is not
+  // drafted (>= participants) observe the new generation and go straight
+  // back to sleep without touching `outstanding`.
+  const BatchFn* batch{nullptr};
+  std::uint32_t participants{0};
+  std::uint64_t generation{0};
+  std::uint32_t outstanding{0};  ///< drafted pool workers still running
+  std::exception_ptr batch_error;
+  bool stop{false};
+
+  std::vector<std::thread> threads;
+
+  void worker_main(std::uint32_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const BatchFn* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        if (index >= participants) continue;  // not drafted for this batch
+        fn = batch;
+      }
+      std::exception_ptr error;
+      try {
+        (*fn)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (error && !batch_error) batch_error = error;
+        if (--outstanding == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+};
+
+ThreadPool::ThreadPool(std::uint32_t workers)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers);
+  try {
+    for (std::uint32_t i = 0; i < workers; ++i) {
+      impl_->threads.emplace_back(&Impl::worker_main, impl_.get(), i + 1);
+    }
+  } catch (...) {
+    // Spawn failed partway (e.g. EAGAIN): join what started and surface
+    // the error instead of terminating in a joinable thread's destructor.
+    impl_->shutdown();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() { impl_->shutdown(); }
+
+std::uint32_t ThreadPool::worker_count() const {
+  return static_cast<std::uint32_t>(impl_->threads.size());
+}
+
+void ThreadPool::run_batch(std::uint32_t participants, const BatchFn& fn) {
+  if (!fn) {
+    throw std::invalid_argument("ThreadPool::run_batch: batch function is null");
+  }
+  if (participants == 0) return;
+  if (participants > worker_count() + 1) {
+    throw std::invalid_argument(
+        "ThreadPool::run_batch: participants exceed worker_count() + 1");
+  }
+  if (participants == 1) {  // nothing to fan out; run inline
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->batch = &fn;
+    impl_->participants = participants;
+    impl_->outstanding = participants - 1;
+    impl_->batch_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller is participant 0: it works the batch instead of idling at
+  // the barrier, so `participants` really means that many concurrent
+  // executors. Its exception still waits for the pool workers to drain —
+  // the batch state (slots, cursors) must be quiescent before unwinding.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->outstanding == 0; });
+    impl_->batch = nullptr;
+    worker_error = impl_->batch_error;
+    impl_->batch_error = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+}  // namespace tytra::dse

@@ -11,9 +11,11 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "tytra/support/strings.hpp"
 
@@ -40,21 +42,31 @@ std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
   return n == 0 ? 1 : n;
 }
 
-/// Evaluates variants [0, n) into per-variant slots. The work-queue is a
-/// single atomic cursor; slots are disjoint, so workers never contend on
-/// results, and the merge in enumeration order is deterministic no matter
-/// the interleaving. Worker t draws lowering scratch from arenas[t] — the
-/// session-owned pool, so recycled builder capacity survives across jobs.
-void evaluate_batch(const std::vector<frontend::Variant>& variants,
-                    const Lowerer& lower, const cost::DeviceCostDb& db,
-                    CostCache* cache, std::uint32_t num_threads,
+/// One unit of evaluation work: a variant, the lowerer/database it is
+/// evaluated through, and the result slot it writes. A sweep's tasks all
+/// share one (lower, db); a campaign's flattened list mixes jobs.
+struct EvalTask {
+  const frontend::Variant* variant;
+  const Lowerer* lower;
+  const cost::DeviceCostDb* db;
+  std::size_t slot;
+};
+
+/// Drains `tasks` into per-task slots. The work-queue is a single atomic
+/// cursor; slots are disjoint, so workers never contend on results, and
+/// merging slots in enumeration order is deterministic no matter the
+/// interleaving. Worker t draws lowering scratch from arenas[t] — worker
+/// indices are pinned to pool threads, so recycled builder capacity
+/// survives across batches and jobs. levels[slot] records which cache
+/// level answered (stays Miss when uncached); the per-batch accounting
+/// is aggregated from it afterwards, deterministically, instead of from
+/// racing shared counters.
+void evaluate_tasks(const std::vector<EvalTask>& tasks, CostCache* cache,
+                    ThreadPool* pool, std::uint32_t participants,
                     std::vector<ir::BuildArena>& arenas,
                     std::vector<std::optional<cost::CostReport>>& slots,
-                    CacheStats& sweep_stats) {
+                    std::vector<CostCache::HitLevel>& levels) {
   std::atomic<std::size_t> cursor{0};
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> misses{0};
-  std::atomic<std::uint64_t> variant_hits{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
 
@@ -62,24 +74,17 @@ void evaluate_batch(const std::vector<frontend::Variant>& variants,
     ir::BuildArena& arena = arenas[worker_index];
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= variants.size()) return;
+      if (i >= tasks.size()) return;
+      const EvalTask& t = tasks[i];
       try {
         if (cache) {
           CostCache::HitLevel level = CostCache::HitLevel::Miss;
-          slots[i] = cache->cost(variants[i], lower, db, &level, &arena);
-          // Per-sweep accounting: independent of the cache's global
-          // counters, which concurrent sweeps sharing it also advance.
-          if (level == CostCache::HitLevel::Miss) {
-            misses.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            hits.fetch_add(1, std::memory_order_relaxed);
-            if (level == CostCache::HitLevel::Variant) {
-              variant_hits.fetch_add(1, std::memory_order_relaxed);
-            }
-          }
+          slots[t.slot] = cache->cost(*t.variant, *t.lower, *t.db, &level,
+                                      &arena);
+          levels[t.slot] = level;
         } else {
-          ir::Module module = lower.lower(variants[i], &arena);
-          slots[i] = cost::cost_design(module, db);
+          ir::Module module = t.lower->lower(*t.variant, &arena);
+          slots[t.slot] = cost::cost_design(module, *t.db);
           arena.recycle(std::move(module));
         }
       } catch (...) {
@@ -87,35 +92,35 @@ void evaluate_batch(const std::vector<frontend::Variant>& variants,
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        cursor.store(variants.size(), std::memory_order_relaxed);
+        cursor.store(tasks.size(), std::memory_order_relaxed);
         return;
       }
     }
   };
 
-  if (num_threads <= 1) {
+  if (participants <= 1 || pool == nullptr) {
     worker(0);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    try {
-      for (std::uint32_t t = 0; t < num_threads; ++t) {
-        pool.emplace_back(worker, t);
-      }
-    } catch (...) {
-      // Thread spawn failed (e.g. EAGAIN): drain the queue, join what
-      // started, and surface the error instead of terminating on a
-      // joinable thread's destructor.
-      cursor.store(variants.size(), std::memory_order_relaxed);
-      for (auto& th : pool) th.join();
-      throw;
-    }
-    for (auto& th : pool) th.join();
+    pool->run_batch(participants, worker);
   }
   if (first_error) std::rethrow_exception(first_error);
-  sweep_stats.hits = hits.load(std::memory_order_relaxed);
-  sweep_stats.misses = misses.load(std::memory_order_relaxed);
-  sweep_stats.variant_hits = variant_hits.load(std::memory_order_relaxed);
+}
+
+/// Sums levels[begin, end) into per-sweep stats. Separate from the
+/// cache's global counters, which concurrent sweeps sharing the cache
+/// also advance; and per-slot, so a campaign can attribute one flattened
+/// batch back to its jobs in enumeration order.
+void accumulate_stats(CacheStats& stats,
+                      const std::vector<CostCache::HitLevel>& levels,
+                      std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (levels[i] == CostCache::HitLevel::Miss) {
+      ++stats.misses;
+    } else {
+      ++stats.hits;
+      if (levels[i] == CostCache::HitLevel::Variant) ++stats.variant_hits;
+    }
+  }
 }
 
 /// The streaming share of the per-instance time: how much of the budget
@@ -125,6 +130,8 @@ double bandwidth_share(const cost::CostReport& report) {
   return t.seconds_per_instance > 0 ? t.t_mem_stream / t.seconds_per_instance
                                     : 0.0;
 }
+
+}  // namespace
 
 // A point dominates another when it is at least as good on every
 // objective (EKIT >=, util <=, bw-share <=) and strictly better on one.
@@ -138,9 +145,22 @@ double bandwidth_share(const cost::CostReport& report) {
 /// callers that build candidates in enumeration order get the same set
 /// and order as the all-pairs definition. Shared by per-sweep frontiers
 /// and the campaign's merged view.
-std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates) {
-  std::vector<std::size_t> order(candidates.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+std::vector<bool> detail::skyline_keep(
+    const std::vector<ParetoPoint>& candidates) {
+  std::vector<bool> keep(candidates.size(), false);
+  // A non-finite objective breaks the sort's strict weak ordering (NaN
+  // compares false against everything) and has no place on the staircase;
+  // such a candidate is never a frontier member and must not dominate
+  // anything, so it is dropped before ordering.
+  std::vector<std::size_t> order;
+  order.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ParetoPoint& p = candidates[i];
+    if (std::isfinite(p.ekit) && std::isfinite(p.util_max) &&
+        std::isfinite(p.bw_share)) {
+      order.push_back(i);
+    }
+  }
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const ParetoPoint& pa = candidates[a];
     const ParetoPoint& pb = candidates[b];
@@ -172,7 +192,6 @@ std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates) {
     staircase.emplace(c.util_max, c.bw_share);
   };
 
-  std::vector<bool> keep(candidates.size(), false);
   std::size_t g = 0;
   while (g < order.size()) {
     // One group of equal-EKIT candidates, in (util asc, bw asc) order.
@@ -209,6 +228,8 @@ std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates) {
   return keep;
 }
 
+namespace {
+
 std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
   std::vector<ParetoPoint> candidates;
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -218,7 +239,7 @@ std::vector<ParetoPoint> pareto_frontier(const std::vector<DseEntry>& entries) {
                                      e.report.resources.util.max(),
                                      bandwidth_share(e.report)});
   }
-  const std::vector<bool> keep = skyline_keep(candidates);
+  const std::vector<bool> keep = detail::skyline_keep(candidates);
   std::vector<ParetoPoint> frontier;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (keep[i]) frontier.push_back(candidates[i]);
@@ -234,43 +255,51 @@ std::uint64_t next_lane_count(const std::vector<std::uint64_t>& divs,
   return it == divs.end() ? 0 : *it;
 }
 
-DseResult run_sweep(std::uint64_t n, const Lowerer& lower,
-                    const cost::DeviceCostDb& db, std::uint32_t max_lanes,
-                    bool include_seq, std::uint32_t num_threads,
-                    CostCache* cache, std::vector<ir::BuildArena>& arenas) {
-  const auto t0 = std::chrono::steady_clock::now();
-  DseResult result;
-  const auto variants = frontend::enumerate_variants(n, max_lanes, include_seq);
-
-  std::vector<std::optional<cost::CostReport>> slots(variants.size());
-  evaluate_batch(variants, lower, db, cache,
-                 resolve_threads(num_threads, variants.size()), arenas, slots,
-                 result.cache_stats);
-
-  // Deterministic merge in enumeration order.
-  result.entries.reserve(variants.size());
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    result.entries.emplace_back(variants[i], std::move(*slots[i]));
-  }
-  for (std::size_t i = 0; i < result.entries.size(); ++i) {
-    const auto& e = result.entries[i];
-    if (!e.report.valid) continue;
-    if (!result.best ||
-        e.report.throughput.ekit >
-            result.entries[*result.best].report.throughput.ekit) {
-      result.best = i;
+/// Index of the highest-EKIT valid report in `seq` (get maps an element
+/// to its CostReport), or nullopt when nothing is valid — the one "best"
+/// rule shared by the sweep's entries and the tuner's trajectory.
+template <typename Seq, typename GetReport>
+std::optional<std::size_t> best_valid_index(const Seq& seq, GetReport get) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const cost::CostReport& r = get(seq[i]);
+    if (!r.valid) continue;
+    if (!best || r.throughput.ekit > get(seq[*best]).throughput.ekit) {
+      best = i;
     }
   }
+  return best;
+}
+
+/// Deterministic merge in enumeration order: moves variants[i] +
+/// slots[offset + i] into entries, then derives best and the frontier.
+/// Shared by explore and the campaign's per-job attribution of one
+/// flattened batch.
+void merge_sweep(DseResult& result, std::vector<frontend::Variant>& variants,
+                 std::vector<std::optional<cost::CostReport>>& slots,
+                 std::size_t offset) {
+  result.entries.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    result.entries.emplace_back(std::move(variants[i]),
+                                std::move(*slots[offset + i]));
+  }
+  result.best = best_valid_index(
+      result.entries, [](const DseEntry& e) -> const cost::CostReport& {
+        return e.report;
+      });
   result.pareto = pareto_frontier(result.entries);
-  const auto t1 = std::chrono::steady_clock::now();
-  result.explore_seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
-  return result;
+}
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
                     const cost::DeviceCostDb& db, int max_steps,
-                    CostCache* cache, ir::BuildArena& arena) {
+                    std::uint32_t max_lanes, CostCache* cache,
+                    ir::BuildArena& arena) {
   TuneResult result;
   if (max_steps <= 0) {
     // Guard the degenerate budget instead of indexing an empty trajectory.
@@ -318,8 +347,18 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
     // Compute-bound (or fill-bound): add lanes.
     const std::uint64_t next =
         next_lane_count(lane_ladder, placed.report.params.knl);
-    if (next == 0 || next > 1024) {
+    if (next == 0) {
       result.verdict = "stopped: no further lane count divides the NDRange";
+      break;
+    }
+    if (next > max_lanes) {
+      // The resolved lane cap bounds the walk exactly like it bounds the
+      // sweep's enumeration (this used to be a hard-coded `next > 1024`
+      // that ignored Job::max_lanes / SessionOptions::max_lanes).
+      std::ostringstream why;
+      why << "stopped: lane cap reached (next divisor " << next
+          << " exceeds max_lanes=" << max_lanes << ")";
+      result.verdict = why.str();
       break;
     }
     current = frontend::reshape_to(frontend::baseline_variant(n), next,
@@ -330,15 +369,11 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
     action = why.str();
   }
 
-  // Best valid step.
-  double best_ekit = -1;
-  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
-    const auto& s = result.trajectory[i];
-    if (s.report.valid && s.report.throughput.ekit > best_ekit) {
-      best_ekit = s.report.throughput.ekit;
-      result.best = i;
-    }
-  }
+  // Best valid step; stays nullopt when every step exceeded the device.
+  result.best = best_valid_index(
+      result.trajectory, [](const TuneStep& s) -> const cost::CostReport& {
+        return s.report;
+      });
   if (result.verdict.empty()) result.verdict = "stopped: step budget exhausted";
   return result;
 }
@@ -430,21 +465,51 @@ std::vector<ir::BuildArena>& Session::arenas(std::size_t n) {
   return arenas_;
 }
 
+std::uint32_t Session::max_participants() const {
+  return resolve_threads(options_.num_threads,
+                         std::numeric_limits<std::size_t>::max());
+}
+
+ThreadPool* Session::pool_for(std::uint32_t participants) {
+  if (participants <= 1) return nullptr;
+  if (!pool_) {
+    // Lazily spawn the persistent workers at the session's full clamp
+    // (the caller is participant 0, so capacity is one less); batches
+    // narrower than the capacity simply draft fewer workers.
+    pool_ = std::make_unique<ThreadPool>(max_participants() - 1);
+  }
+  return pool_.get();
+}
+
 DseResult Session::explore(const Job& job, CostCache* cache_override) {
   const ResolvedJob r = resolve(job);
-  const std::uint32_t threads = resolve_threads(
-      options_.num_threads,
-      // Thread resolution is repeated inside run_sweep against the real
-      // variant count; here it only bounds the arena pool.
-      std::numeric_limits<std::uint32_t>::max());
-  return run_sweep(r.n, *r.lower, *r.db, r.max_lanes, job.include_seq,
-                   options_.num_threads, effective_cache(cache_override),
-                   arenas(threads));
+  const auto t0 = std::chrono::steady_clock::now();
+  DseResult result;
+  std::vector<frontend::Variant> variants =
+      frontend::enumerate_variants(r.n, r.max_lanes, job.include_seq);
+
+  std::vector<std::optional<cost::CostReport>> slots(variants.size());
+  std::vector<CostCache::HitLevel> levels(variants.size(),
+                                          CostCache::HitLevel::Miss);
+  std::vector<EvalTask> tasks;
+  tasks.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    tasks.push_back(EvalTask{&variants[i], r.lower, r.db, i});
+  }
+  CostCache* cache = effective_cache(cache_override);
+  const std::uint32_t participants =
+      resolve_threads(options_.num_threads, variants.size());
+  evaluate_tasks(tasks, cache, pool_for(participants), participants,
+                 arenas(participants), slots, levels);
+  if (cache) accumulate_stats(result.cache_stats, levels, 0, levels.size());
+  merge_sweep(result, variants, slots, 0);
+  result.explore_seconds = seconds_since(t0);
+  return result;
 }
 
 TuneResult Session::tune(const Job& job, CostCache* cache_override) {
   const ResolvedJob r = resolve(job);
-  return run_tune(r.n, *r.lower, *r.db, job.max_steps,
+  return run_tune(r.n, *r.lower, *r.db, job.max_steps, r.max_lanes,
                   effective_cache(cache_override), arenas(1)[0]);
 }
 
@@ -460,16 +525,88 @@ cost::CostReport Session::baseline(const Job& job, CostCache* cache_override) {
   return report;
 }
 
-CampaignResult Session::run(const Campaign& campaign) {
+CampaignResult Session::run(const Campaign& campaign,
+                            CostCache* cache_override) {
   const auto t0 = std::chrono::steady_clock::now();
   CampaignResult out;
+  CostCache* cache = effective_cache(cache_override);
+
+  // Validate and enumerate every job before evaluating anything: a bad
+  // job fails the campaign up front instead of after most of the work.
+  std::vector<ResolvedJob> resolved;
+  resolved.reserve(campaign.jobs.size());
+  std::vector<std::vector<frontend::Variant>> variants;
+  variants.reserve(campaign.jobs.size());
+  std::vector<std::size_t> offset(campaign.jobs.size() + 1, 0);
+  for (std::size_t j = 0; j < campaign.jobs.size(); ++j) {
+    resolved.push_back(resolve(campaign.jobs[j]));
+    variants.push_back(frontend::enumerate_variants(
+        resolved[j].n, resolved[j].max_lanes, campaign.jobs[j].include_seq));
+    offset[j + 1] = offset[j] + variants[j].size();
+  }
+  const std::size_t total = offset.back();
+
+  // Campaign-wide scheduling: one flattened work list over every job's
+  // variants, drained by the shared pool, so a campaign of many small
+  // jobs keeps every worker busy instead of parallelizing each job
+  // alone. Evaluation runs in two waves. Wave 1 covers every *distinct*
+  // design — a design repeated across jobs (same database, same variant
+  // key) is evaluated once, by the first job that enumerates it. Wave 2
+  // runs the repeats after the wave-1 barrier, so each resolves at the
+  // variant-key level against the now-warm cache — exactly the hits the
+  // old job-after-job loop produced, which keeps per-job cache stats
+  // (and therefore campaign text output) byte-identical across thread
+  // counts. Key-less lowerers cannot be deduplicated before lowering
+  // and stay in wave 1.
+  std::vector<std::optional<cost::CostReport>> slots(total);
+  std::vector<CostCache::HitLevel> levels(total, CostCache::HitLevel::Miss);
+  std::vector<EvalTask> wave1;
+  wave1.reserve(total);
+  std::vector<EvalTask> wave2;
+  std::set<std::tuple<const cost::DeviceCostDb*, std::uint64_t, std::uint64_t>>
+      seen;
+  for (std::size_t j = 0; j < variants.size(); ++j) {
+    for (std::size_t i = 0; i < variants[j].size(); ++i) {
+      const EvalTask task{&variants[j][i], resolved[j].lower, resolved[j].db,
+                          offset[j] + i};
+      bool repeat = false;
+      if (cache) {
+        if (const auto vk = resolved[j].lower->key(variants[j][i])) {
+          // Jobs naming the same device-table entry share a DeviceCostDb
+          // address, so (database, variant key) identifies the design; a
+          // caller-supplied Job::db that merely equals another database
+          // is conservatively treated as distinct.
+          repeat = !seen.insert({resolved[j].db, vk->key, vk->check}).second;
+        }
+      }
+      (repeat ? wave2 : wave1).push_back(task);
+    }
+  }
+  for (const std::vector<EvalTask>* wave : {&wave1, &wave2}) {
+    if (wave->empty()) continue;
+    const std::uint32_t participants =
+        resolve_threads(options_.num_threads, wave->size());
+    evaluate_tasks(*wave, cache, pool_for(participants), participants,
+                   arenas(participants), slots, levels);
+  }
+  const double eval_seconds = seconds_since(t0);
+
+  // Per-job merge, stats, best and frontier in enumeration order —
+  // byte-identical to running the jobs one at a time.
   out.jobs.reserve(campaign.jobs.size());
-  for (const Job& job : campaign.jobs) {
-    DseResult r = explore(job);
-    out.cache_stats.hits += r.cache_stats.hits;
-    out.cache_stats.misses += r.cache_stats.misses;
-    out.cache_stats.variant_hits += r.cache_stats.variant_hits;
-    out.jobs.push_back(CampaignJobResult{job, std::move(r)});
+  for (std::size_t j = 0; j < campaign.jobs.size(); ++j) {
+    DseResult r;
+    if (cache) {
+      accumulate_stats(r.cache_stats, levels, offset[j], offset[j + 1]);
+      out.cache_stats.hits += r.cache_stats.hits;
+      out.cache_stats.misses += r.cache_stats.misses;
+      out.cache_stats.variant_hits += r.cache_stats.variant_hits;
+    }
+    merge_sweep(r, variants[j], slots, offset[j]);
+    // Jobs were evaluated as one flattened batch; each reports the
+    // campaign's shared evaluation wall clock (see CampaignResult docs).
+    r.explore_seconds = eval_seconds;
+    out.jobs.push_back(CampaignJobResult{campaign.jobs[j], std::move(r)});
   }
 
   // Merged frontier over every job's per-sweep frontier. Restricting the
@@ -484,14 +621,12 @@ CampaignResult Session::run(const Campaign& campaign) {
       mapping.push_back(CampaignParetoPoint{j, p});
     }
   }
-  const std::vector<bool> keep = skyline_keep(candidates);
+  const std::vector<bool> keep = detail::skyline_keep(candidates);
   for (std::size_t i = 0; i < mapping.size(); ++i) {
     if (keep[i]) out.pareto.push_back(mapping[i]);
   }
 
-  const auto t1 = std::chrono::steady_clock::now();
-  out.campaign_seconds =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  out.campaign_seconds = seconds_since(t0);
   return out;
 }
 
@@ -520,6 +655,15 @@ Session shim_session(std::uint32_t num_threads) {
   // DseOptions::cache / the tune cache parameter; the temporary session
   // owns none.
   so.enable_cache = false;
+  // Legacy tune never took a lane cap — its walk was bounded only by the
+  // historical `next > 1024` guard. The shim pins that cap so the free
+  // functions stop at the same step; Session callers get the real
+  // resolved cap. (explore is unaffected: its shim sets Job::max_lanes
+  // from DseOptions explicitly.) One deliberate wording change: a walk
+  // that actually reaches 1024 lanes now stops with the accurate "lane
+  // cap reached" verdict instead of the old, false "no further lane
+  // count divides the NDRange" — same step count, better diagnosis.
+  so.max_lanes = 1024;
   return Session(so);
 }
 
@@ -541,14 +685,18 @@ std::string device_label(const Job& job) {
   return "<default>";
 }
 
-/// JSON number: shortest round-trip precision; non-finite values (which
-/// JSON cannot carry) become null.
+/// JSON number: round-trip precision; non-finite values (which JSON
+/// cannot carry) become null. Restores the caller's actual precision —
+/// not a hard-coded default — so a caller that configured its stream
+/// keeps its formatting after the call.
 void json_num(std::ostream& os, double v) {
   if (!std::isfinite(v)) {
     os << "null";
     return;
   }
-  os << std::setprecision(17) << v << std::setprecision(6);
+  const std::streamsize saved = os.precision(17);
+  os << v;
+  os.precision(saved);
 }
 
 std::string json_escape(std::string_view s) {
@@ -714,10 +862,13 @@ std::string format_tune_json(const TuneResult& result) {
        << "\", \"action\": \"" << json_escape(s.action) << "\"}";
   }
   os << "\n  ],\n  \"best\": ";
-  if (result.trajectory.empty()) {
-    os << "null";
+  if (result.best) {
+    os << *result.best;
   } else {
-    os << result.best;
+    // No valid step (empty trajectory, or nothing fit the device): the
+    // old encoding leaked the default index 0 here, presenting an
+    // invalid design as best.
+    os << "null";
   }
   os << ",\n  \"verdict\": \"" << json_escape(result.verdict) << "\"\n}\n";
   return os.str();

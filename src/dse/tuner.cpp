@@ -41,11 +41,12 @@ std::string format_tune(const TuneResult& result) {
        << (s.report.valid ? "" : " [does not fit]") << "\n";
   }
   os << result.verdict << "\n";
-  // An empty trajectory (max_steps <= 0) has no best step to report;
-  // indexing it was undefined behavior.
-  if (!result.trajectory.empty()) {
-    os << "best: step " << result.best << " ("
-       << result.trajectory[result.best].variant.describe() << ")\n";
+  // No valid step (empty trajectory, or every variant exceeded the
+  // device) means no best to report — indexing trajectory[0] here used
+  // to present a design that does not fit as "best".
+  if (result.best) {
+    os << "best: step " << *result.best << " ("
+       << result.trajectory[*result.best].variant.describe() << ")\n";
   }
   return os.str();
 }

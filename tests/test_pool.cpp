@@ -1,0 +1,341 @@
+// Tests for the persistent dse::ThreadPool and the campaign-wide
+// scheduler built on it: worker-index pinning (the per-worker arena
+// contract), batch semantics and exception propagation, campaign output
+// byte-identity across thread counts, flattened-vs-job-by-job parity,
+// and a sanitizer hammer (two sessions sharing one cache_override while
+// each reuses its pool across explore/tune/campaign) for TSan CI runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <regex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tytra/dse/pool.hpp"
+#include "tytra/dse/session.hpp"
+#include "tytra/kernels/kernels.hpp"
+#include "tytra/kernels/registry.hpp"
+
+namespace {
+
+using namespace tytra;
+using kernels::Registry;
+
+// --------------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------------
+
+TEST(Pool, RunsEveryParticipantExactlyOnceWithDistinctIndices) {
+  dse::ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+
+  std::vector<std::atomic<int>> ran(4);
+  pool.run_batch(4, [&](std::uint32_t index) {
+    ASSERT_LT(index, 4u);
+    ran[index].fetch_add(1);
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+}
+
+TEST(Pool, CallerIsParticipantZeroAndWorkerIndicesArePinned) {
+  // Worker index i must map to the same OS thread across batches — the
+  // contract that makes the session's per-worker arenas race-free.
+  dse::ThreadPool pool(3);
+  std::mutex mu;
+  std::map<std::uint32_t, std::set<std::thread::id>> ids;
+  for (int batch = 0; batch < 8; ++batch) {
+    pool.run_batch(4, [&](std::uint32_t index) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids[index].insert(std::this_thread::get_id());
+    });
+  }
+  ASSERT_EQ(ids.size(), 4u);
+  for (const auto& [index, threads] : ids) {
+    EXPECT_EQ(threads.size(), 1u) << "index " << index
+                                  << " migrated between threads";
+  }
+  EXPECT_EQ(*ids[0].begin(), std::this_thread::get_id());
+}
+
+TEST(Pool, NarrowBatchesDraftOnlyLowIndices) {
+  dse::ThreadPool pool(7);
+  std::vector<std::atomic<int>> ran(8);
+  pool.run_batch(2, [&](std::uint32_t index) { ran[index].fetch_add(1); });
+  EXPECT_EQ(ran[0].load(), 1);
+  EXPECT_EQ(ran[1].load(), 1);
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(ran[i].load(), 0) << "index " << i;
+  // participants == 1 runs inline on the caller.
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.run_batch(1, [&](std::uint32_t index) {
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran[0].fetch_add(1);
+  });
+  EXPECT_EQ(ran[0].load(), 2);
+}
+
+TEST(Pool, RejectsBadBatches) {
+  dse::ThreadPool pool(1);
+  EXPECT_THROW(pool.run_batch(3, [](std::uint32_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(pool.run_batch(2, dse::ThreadPool::BatchFn{}),
+               std::invalid_argument);
+  // Zero participants is a no-op, not an error.
+  pool.run_batch(0, [](std::uint32_t) { FAIL() << "must not run"; });
+}
+
+TEST(Pool, ExceptionsPropagateAndThePoolStaysUsable) {
+  dse::ThreadPool pool(3);
+  // Thrown on a pool worker.
+  EXPECT_THROW(pool.run_batch(4,
+                              [](std::uint32_t index) {
+                                if (index == 2) {
+                                  throw std::runtime_error("worker boom");
+                                }
+                              }),
+               std::runtime_error);
+  // Thrown on the caller (participant 0).
+  EXPECT_THROW(pool.run_batch(4,
+                              [](std::uint32_t index) {
+                                if (index == 0) {
+                                  throw std::runtime_error("caller boom");
+                                }
+                              }),
+               std::runtime_error);
+  // The pool is not wedged: the next batch completes normally.
+  std::atomic<int> done{0};
+  pool.run_batch(4, [&](std::uint32_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 4);
+}
+
+TEST(Pool, DrainsASharedCursorCorrectly) {
+  // The DSE usage pattern: the batch function drains an atomic cursor,
+  // every item claimed exactly once across participants.
+  dse::ThreadPool pool(3);
+  constexpr int kItems = 10000;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::atomic<int> cursor{0};
+    std::vector<std::atomic<int>> claimed(kItems);
+    pool.run_batch(4, [&](std::uint32_t) {
+      for (;;) {
+        const int i = cursor.fetch_add(1);
+        if (i >= kItems) return;
+        claimed[i].fetch_add(1);
+      }
+    });
+    for (int i = 0; i < kItems; ++i) ASSERT_EQ(claimed[i].load(), 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Campaign-wide scheduling
+// --------------------------------------------------------------------------
+
+dse::Campaign small_jobs_campaign() {
+  // Many small jobs with repeats — the serving shape the flattened
+  // scheduler exists for. 11 jobs across 3 kernels x sizes x 2 devices,
+  // the last two repeating earlier {workload, size, device} points.
+  dse::Campaign campaign;
+  auto add = [&](const char* kernel, std::uint32_t nd, const char* device) {
+    auto job = Registry::instance().make_job(kernel, nd);
+    ASSERT_TRUE(job.ok()) << job.error_message();
+    dse::Job j = std::move(job).take();
+    j.device = device;
+    campaign.jobs.push_back(std::move(j));
+  };
+  for (const char* device : {"fig15-profile", "stratix-v-gsd8"}) {
+    add("sor", 8, device);
+    add("sor", 12, device);
+    add("hotspot", 12, device);
+    add("lavamd", 48, device);
+  }
+  add("sor", 8, "fig15-profile");      // repeat of job 0
+  add("hotspot", 12, "stratix-v-gsd8");  // repeat of job 6
+  add("sor", 12, "fig15-profile");     // repeat of job 1
+  return campaign;
+}
+
+dse::SessionOptions threaded(std::uint32_t num_threads) {
+  dse::SessionOptions so;
+  so.num_threads = num_threads;
+  return so;
+}
+
+void add_two_devices(dse::Session& session) {
+  session.add_device(*target::preset("fig15"));
+  session.add_device(*target::preset("stratix-v-gsd8"));
+}
+
+/// Wall times are the one legitimately nondeterministic part of the JSON
+/// renderings; blank them so the rest can be compared byte for byte.
+std::string scrub_seconds(const std::string& json) {
+  static const std::regex seconds_re(
+      "(\"(?:explore_)?seconds\": )[-+0-9.eE]+");
+  return std::regex_replace(json, seconds_re, "$1#");
+}
+
+TEST(CampaignScheduling, OutputIsByteIdenticalAcrossThreadCounts) {
+  dse::Session base(threaded(1));
+  add_two_devices(base);
+  const dse::CampaignResult expected = base.run(small_jobs_campaign());
+
+  const std::string expected_table = dse::format_campaign(expected);
+  const std::string expected_pareto = dse::format_campaign_pareto(expected);
+  const std::string expected_json =
+      scrub_seconds(dse::format_campaign_json(expected));
+
+  for (const std::uint32_t threads : {2u, 8u}) {
+    dse::Session session(threaded(threads));
+    add_two_devices(session);
+    const dse::CampaignResult result = session.run(small_jobs_campaign());
+    EXPECT_EQ(dse::format_campaign(result), expected_table)
+        << "threads=" << threads;
+    EXPECT_EQ(dse::format_campaign_pareto(result), expected_pareto)
+        << "threads=" << threads;
+    EXPECT_EQ(scrub_seconds(dse::format_campaign_json(result)), expected_json)
+        << "threads=" << threads;
+    ASSERT_EQ(result.jobs.size(), expected.jobs.size());
+    for (std::size_t j = 0; j < result.jobs.size(); ++j) {
+      EXPECT_EQ(dse::format_sweep(result.jobs[j].result),
+                dse::format_sweep(expected.jobs[j].result))
+          << "threads=" << threads << " job " << j;
+      EXPECT_EQ(dse::format_pareto(result.jobs[j].result),
+                dse::format_pareto(expected.jobs[j].result))
+          << "threads=" << threads << " job " << j;
+    }
+  }
+}
+
+TEST(CampaignScheduling, FlattenedRunMatchesJobByJobExplore) {
+  // The flattened two-wave schedule must attribute exactly the per-job
+  // results (entries, best, frontier, hit/miss/variant stats) that
+  // running the same jobs one at a time through an identical session
+  // produces — including the repeats answering at the variant-key level.
+  dse::Campaign campaign = small_jobs_campaign();
+  dse::Session flat(threaded(4));
+  add_two_devices(flat);
+  const dse::CampaignResult result = flat.run(campaign);
+
+  dse::Session serial(threaded(4));
+  add_two_devices(serial);
+  ASSERT_EQ(result.jobs.size(), campaign.jobs.size());
+  for (std::size_t j = 0; j < campaign.jobs.size(); ++j) {
+    const dse::DseResult reference = serial.explore(campaign.jobs[j]);
+    const dse::DseResult& got = result.jobs[j].result;
+    EXPECT_EQ(dse::format_sweep(got), dse::format_sweep(reference))
+        << "job " << j;
+    EXPECT_EQ(got.cache_stats.misses, reference.cache_stats.misses)
+        << "job " << j;
+    EXPECT_EQ(got.cache_stats.hits, reference.cache_stats.hits)
+        << "job " << j;
+    EXPECT_EQ(got.cache_stats.variant_hits,
+              reference.cache_stats.variant_hits)
+        << "job " << j;
+  }
+
+  // The repeats were deduplicated out of the evaluation wave: they cost
+  // no lowering at all (every lookup answers at the variant-key level).
+  const auto& repeat = result.jobs[result.jobs.size() - 1].result;
+  EXPECT_EQ(repeat.cache_stats.misses, 0u);
+  EXPECT_EQ(repeat.cache_stats.variant_hits, repeat.entries.size());
+}
+
+TEST(CampaignScheduling, RunAcceptsACacheOverride) {
+  // run() joins explore/tune in accepting a cache_override, so several
+  // sessions can campaign against one shared cache.
+  dse::CostCache shared;
+  dse::SessionOptions so;
+  so.enable_cache = false;  // the session owns none; the override is it
+  dse::Session session(so);
+  session.add_device(*target::preset("fig15"));
+
+  dse::Campaign campaign;
+  auto job = Registry::instance().make_job("sor", 8);
+  ASSERT_TRUE(job.ok());
+  campaign.jobs.push_back(std::move(job).take());
+
+  const dse::CampaignResult cold = session.run(campaign, &shared);
+  EXPECT_EQ(cold.cache_stats.misses, cold.jobs[0].result.entries.size());
+  const dse::CampaignResult warm = session.run(campaign, &shared);
+  EXPECT_EQ(warm.cache_stats.variant_hits,
+            warm.jobs[0].result.entries.size());
+  EXPECT_EQ(dse::format_sweep(warm.jobs[0].result),
+            dse::format_sweep(cold.jobs[0].result));
+
+  // Without the override the session is uncached: stats stay zero while
+  // the designs themselves are unchanged (format_campaign embeds the
+  // stats line, so compare the per-job sweep instead).
+  const dse::CampaignResult uncached = session.run(campaign);
+  EXPECT_EQ(uncached.cache_stats.lookups(), 0u);
+  EXPECT_EQ(dse::format_sweep(uncached.jobs[0].result),
+            dse::format_sweep(cold.jobs[0].result));
+}
+
+// --------------------------------------------------------------------------
+// Sanitizer hammer (run under TSan in CI)
+// --------------------------------------------------------------------------
+
+TEST(PoolHammer, TwoSessionsShareACacheAcrossExploreTuneAndCampaign) {
+  // Two independent sessions — each with its own persistent pool and
+  // arenas, both parallel — drive explore/tune/campaign concurrently
+  // against ONE shared cache. Exercises: pool reuse across heterogeneous
+  // batches, per-worker arena pinning, and the cache's lock-free read
+  // path under cross-session mixed hit/miss traffic.
+  dse::CostCache shared;
+  std::atomic<int> failures{0};
+
+  auto drive = [&](std::uint64_t seed) {
+    try {
+      dse::SessionOptions so;
+      so.num_threads = 4;
+      so.enable_cache = false;  // all caching through the shared override
+      dse::Session session(so);
+      session.add_device(*target::preset("fig15"));
+      session.add_device(*target::preset("stratix-v-gsd8"));
+
+      for (int round = 0; round < 3; ++round) {
+        // Rotate which kernel each session leads with so the two
+        // sessions keep colliding on warm and cold entries alike.
+        const char* kernels[] = {"sor", "hotspot", "lavamd"};
+        const char* kernel = kernels[(seed + round) % 3];
+        auto job_r = Registry::instance().make_job(
+            kernel, 8 + 4 * static_cast<std::uint32_t>((seed + round) % 2));
+        ASSERT_TRUE(job_r.ok());
+        dse::Job job = std::move(job_r).take();
+        job.device = "fig15-profile";
+
+        const auto swept = session.explore(job, &shared);
+        if (swept.entries.empty()) failures.fetch_add(1);
+        const auto tuned = session.tune(job, &shared);
+        if (tuned.trajectory.empty()) failures.fetch_add(1);
+
+        dse::Campaign campaign;
+        for (const char* k : kernels) {
+          auto r = Registry::instance().make_job(k, 12);
+          ASSERT_TRUE(r.ok());
+          dse::Job j = std::move(r).take();
+          j.device = round % 2 ? "stratix-v-gsd8" : "fig15-profile";
+          campaign.jobs.push_back(std::move(j));
+        }
+        const auto ran = session.run(campaign, &shared);
+        if (ran.jobs.size() != campaign.jobs.size()) failures.fetch_add(1);
+      }
+    } catch (...) {
+      failures.fetch_add(1);
+    }
+  };
+
+  std::thread a(drive, 0);
+  std::thread b(drive, 1);
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(shared.stats().hits, 0u);
+}
+
+}  // namespace

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -457,6 +459,121 @@ TEST(SessionValidation, RejectsBadOptionsAndJobs) {
   dse::Job default_device = registry_job("sor", 8, db);
   default_device.db = nullptr;
   EXPECT_FALSE(session.explore(default_device).entries.empty());
+}
+
+// --------------------------------------------------------------------------
+// Tuner lane cap + "no valid best" encoding
+// --------------------------------------------------------------------------
+
+std::uint32_t max_lanes_visited(const dse::TuneResult& r) {
+  std::uint32_t max = 0;
+  for (const auto& s : r.trajectory) max = std::max(max, s.report.params.knl);
+  return max;
+}
+
+TEST(Tune, JobMaxLanesBoundsTheTrajectory) {
+  // sor nd=24 on stratix-v walks 1..16 lanes before its bandwidth wall;
+  // a tighter per-job cap must stop the walk with a lane-cap verdict
+  // instead of being ignored (the walk used a hard-coded 1024 guard).
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Session session;
+  dse::Job job = registry_job("sor", 24, db);
+
+  job.max_lanes = 4;
+  const dse::TuneResult capped = session.tune(job);
+  EXPECT_LE(max_lanes_visited(capped), 4u);
+  EXPECT_NE(capped.verdict.find("lane cap reached"), std::string::npos)
+      << capped.verdict;
+
+  // A cap the walk never reaches changes nothing.
+  job.max_lanes = 1024;
+  const dse::TuneResult wide = session.tune(job);
+  EXPECT_GT(max_lanes_visited(wide), 4u);
+  EXPECT_EQ(wide.verdict.find("lane cap"), std::string::npos) << wide.verdict;
+}
+
+TEST(Tune, SessionOptionsMaxLanesBoundsTheTrajectory) {
+  // A job without its own cap inherits the session-wide one.
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::SessionOptions so;
+  so.max_lanes = 3;
+  dse::Session session(so);
+  dse::Job job = registry_job("sor", 24, db);
+  ASSERT_EQ(job.max_lanes, 0u);
+  const dse::TuneResult result = session.tune(job);
+  EXPECT_LE(max_lanes_visited(result), 3u);
+  EXPECT_NE(result.verdict.find("lane cap reached"), std::string::npos);
+}
+
+TEST(Tune, NoValidStepMeansNoBest) {
+  // A device too small for even one lane: the first (and only) step is
+  // invalid. `best` used to default to 0, presenting a design that does
+  // not fit as "best" in both renderings; now there simply is none.
+  auto tiny = *target::preset("fig15");
+  tiny.resources.aluts = 10;
+  tiny.resources.regs = 10;
+  dse::Session session;
+  session.add_device(tiny);
+  dse::Job job = registry_job("sor", 8, preset_db("fig15"));
+  job.db = nullptr;
+  job.device = tiny.name;
+
+  const dse::TuneResult result = session.tune(job);
+  ASSERT_FALSE(result.trajectory.empty());
+  EXPECT_FALSE(result.trajectory.front().report.valid);
+  EXPECT_FALSE(result.best.has_value());
+
+  const std::string text = dse::format_tune(result);
+  EXPECT_EQ(text.find("best:"), std::string::npos) << text;
+  const std::string json = dse::format_tune_json(result);
+  EXPECT_NE(json.find("\"best\": null"), std::string::npos) << json;
+
+  // A trajectory with a valid step still reports it, in both renderings.
+  dse::Job ok_job = registry_job("sor", 8, preset_db("fig15"));
+  const dse::TuneResult ok = session.tune(ok_job);
+  ASSERT_TRUE(ok.best.has_value());
+  EXPECT_NE(dse::format_tune(ok).find("best: step"), std::string::npos);
+  EXPECT_NE(dse::format_tune_json(ok).find("\"best\": 0"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Skyline robustness
+// --------------------------------------------------------------------------
+
+TEST(Skyline, NonFiniteCandidatesNeitherCrashNorEnterTheFrontier) {
+  // A NaN objective used to make the sort comparator violate strict weak
+  // ordering (undefined behavior) and could wedge the staircase. Such
+  // candidates must be dropped: never kept, never dominating.
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<dse::ParetoPoint> candidates = {
+      {0, 100.0, 30.0, 0.5},   // cheaper than 3: a genuine trade-off
+      {1, nan, 10.0, 0.1},     // NaN EKIT: dropped
+      {2, 200.0, inf, 0.0},    // inf util: dropped
+      {3, 150.0, 40.0, 0.2},   // kept
+      {4, 150.0, 40.0, nan},   // NaN bw: dropped (even tied on the rest)
+      {5, 90.0, 60.0, 0.4},    // dominated by 3
+      {6, 100.0, 30.0, 0.5},   // exact duplicate of 0
+  };
+  const std::vector<bool> keep = dse::detail::skyline_keep(candidates);
+  ASSERT_EQ(keep.size(), candidates.size());
+  EXPECT_FALSE(keep[1]);
+  EXPECT_FALSE(keep[2]);
+  EXPECT_FALSE(keep[4]);
+  EXPECT_TRUE(keep[3]);
+  EXPECT_TRUE(keep[0]);  // nothing finite dominates it
+  EXPECT_FALSE(keep[5]);
+  EXPECT_TRUE(keep[6]);  // duplicates are mutually non-dominating: both stay
+}
+
+TEST(Skyline, AllNonFiniteYieldsEmptyFrontierWithoutCrashing) {
+  const double nan = std::nan("");
+  std::vector<dse::ParetoPoint> candidates;
+  for (std::size_t i = 0; i < 64; ++i) {
+    candidates.push_back({i, nan, nan, nan});
+  }
+  const std::vector<bool> keep = dse::detail::skyline_keep(candidates);
+  for (const bool k : keep) EXPECT_FALSE(k);
 }
 
 TEST(SessionValidation, FreeFunctionsRejectZeroMaxLanes) {

@@ -58,8 +58,8 @@ int usage() {
       "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n"
       "       tytra-cc explore <%s> [--nd dim] [--max-lanes n] [--jobs n] "
       "[--pareto] [--json] [--device %s|file.tgt]\n"
-      "       tytra-cc tune <%s> [--nd dim] [--max-steps n] [--json] "
-      "[--device %s|file.tgt]\n"
+      "       tytra-cc tune <%s> [--nd dim] [--max-steps n] [--max-lanes n] "
+      "[--json] [--device %s|file.tgt]\n"
       "       tytra-cc campaign [--kernel name]... [--nd dim]... "
       "[--device name|file.tgt]... [--max-lanes n] [--jobs n] [--pareto] "
       "[--json]\n"
