@@ -5,23 +5,25 @@
 // Grammar (comments with ';' allowed everywhere):
 //
 //   module     := { directive | memobj | streamobj | portbind | funcdef }
-//   directive  := '!' ident '=' (int | float | ident)
+//   directive  := '!' ident '=' (constexpr | float | ident)
 //                 recognized keys: ngs, nki, form (A|B|C), fd / freq, ii,
-//                 name; plus user constants usable in offset expressions:
+//                 name; plus user constants usable in constant expressions:
 //                 any other key defines a symbolic constant, e.g.
-//                 !ND1 = 100
-//   memobj     := 'memobj' @name ident(space) type 'x' int
+//                 !ND1 = 100, and later directives / sizes / offsets may
+//                 reference it: !ngs = ND1*ND1*ND1
+//   memobj     := 'memobj' @name ident(space) type 'x' constexpr
 //   streamobj  := 'stream' @name ('reads'|'writes') @mem
-//                 [ 'pattern' ('cont' | 'strided' int) ]
+//                 [ 'pattern' ('cont' | 'strided' constexpr) ]
 //   portbind   := @qual '=' 'addrSpace' '(' int ')' type ','
 //                 '!' str(istream|ostream) ',' '!' str(CONT|STRIDED) ','
-//                 '!' int ',' '!' str(streamobj)          ; paper Fig. 12
+//                 '!' constexpr ',' '!' str(streamobj)    ; paper Fig. 12
 //   funcdef    := 'define' 'void' @name '(' params? ')' kind '{' body '}'
 //   kind       := 'pipe' | 'par' | 'seq' | 'comb'
 //   params     := param { ',' param } ;  param := type %name
 //   body       := { offset | instr | call }
-//   offset     := type valname '=' type %base ',' '!offset' ',' '!' offexpr
-//   offexpr    := ['+'|'-'] offterm { '*' offterm } ;  offterm := int | ident
+//   offset     := type valname '=' type %base ',' '!offset' ',' '!' constexpr
+//   constexpr  := ['+'|'-'] constterm { '*' constterm }
+//   constterm  := int | ident          ; ident = previously defined constant
 //   instr      := type valname '=' opcode type operand { ',' operand }
 //   call       := 'call' @name '(' [ operand { ',' operand } ] ')' kind
 //   operand    := %name | @name | ['-'] int | ['-'] float
@@ -32,20 +34,39 @@
 // with a warning and mapped to global, so that the exact text of the
 // paper's figures (which uses `addrSpace(12)`) parses.
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "tytra/ir/module.hpp"
 #include "tytra/support/diag.hpp"
 
 namespace tytra::ir {
 
+/// Knobs for a parse. `constants` pre-defines symbolic constants: a
+/// `!key = value` directive whose (lowercased) key is present here keeps
+/// the pre-defined value instead of the file's literal — the hook the
+/// file-backed workload loader uses to re-dimension `!ND<k>`-parametric
+/// modules (`--nd`) without editing the text.
+struct ParseOptions {
+  std::map<std::string, std::int64_t, std::less<>> constants;
+};
+
 struct ParseOutput {
   Module module;
   tytra::DiagBag warnings;
+  /// User symbolic constants in definition order (keys lowercased,
+  /// values after overrides) — how loaders discover a file's parameters.
+  std::vector<std::pair<std::string, std::int64_t>> constants;
 };
 
 /// Parses a full module from IR text.
 tytra::Result<ParseOutput> parse_module(std::string_view source);
+tytra::Result<ParseOutput> parse_module(std::string_view source,
+                                        const ParseOptions& options);
 
 /// Convenience: parse and return just the module, aborting with the
 /// diagnostic text on failure. For tests and examples working with known

@@ -49,8 +49,12 @@ struct WorkloadInfo {
   /// Reference-simulation hook: runs the plain-C++ reference
   /// implementation at dimension nd and folds the outputs into one
   /// deterministic checksum. Ties the registered lowering config to the
-  /// kernel's ground truth (tests pin it; sized for small nd).
+  /// kernel's ground truth (tests pin it; sized for small nd). Optional:
+  /// file-backed workloads have no C++ reference and leave it empty.
   std::function<double(std::uint32_t nd)> reference_checksum;
+  /// Where the workload came from: the `.tir` path for file-backed
+  /// workloads, empty for built-ins. `tytra-cc list` shows it.
+  std::string source;
 };
 
 /// The process-wide workload table. The built-in kernels are registered
@@ -64,6 +68,12 @@ class Registry {
   /// Registers a workload. Throws std::invalid_argument on an empty or
   /// duplicate name or a missing ndrange/make_lowerer hook.
   void add(WorkloadInfo info);
+
+  /// Non-throwing registration: the same validation as add() reported as
+  /// a structured Result (for runtime registration, e.g. `--ir` file
+  /// workloads, where a duplicate name is user input, not a programming
+  /// error). The returned pointer is valid until the next registration.
+  tytra::Result<const WorkloadInfo*> try_add(WorkloadInfo info);
 
   /// Looks a workload up by name; null when absent.
   [[nodiscard]] const WorkloadInfo* find(std::string_view name) const;

@@ -1,7 +1,10 @@
 #include "tytra/ir/lexer.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
+#include <cstdlib>
 
 namespace tytra::ir {
 
@@ -131,7 +134,17 @@ tytra::Result<std::vector<Token>> lex(std::string_view source) {
       t.text = std::string(text);
       if (is_float) {
         t.kind = TokKind::Float;
-        t.fval = std::stod(t.text);
+        // strtod, not stod: an out-of-range literal ("1e999") must be a
+        // diagnostic, not an uncaught exception out of the lexer.
+        errno = 0;
+        char* parse_end = nullptr;
+        const double fv = std::strtod(t.text.c_str(), &parse_end);
+        if (parse_end != t.text.c_str() + t.text.size() || errno == ERANGE ||
+            !std::isfinite(fv)) {
+          return tytra::make_error("float literal '" + t.text + "' out of range",
+                                   loc);
+        }
+        t.fval = fv;
       } else {
         t.kind = TokKind::Integer;
         std::int64_t value = 0;

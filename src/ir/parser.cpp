@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
+#include <set>
 
 #include "tytra/ir/lexer.hpp"
 #include "tytra/support/strings.hpp"
@@ -13,7 +15,14 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const ParseOptions& options)
+      : toks_(std::move(tokens)) {
+    for (const auto& [key, value] : options.constants) {
+      const std::string lowered = tytra::to_lower(key);
+      constants_[lowered] = value;
+      overridden_.insert(lowered);
+    }
+  }
 
   tytra::Result<ParseOutput> run() {
     while (!at_end()) {
@@ -31,7 +40,8 @@ class Parser {
         return err("unexpected token '" + peek().text + "' at module scope");
       }
     }
-    return ParseOutput{std::move(out_), std::move(warnings_)};
+    return ParseOutput{std::move(out_), std::move(warnings_),
+                       std::move(defined_constants_)};
   }
 
  private:
@@ -113,6 +123,7 @@ class Parser {
   tytra::Result<bool> parse_directive() {
     advance();  // '!'
     if (peek().kind != TokKind::Ident) return err("expected directive key after '!'");
+    const tytra::SourceLoc key_loc = peek().loc;
     const std::string key = tytra::to_lower(advance().text);
     if (auto r = expect_punct('='); !r.ok()) return r.diag();
 
@@ -132,16 +143,50 @@ class Parser {
       out_.name = advance().text;
       return true;
     }
-    double value = 0.0;
-    if (peek().kind == TokKind::Integer) value = static_cast<double>(advance().ival);
-    else if (peek().kind == TokKind::Float) value = advance().fval;
-    else return err("expected numeric value for !" + key);
 
-    if (key == "ngs") out_.meta.global_size = static_cast<std::uint64_t>(value);
-    else if (key == "nki") out_.meta.nki = static_cast<std::uint32_t>(value);
-    else if (key == "fd" || key == "freq") out_.meta.freq_hz = value;
-    else if (key == "ii") out_.meta.ii = static_cast<std::uint32_t>(value);
-    else constants_[key] = static_cast<std::int64_t>(value);
+    // The device frequency is the one genuinely real-valued directive
+    // ("!fd = 200e6"); everything else is integral.
+    if (key == "fd" || key == "freq") {
+      double value = 0.0;
+      if (peek().kind == TokKind::Float) {
+        value = advance().fval;
+      } else {
+        auto v = parse_const_expr();
+        if (!v.ok()) return v.diag();
+        value = static_cast<double>(v.value());
+      }
+      if (value < 0.0) {
+        return tytra::make_error("!" + key + " must be non-negative", key_loc);
+      }
+      out_.meta.freq_hz = value;
+      return true;
+    }
+
+    if (peek().kind == TokKind::Float) {
+      return err("expected integer value for !" + key +
+                 " (only !fd takes a real value)");
+    }
+    auto v = parse_const_expr();
+    if (!v.ok()) return v.diag();
+    const std::int64_t value = v.value();
+
+    if (key == "ngs") {
+      if (value < 0) return tytra::make_error("!ngs must be non-negative", key_loc);
+      out_.meta.global_size = static_cast<std::uint64_t>(value);
+    } else if (key == "nki" || key == "ii") {
+      if (value < 0 ||
+          value > std::numeric_limits<std::uint32_t>::max()) {
+        return tytra::make_error("!" + key + " out of range [0, 2^32)", key_loc);
+      }
+      (key == "nki" ? out_.meta.nki : out_.meta.ii) =
+          static_cast<std::uint32_t>(value);
+    } else {
+      // User symbolic constant. A pre-defined constant (ParseOptions)
+      // wins over the file's literal; the directive still documents the
+      // file's default and lands in the output's definition-order list.
+      if (overridden_.count(key) == 0) constants_[key] = value;
+      defined_constants_.emplace_back(key, constants_[key]);
+    }
     return true;
   }
 
@@ -163,8 +208,14 @@ class Parser {
     if (!type.ok()) return type.diag();
     m.elem = type.value().scalar;
     if (auto r = expect_ident("x"); !r.ok()) return r.diag();
-    auto size = expect_int();
+    const tytra::SourceLoc size_loc = peek().loc;
+    auto size = parse_const_expr();
     if (!size.ok()) return size.diag();
+    if (size.value() < 0) {
+      return tytra::make_error("memobj @" + m.name + " has negative size " +
+                                   std::to_string(size.value()),
+                               size_loc);
+    }
     m.size_words = static_cast<std::uint64_t>(size.value());
     out_.memobjs.push_back(std::move(m));
     return true;
@@ -192,8 +243,14 @@ class Parser {
       } else if (peek().is_ident("strided")) {
         advance();
         s.pattern = AccessPattern::Strided;
-        auto stride = expect_int();
+        const tytra::SourceLoc stride_loc = peek().loc;
+        auto stride = parse_const_expr();
         if (!stride.ok()) return stride.diag();
+        if (stride.value() < 0) {
+          return tytra::make_error("stream @" + s.name + " has negative stride " +
+                                       std::to_string(stride.value()),
+                                   stride_loc);
+        }
         s.stride_words = static_cast<std::uint64_t>(stride.value());
       } else {
         return err("expected 'cont' or 'strided N' after 'pattern'");
@@ -254,16 +311,9 @@ class Parser {
     if (auto r = expect_punct(','); !r.ok()) return r.diag();
 
     if (auto r = expect_punct('!'); !r.ok()) return r.diag();
-    std::int64_t off_sign = 1;
-    if (peek().is_punct('-')) {
-      off_sign = -1;
-      advance();
-    } else if (peek().is_punct('+')) {
-      advance();
-    }
-    auto off = expect_int();
+    auto off = parse_const_expr();
     if (!off.ok()) return off.diag();
-    p.init_offset = off_sign * off.value();
+    p.init_offset = off.value();
 
     if (peek().is_punct(',')) {
       advance();
@@ -387,7 +437,7 @@ class Parser {
       if (auto r = expect_ident("offset"); !r.ok()) return r.diag();
       if (auto r = expect_punct(','); !r.ok()) return r.diag();
       if (auto r = expect_punct('!'); !r.ok()) return r.diag();
-      auto value = parse_offset_expr();
+      auto value = parse_const_expr();
       if (!value.ok()) return value.diag();
       off.offset = value.value();
       if (result_global) return err("offset result cannot be a global");
@@ -418,39 +468,51 @@ class Parser {
     return BodyItem{std::move(instr)};
   }
 
-  /// offexpr := ['+'|'-'] offterm { '*' offterm }
-  tytra::Result<std::int64_t> parse_offset_expr() {
+  /// constexpr := ['+'|'-'] constterm { '*' constterm }
+  /// All arithmetic is overflow-checked: an expression that does not fit
+  /// int64 is a diagnostic, never wrapped (signed overflow would be UB).
+  tytra::Result<std::int64_t> parse_const_expr() {
     std::int64_t sign = 1;
     if (peek().is_punct('+')) advance();
     else if (peek().is_punct('-')) {
       sign = -1;
       advance();
     }
-    auto term = parse_offset_term();
+    auto term = parse_const_term();
     if (!term.ok()) return term.diag();
     std::int64_t value = term.value();
     while (peek().is_punct('*')) {
       advance();
-      auto next = parse_offset_term();
+      const tytra::SourceLoc term_loc = peek().loc;
+      auto next = parse_const_term();
       if (!next.ok()) return next.diag();
-      value *= next.value();
+      std::int64_t product = 0;
+      if (__builtin_mul_overflow(value, next.value(), &product)) {
+        return tytra::make_error("constant expression overflows int64",
+                                 term_loc);
+      }
+      value = product;
     }
-    return sign * value;
+    std::int64_t signed_value = 0;
+    if (__builtin_mul_overflow(value, sign, &signed_value)) {
+      return err("constant expression overflows int64");
+    }
+    return signed_value;
   }
 
-  tytra::Result<std::int64_t> parse_offset_term() {
+  tytra::Result<std::int64_t> parse_const_term() {
     if (peek().kind == TokKind::Integer) return advance().ival;
     if (peek().kind == TokKind::Ident) {
       const std::string key = tytra::to_lower(peek().text);
       const auto it = constants_.find(key);
       if (it == constants_.end()) {
         return err("unknown symbolic constant '" + peek().text +
-                   "' in offset (define it with !" + peek().text + " = N)");
+                   "' (define it with !" + peek().text + " = N)");
       }
       advance();
       return it->second;
     }
-    return err("expected integer or constant in offset expression");
+    return err("expected integer or constant in constant expression");
   }
 
   tytra::Result<Operand> parse_operand() {
@@ -481,14 +543,21 @@ class Parser {
   Module out_;
   tytra::DiagBag warnings_;
   std::map<std::string, std::int64_t> constants_;
+  std::set<std::string> overridden_;
+  std::vector<std::pair<std::string, std::int64_t>> defined_constants_;
 };
 
 }  // namespace
 
 tytra::Result<ParseOutput> parse_module(std::string_view source) {
+  return parse_module(source, ParseOptions{});
+}
+
+tytra::Result<ParseOutput> parse_module(std::string_view source,
+                                        const ParseOptions& options) {
   auto tokens = lex(source);
   if (!tokens.ok()) return tokens.diag();
-  Parser parser(std::move(tokens).take());
+  Parser parser(std::move(tokens).take(), options);
   return parser.run();
 }
 

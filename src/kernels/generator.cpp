@@ -1,0 +1,170 @@
+#include "tytra/kernels/generator.hpp"
+
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "tytra/ir/builder.hpp"
+#include "tytra/support/rng.hpp"
+
+namespace tytra::kernels {
+
+namespace {
+
+using ir::FuncKind;
+using ir::FunctionBuilder;
+using ir::ModuleBuilder;
+using ir::Opcode;
+using ir::Operand;
+using ir::ScalarType;
+using ir::Type;
+
+// Integer-safe opcode pools. Division/shifts are excluded on purpose:
+// they are legal IR but degenerate hardware at random operand mixes
+// (shift-by-value barrels, zero divisors) and add nothing to the
+// properties under test.
+constexpr Opcode kBinaryOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                 Opcode::Min, Opcode::Max, Opcode::And,
+                                 Opcode::Or,  Opcode::Xor};
+constexpr Opcode kUnaryOps[] = {Opcode::Not, Opcode::Abs, Opcode::Neg,
+                                Opcode::Mov};
+
+// Grid edge lengths. Every design is an edge x edge NDRange: all edges
+// divide by 16 so lane sweeps get the full variant ladder, and the
+// smallest grid (64^2 = 4096 work-items) keeps pipeline-fill and
+// per-stream overheads amortized — below ~4096 work-items those constant
+// terms dominate and the cost model's steady-state view of the design
+// diverges from the cycle simulator by design, not by defect.
+constexpr std::uint64_t kEdges[] = {64, 96, 128, 192, 256};
+
+constexpr std::uint16_t kWidths[] = {16, 18, 24, 32};
+
+std::uint64_t pick(tytra::SplitMix64& rng, const std::uint64_t* list,
+                   std::size_t n) {
+  return list[rng.uniform_int(0, static_cast<std::int64_t>(n) - 1)];
+}
+
+}  // namespace
+
+ir::Module generate_kernel(std::uint64_t seed, const GeneratorOptions& opt) {
+  tytra::SplitMix64 rng(seed);
+
+  const std::uint64_t edge = pick(rng, kEdges, std::size(kEdges));
+  const std::uint64_t ngs = edge * edge;
+  const auto nki =
+      static_cast<std::uint32_t>(rng.uniform_int(1, opt.max_nki));
+  const ir::ExecForm form =
+      rng.uniform_int(0, 7) == 0 ? ir::ExecForm::A : ir::ExecForm::B;
+  const Type t = Type::scalar_of(ScalarType::uint(static_cast<std::uint16_t>(
+      kWidths[rng.uniform_int(0, std::size(kWidths) - 1)])));
+
+  const auto n_in = static_cast<std::uint32_t>(
+      rng.uniform_int(opt.min_inputs, opt.max_inputs));
+  const auto n_out =
+      static_cast<std::uint32_t>(rng.uniform_int(1, opt.max_outputs));
+
+  char name[32];
+  std::snprintf(name, sizeof name, "gen_%016llx",
+                static_cast<unsigned long long>(seed));
+  ModuleBuilder mb(name);
+  mb.set_ndrange(ngs).set_nki(nki).set_form(form);
+  mb.reserve_ports(n_in + n_out);
+  std::vector<std::string> in_names, out_names;
+  for (std::uint32_t i = 0; i < n_in; ++i) {
+    in_names.push_back("in" + std::to_string(i));
+    mb.add_input_port(in_names.back(), t);
+  }
+  for (std::uint32_t i = 0; i < n_out; ++i) {
+    out_names.push_back("out" + std::to_string(i));
+    mb.add_output_port(out_names.back(), t);
+  }
+
+  FunctionBuilder f0("f0", FuncKind::Pipe);
+  for (const auto& p : in_names) f0.param(t, p);
+  for (const auto& p : out_names) f0.param(t, p);
+
+  // Stream offsets on random inputs: the neighbour accesses of a stencil,
+  // with magnitudes tied to the edge so the buffer depths stay sane.
+  const std::int64_t magnitudes[] = {1, 2, static_cast<std::int64_t>(edge) - 1,
+                                     static_cast<std::int64_t>(edge),
+                                     static_cast<std::int64_t>(edge) + 1};
+  const auto n_off =
+      static_cast<std::uint32_t>(rng.uniform_int(0, opt.max_offsets));
+  std::vector<std::string> pending = in_names;  // values the DAG must consume
+  for (std::uint32_t i = 0; i < n_off; ++i) {
+    const auto& base =
+        in_names[rng.uniform_int(0, static_cast<std::int64_t>(n_in) - 1)];
+    const std::int64_t mag =
+        magnitudes[rng.uniform_int(0, std::size(magnitudes) - 1)];
+    const std::int64_t off = rng.uniform_int(0, 1) == 0 ? mag : -mag;
+    pending.push_back(f0.offset(base, off, "off" + std::to_string(i)));
+  }
+
+  const auto rand_operand = [&](const std::vector<std::string>& pool) {
+    if (rng.uniform_int(0, 3) == 0) {
+      return Operand::const_int(rng.uniform_int(1, 7));
+    }
+    return Operand::local(
+        pool[rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1)]);
+  };
+  const auto rand_binary = [&] {
+    return kBinaryOps[rng.uniform_int(0, std::size(kBinaryOps) - 1)];
+  };
+
+  // Reduction tree over every input and offset stream: fold pending
+  // values pairwise until one remains, so all ports are reachable from
+  // the outputs and the cost model / simulator see the whole design.
+  std::vector<std::string> pool = pending;
+  while (pending.size() > 1) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+    const std::string va = pending[a];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(a));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+    const std::string vb = pending[b];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(b));
+    const std::string r =
+        f0.instr(rand_binary(), t, {Operand::local(va), Operand::local(vb)});
+    pending.push_back(r);
+    pool.push_back(r);
+  }
+
+  // Random extra ops threaded through the chain tip, so depth varies
+  // independently of port count.
+  std::string tip = pending.front();
+  const auto n_extra =
+      static_cast<std::uint32_t>(rng.uniform_int(0, opt.max_extra_ops));
+  for (std::uint32_t i = 0; i < n_extra; ++i) {
+    std::string r;
+    if (rng.uniform_int(0, 4) == 0) {
+      r = f0.instr(kUnaryOps[rng.uniform_int(0, std::size(kUnaryOps) - 1)], t,
+                   {Operand::local(tip)});
+    } else {
+      r = f0.instr(rand_binary(), t, {Operand::local(tip), rand_operand(pool)});
+    }
+    pool.push_back(r);
+    tip = r;
+  }
+
+  f0.store(t, out_names.front(), Operand::local(tip));
+  for (std::uint32_t i = 1; i < n_out; ++i) {
+    f0.store(t, out_names[i], rand_operand(pool));
+  }
+  if (rng.uniform_int(0, 1) == 1) {
+    f0.reduce(Opcode::Add, t, "acc0", {rand_operand(pool)});
+  }
+  mb.add(std::move(f0).take());
+
+  FunctionBuilder main_fn("main", FuncKind::Pipe);
+  std::vector<Operand> args;
+  args.reserve(in_names.size() + out_names.size());
+  for (const auto& p : in_names) args.push_back(Operand::global(p));
+  for (const auto& p : out_names) args.push_back(Operand::global(p));
+  main_fn.call("f0", std::move(args), FuncKind::Pipe);
+  mb.add(std::move(main_fn).take());
+  return std::move(mb).take();
+}
+
+}  // namespace tytra::kernels

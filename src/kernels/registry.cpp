@@ -65,7 +65,8 @@ Registry make_builtin_registry() {
         double sum = ref.sor_err_acc;
         for (const double v : ref.p_new) sum += v;
         return sum;
-      }});
+      },
+      /*source=*/{}});
 
   reg.add(WorkloadInfo{
       "hotspot",
@@ -85,7 +86,8 @@ Registry make_builtin_registry() {
           sum += v;
         }
         return sum;
-      }});
+      },
+      /*source=*/{}});
 
   reg.add(WorkloadInfo{
       "lavamd",
@@ -103,7 +105,8 @@ Registry make_builtin_registry() {
         double sum = ref.pot_acc;
         for (const double v : ref.pot) sum += v;
         return sum;
-      }});
+      },
+      /*source=*/{}});
 
   return reg;
 }
@@ -118,19 +121,26 @@ Registry& Registry::instance() {
 }
 
 void Registry::add(WorkloadInfo info) {
+  auto added = try_add(std::move(info));
+  if (!added.ok()) {
+    throw std::invalid_argument(added.diag().message);
+  }
+}
+
+tytra::Result<const WorkloadInfo*> Registry::try_add(WorkloadInfo info) {
   if (info.name.empty()) {
-    throw std::invalid_argument("kernels::Registry: workload name is empty");
+    return tytra::make_error("kernels::Registry: workload name is empty");
   }
   if (!info.ndrange || !info.make_lowerer) {
-    throw std::invalid_argument("kernels::Registry: workload '" + info.name +
-                                "' is missing the ndrange or make_lowerer "
-                                "hook");
+    return tytra::make_error("kernels::Registry: workload '" + info.name +
+                             "' is missing the ndrange or make_lowerer hook");
   }
   if (find(info.name)) {
-    throw std::invalid_argument("kernels::Registry: workload '" + info.name +
-                                "' is already registered");
+    return tytra::make_error("kernels::Registry: workload '" + info.name +
+                             "' is already registered");
   }
   entries_.push_back(std::move(info));
+  return static_cast<const WorkloadInfo*>(&entries_.back());
 }
 
 const WorkloadInfo* Registry::find(std::string_view name) const {

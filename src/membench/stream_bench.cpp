@@ -31,9 +31,15 @@ std::vector<BandwidthSample> run_stream_bench(
 
 BandwidthTable BandwidthTable::measure(const target::DeviceDesc& device) {
   // Calibration measures below the Fig. 10 sweep as well, so the table
-  // covers the small transfers kernels with modest NDRanges produce.
-  std::vector<std::uint64_t> dims = {8, 16, 32, 64};
+  // covers the small transfers kernels with modest NDRanges produce. The
+  // ladder steps by ~sqrt(2) in dim (one octave in bytes): the sustained
+  // bandwidth curve's latency-amortization knee is sharply convex, and
+  // octave-wide gaps made the log-linear interpolation overestimate
+  // mid-gap transfers by >20% against the DRAM model it samples.
+  std::vector<std::uint64_t> dims = {8, 12, 16, 24, 32, 48, 64, 96, 192, 384};
   for (const std::uint64_t d : default_dims()) dims.push_back(d);
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
   return from_samples(run_stream_bench(device, dims));
 }
 

@@ -1,0 +1,132 @@
+// End-to-end tests of `tytra-cc ... --ir`: the file-backed workload path
+// through the real binary. Pins the CLI-level acceptance criterion
+// (explore --ir sor.tir byte-identical to the built-in sor on every
+// preset) and the failure contract (nonexistent or unverifiable files
+// exit nonzero with a stderr diagnostic and no stdout output).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#if defined(TYTRA_CC_BIN) && defined(TYTRA_SOURCE_DIR)
+
+struct RunResult {
+  int exit_code{-1};
+  std::string out;
+  std::string err;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs tytra-cc with `args`, capturing stdout/stderr through temp files
+/// in the working directory.
+RunResult run_cc(const std::string& args) {
+  static int counter = 0;
+  const std::string tag = "cli_ir_" + std::to_string(counter++);
+  const std::string out_path = tag + ".out";
+  const std::string err_path = tag + ".err";
+  const std::string cmd = std::string(TYTRA_CC_BIN) + " " + args + " > " +
+                          out_path + " 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = status < 0 ? status : WEXITSTATUS(status);
+  r.out = read_file(out_path);
+  r.err = read_file(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return r;
+}
+
+std::string sor_tir_path() {
+  return std::string(TYTRA_SOURCE_DIR) + "/examples/ir/sor.tir";
+}
+
+/// Drops the first line (the "exploring <name> on <device> ... in N s"
+/// banner names the workload and wall time; everything below is the
+/// deterministic sweep table).
+std::string strip_banner(const std::string& text) {
+  const auto nl = text.find('\n');
+  return nl == std::string::npos ? std::string() : text.substr(nl + 1);
+}
+
+TEST(CliIr, NonexistentFileFailsCleanly) {
+  const RunResult r = run_cc("explore --ir no/such/file.tir");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("cannot read"), std::string::npos) << r.err;
+}
+
+TEST(CliIr, UnverifiableFileFailsCleanly) {
+  const std::string path = "cli_ir_bad.tir";
+  {
+    std::ofstream bad(path);
+    bad << "!ngs = 8\n"
+           "define void @main() pipe {\n"
+           "  call @missing() pipe\n"
+           "}\n";
+  }
+  const RunResult r = run_cc("explore --ir " + path);
+  std::remove(path.c_str());
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("@missing"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find(" at "), std::string::npos)
+      << "diagnostic carries no location: " << r.err;
+}
+
+TEST(CliIr, KernelAndIrTogetherRejected) {
+  const RunResult r = run_cc("explore sor --ir " + sor_tir_path());
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("not both"), std::string::npos) << r.err;
+}
+
+TEST(CliIr, ExploreIrMatchesBuiltinSorOnAllPresets) {
+  for (const std::string preset :
+       {"stratix-v-gsd8", "virtex7-690t", "fig15"}) {
+    const RunResult file = run_cc("explore --ir " + sor_tir_path() +
+                                  " --nd 64 --pareto --device " + preset);
+    const RunResult builtin =
+        run_cc("explore sor --nd 64 --pareto --device " + preset);
+    ASSERT_EQ(file.exit_code, 0) << file.err;
+    ASSERT_EQ(builtin.exit_code, 0) << builtin.err;
+    EXPECT_EQ(strip_banner(file.out), strip_banner(builtin.out))
+        << "preset " << preset;
+    EXPECT_FALSE(strip_banner(file.out).empty());
+  }
+}
+
+TEST(CliIr, ListShowsFileWorkloadWithSource) {
+  const RunResult r = run_cc("list --ir " + sor_tir_path());
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("sor_file"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("source: " + sor_tir_path()), std::string::npos)
+      << r.out;
+}
+
+TEST(CliIr, TuneAcceptsIr) {
+  const RunResult r = run_cc("tune --ir " + sor_tir_path() + " --nd 32");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("tuning"), std::string::npos) << r.out;
+}
+
+#else  // TYTRA_CC_BIN / TYTRA_SOURCE_DIR
+
+TEST(CliIr, RequiresToolPaths) {
+  GTEST_SKIP() << "built without TYTRA_CC_BIN/TYTRA_SOURCE_DIR";
+}
+
+#endif
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/generator.hpp"
 #include "tytra/support/rng.hpp"
 #include "tytra/target/device.hpp"
 
@@ -133,6 +134,90 @@ TEST(ParserFuzz, PathologicalInputs) {
 
   // Garbage bytes.
   EXPECT_FALSE(tytra::ir::parse_module("\x01\x02\x03 define").ok());
+}
+
+// Mutation fuzzing over generator output: a much wider corpus than the
+// single hand-written seed (randomized op mixes, port counts, offsets).
+// Every mutant must parse or come back as a located diagnostic.
+TEST(ParserFuzz, GeneratedKernelMutationsNeverCrash) {
+  tytra::SplitMix64 stream(0x9e3779b9);
+  for (int design = 0; design < 40; ++design) {
+    const std::string source = tytra::ir::print_module(
+        tytra::kernels::generate_kernel(stream.next_u64()));
+    for (std::uint64_t round = 0; round < 25; ++round) {
+      const std::string mutant = mutate(source, 0x5eed + round);
+      const auto result = tytra::ir::parse_module(mutant);
+      if (result.ok()) continue;
+      EXPECT_FALSE(result.error_message().empty());
+      // Diagnostics from a line-structured source must carry a location
+      // (to_string renders it as "error at L:C: ...").
+      EXPECT_NE(result.error_message().find(" at "), std::string::npos)
+          << result.error_message();
+    }
+  }
+}
+
+// Malformed inputs for the constant-expression grammar (!K = a*b, sizes,
+// strides, offsets): each must be a structured error, never a crash, a
+// silent wrap-around, or an accepted nonsense value.
+TEST(ParserFuzz, ConstExprMalformedInputs) {
+  using tytra::ir::parse_module;
+
+  // Signed multiply overflow in a directive expression.
+  const auto overflow = parse_module(
+      "!ND1 = 4000000000\n!ngs = ND1*ND1*ND1\n");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.error_message().find("overflow"), std::string::npos)
+      << overflow.error_message();
+
+  // A negative memobj size must not wrap to a huge uint64.
+  const auto neg_size = parse_module("memobj @m global ui18 x -5\n");
+  ASSERT_FALSE(neg_size.ok());
+  EXPECT_TRUE(neg_size.diag().loc.known()) << neg_size.error_message();
+
+  // Negative strided stride.
+  EXPECT_FALSE(
+      parse_module("memobj @m global ui18 x 8\n"
+                   "stream @s reads @m pattern strided -3\n")
+          .ok());
+
+  // Integer directives reject real values and out-of-range literals.
+  EXPECT_FALSE(parse_module("!nki = 1e99\n").ok());
+  EXPECT_FALSE(parse_module("!nki = -5\n").ok());
+  EXPECT_FALSE(parse_module("!nki = 5000000000\n").ok());
+  EXPECT_FALSE(parse_module("!ngs = -1\n").ok());
+
+  // A float literal beyond double range must be a lexer diagnostic, not
+  // an exception or an accepted infinity.
+  const auto huge_float = parse_module("!fd = 1e999\n");
+  ASSERT_FALSE(huge_float.ok());
+  EXPECT_NE(huge_float.error_message().find("out of range"),
+            std::string::npos)
+      << huge_float.error_message();
+
+  // An undefined constant in an expression names itself.
+  const auto undef = parse_module("!ngs = NOPE*2\n");
+  ASSERT_FALSE(undef.ok());
+  EXPECT_NE(undef.error_message().find("NOPE"), std::string::npos)
+      << undef.error_message();
+
+  // Trailing operator.
+  EXPECT_FALSE(parse_module("!ND1 = 4\n!ngs = ND1*\n").ok());
+}
+
+// ParseOptions-provided constants override the file's own values, and the
+// override wins regardless of definition order.
+TEST(ParserFuzz, ConstantOverridesWin) {
+  tytra::ir::ParseOptions options;
+  options.constants["nd1"] = 8;
+  const auto parsed = tytra::ir::parse_module(
+      "!ND1 = 16\n!ngs = ND1*ND1\n", options);
+  ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+  EXPECT_EQ(parsed.value().module.meta.global_size, 64u);
+  // The recorded constant list reflects the post-override value.
+  ASSERT_EQ(parsed.value().constants.size(), 1u);
+  EXPECT_EQ(parsed.value().constants.front().first, "nd1");
+  EXPECT_EQ(parsed.value().constants.front().second, 8);
 }
 
 TEST(TgtFuzz, MutationsNeverCrash) {

@@ -29,6 +29,7 @@
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/file_workload.hpp"
 #include "tytra/kernels/registry.hpp"
 #include "tytra/target/device.hpp"
 
@@ -56,14 +57,15 @@ int usage() {
       stderr,
       "usage: tytra-cc <design.tirl> [--target file.tgt | --preset name] "
       "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n"
-      "       tytra-cc explore <%s> [--nd dim] [--max-lanes n] [--jobs n] "
-      "[--pareto] [--json] [--device %s|file.tgt]\n"
-      "       tytra-cc tune <%s> [--nd dim] [--max-steps n] [--max-lanes n] "
-      "[--json] [--device %s|file.tgt]\n"
-      "       tytra-cc campaign [--kernel name]... [--nd dim]... "
-      "[--device name|file.tgt]... [--max-lanes n] [--jobs n] [--pareto] "
-      "[--json]\n"
-      "       tytra-cc list [--names]\n",
+      "       tytra-cc explore <%s | --ir file.tir> [--nd dim] "
+      "[--max-lanes n] [--jobs n] [--pareto] [--json] "
+      "[--device %s|file.tgt]\n"
+      "       tytra-cc tune <%s | --ir file.tir> [--nd dim] [--max-steps n] "
+      "[--max-lanes n] [--json] [--device %s|file.tgt]\n"
+      "       tytra-cc campaign [--kernel name]... [--ir file.tir]... "
+      "[--nd dim]... [--device name|file.tgt]... [--max-lanes n] [--jobs n] "
+      "[--pareto] [--json]\n"
+      "       tytra-cc list [--names] [--ir file.tir]...\n",
       kernels.c_str(), presets.c_str(), kernels.c_str(), presets.c_str());
   return 2;
 }
@@ -109,6 +111,7 @@ tytra::Result<target::DeviceDesc> resolve_device(const std::string& spec) {
 
 struct ExploreSpec {
   std::string kernel;
+  std::vector<std::string> irs;  ///< `.tir` files to register as workloads
   std::optional<std::uint32_t> nd;  ///< default: the workload's default_nd
   std::uint32_t max_lanes{16};
   std::uint32_t jobs{0};
@@ -274,6 +277,21 @@ int run_campaign(const ExploreSpec& spec,
   return 0;
 }
 
+/// Registers every --ir file as a workload named after its path. Prints
+/// the loader's diagnostic to stderr and fails (before any stdout output)
+/// when a file is unreadable, unparsable or unverifiable.
+bool register_ir_files(const std::vector<std::string>& irs) {
+  for (const auto& path : irs) {
+    auto added =
+        kernels::register_file_workload(kernels::Registry::instance(), path);
+    if (!added.ok()) {
+      std::fprintf(stderr, "tytra-cc: %s\n", added.error_message().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
 int run_list(bool names_only) {
   const auto& registry = kernels::Registry::instance();
   if (names_only) {
@@ -287,6 +305,9 @@ int run_list(bool names_only) {
     std::printf("  %-10s %s\n", info.name.c_str(), info.summary.c_str());
     std::printf("  %-10s --nd: %s (default %u)\n", "",
                 info.nd_help.c_str(), info.default_nd);
+    if (!info.source.empty()) {
+      std::printf("  %-10s source: %s\n", "", info.source.c_str());
+    }
   }
   std::printf("device presets: %s (or any .tgt file)\n",
               preset_list().c_str());
@@ -319,6 +340,8 @@ bool parse_explore_flags(int argc, char** argv, int& i, ExploreSpec& spec,
     spec.devices.emplace_back(argv[++i]);
   } else if (arg == "--kernel" && kernels && i + 1 < argc) {
     kernels->emplace_back(argv[++i]);
+  } else if (arg == "--ir" && i + 1 < argc) {
+    spec.irs.emplace_back(argv[++i]);
   } else if (arg == "--pareto") {
     spec.pareto = true;
   } else if (arg == "--json") {
@@ -332,10 +355,14 @@ bool parse_explore_flags(int argc, char** argv, int& i, ExploreSpec& spec,
 int run_subcommand(const std::string& cmd, int argc, char** argv) {
   if (cmd == "list") {
     bool names_only = false;
+    std::vector<std::string> irs;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--names") == 0) names_only = true;
+      else if (std::strcmp(argv[i], "--ir") == 0 && i + 1 < argc)
+        irs.emplace_back(argv[++i]);
       else return usage();
     }
+    if (!register_ir_files(irs)) return 1;
     return run_list(names_only);
   }
 
@@ -343,12 +370,7 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
   std::vector<std::string> kernels_arg;
   std::vector<std::uint32_t> nds_arg;
   int i = 2;
-  if (cmd != "campaign") {
-    if (i >= argc || argv[i][0] == '-') {
-      std::fprintf(stderr, "tytra-cc: %s needs a kernel name (%s)\n",
-                   cmd.c_str(), kernel_list().c_str());
-      return 2;
-    }
+  if (cmd != "campaign" && i < argc && argv[i][0] != '-') {
     spec.kernel = argv[i++];
   }
   for (; i < argc; ++i) {
@@ -358,8 +380,35 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
       return usage();
     }
   }
-  if (cmd == "campaign") return run_campaign(spec, kernels_arg, nds_arg);
+  if (cmd == "campaign") {
+    if (!register_ir_files(spec.irs)) return 1;
+    // File workloads join the named-kernel list under their path names.
+    kernels_arg.insert(kernels_arg.end(), spec.irs.begin(), spec.irs.end());
+    return run_campaign(spec, kernels_arg, nds_arg);
+  }
   if (cmd != "explore" && cmd != "tune") return usage();
+  if (spec.irs.size() > 1) {
+    std::fprintf(stderr,
+                 "tytra-cc: %s takes one --ir; use `tytra-cc campaign` for "
+                 "multi-design runs\n",
+                 cmd.c_str());
+    return 2;
+  }
+  if (!spec.irs.empty() && !spec.kernel.empty()) {
+    std::fprintf(stderr,
+                 "tytra-cc: %s takes either a kernel name or --ir, not both\n",
+                 cmd.c_str());
+    return 2;
+  }
+  if (spec.irs.empty() && spec.kernel.empty()) {
+    std::fprintf(stderr, "tytra-cc: %s needs a kernel name (%s) or --ir\n",
+                 cmd.c_str(), kernel_list().c_str());
+    return 2;
+  }
+  if (!spec.irs.empty()) {
+    if (!register_ir_files(spec.irs)) return 1;
+    spec.kernel = spec.irs.front();
+  }
   if (spec.devices.size() > 1) {
     std::fprintf(stderr,
                  "tytra-cc: %s takes one --device; use `tytra-cc campaign` "
