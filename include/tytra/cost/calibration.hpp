@@ -16,6 +16,7 @@
 #include "tytra/fabric/cores.hpp"
 #include "tytra/membench/stream_bench.hpp"
 #include "tytra/resources.hpp"
+#include "tytra/support/binio.hpp"
 #include "tytra/support/polyfit.hpp"
 #include "tytra/target/device.hpp"
 
@@ -82,6 +83,17 @@ class DeviceCostDb {
 
   /// The fitted law for an op on integer operands (for inspection/tests).
   [[nodiscard]] const OpLaw& int_law(ir::Opcode op) const;
+
+  /// Serializes the complete database — device description, every fitted
+  /// law, the empirical bandwidth tables and the original calibration
+  /// time — into a snapshot payload, so a later process skips the
+  /// calibration experiments entirely.
+  void save(binio::Encoder& enc) const;
+
+  /// Decodes a database written by save(). Every count, enum value and
+  /// model shape is validated; malformed payloads come back as a
+  /// diagnostic, never an exception or a half-trusted database.
+  static tytra::Result<DeviceCostDb> load(binio::Decoder& dec);
 
  private:
   target::DeviceDesc device_;

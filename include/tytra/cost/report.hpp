@@ -13,6 +13,7 @@
 #include "tytra/cost/throughput.hpp"
 #include "tytra/ir/analysis.hpp"
 #include "tytra/ir/module.hpp"
+#include "tytra/support/binio.hpp"
 
 namespace tytra::cost {
 
@@ -40,5 +41,15 @@ CostReport cost_design(const ir::Module& module, const DeviceCostDb& db,
 
 /// Human-readable rendering of the report.
 std::string format_report(const CostReport& report);
+
+/// Serializes `report` field-by-field into a snapshot payload stream.
+/// Exact: a round-tripped report is bit-identical (doubles by bit
+/// pattern), so output rendered from restored reports matches output
+/// rendered from freshly-computed ones byte for byte.
+void save_report(binio::Encoder& enc, const CostReport& report);
+
+/// Decodes one report. Enum fields are range-checked; any violation (or a
+/// truncated stream) fails the decoder — check `dec.ok()` after the batch.
+CostReport load_report(binio::Decoder& dec);
 
 }  // namespace tytra::cost

@@ -37,6 +37,8 @@
 
 #include "tytra/cost/report.hpp"
 #include "tytra/dse/lowerer.hpp"
+#include "tytra/support/binio.hpp"
+#include "tytra/target/device.hpp"
 
 namespace tytra::dse {
 
@@ -57,6 +59,14 @@ struct CacheStats {
 /// run — one allocation-free module walk, no IR printing, no parameter
 /// extraction.
 std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db);
+
+/// Fingerprint of every DeviceDesc field a cost report can depend on.
+/// Calibration is deterministic in the device description, so this value
+/// pins every law and table the cost model reads. It is folded into both
+/// cache levels' keys (making stale snapshot entries unreachable rather
+/// than filtered) and stored beside persisted calibrations as their
+/// invalidation key.
+std::uint64_t device_fingerprint(const target::DeviceDesc& device);
 
 /// Thread-safe memoization of cost::cost_design.
 class CostCache {
@@ -111,8 +121,33 @@ class CostCache {
 
   /// Drops every entry and resets the counters. NOT safe to run
   /// concurrently with cost() — entries are freed, and a lock-free reader
-  /// could still be probing them.
+  /// could still be probing them. Debug builds enforce this: clear() with
+  /// a cost() call in flight aborts with a diagnostic instead of racing.
   void clear();
+
+  /// Serializes every entry of each level into a snapshot payload stream
+  /// (entries back to back until the end of the payload; no count prefix,
+  /// so a dump concurrent with inserts is merely a consistent-at-lock
+  /// sample). Keys are stored as-is — the device fingerprint is already
+  /// folded in, which is what makes persisted entries self-invalidating:
+  /// after a device or digest-scheme change the old keys are simply never
+  /// probed.
+  void dump(binio::Encoder& structural_out, binio::Encoder& variant_out) const;
+
+  /// Entry counts restored by load().
+  struct LoadCounts {
+    std::size_t structural{0};
+    std::size_t variant{0};
+  };
+
+  /// Restores entries produced by dump(). Requires the same quiescence as
+  /// clear() (enforced in debug builds): the table is being repopulated
+  /// wholesale at construction/attach time, not shared yet. On a decode
+  /// error the cache may hold a prefix of the snapshot's entries — every
+  /// one individually valid — and the caller decides whether to keep or
+  /// clear() them. Never throws; never trusts lengths or enum values.
+  Result<LoadCounts> load(binio::Decoder& structural_in,
+                          binio::Decoder& variant_in);
 
  private:
   struct Impl;

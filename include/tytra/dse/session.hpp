@@ -78,6 +78,14 @@ struct SessionOptions {
   /// (their shims construct a cache-less Session so that a caller who
   /// passed no cache keeps paying exactly zero caching overhead).
   bool enable_cache{true};
+  /// When non-empty, the session warm-starts from this snapshot file at
+  /// construction. Degradation is the contract, not an afterthought: a
+  /// missing file is a normal first run (silent cold start), and *any*
+  /// load failure — truncation, bit flip, foreign endianness, newer
+  /// format, malformed payload — logs exactly one structured warning to
+  /// stderr and cold-starts; it never throws and never half-applies a
+  /// snapshot. Save-back is explicit via save_snapshot().
+  std::string snapshot_path;
 };
 
 /// One unit of exploration work: which design family, how big, against
@@ -223,6 +231,29 @@ class Session {
   [[nodiscard]] CostCache* cache() { return cache_.get(); }
   [[nodiscard]] const SessionOptions& options() const { return options_; }
 
+  /// What one snapshot load restored.
+  struct SnapshotStats {
+    std::size_t structural_entries{0};
+    std::size_t variant_entries{0};
+    std::size_t calibrations{0};
+  };
+
+  /// Loads a snapshot into the session: cache entries into the session
+  /// cache (skipped, not an error, when caching is disabled) and stored
+  /// calibrations into a pending table that add_device() consults —
+  /// a calibration is only ever *used* when the device description's
+  /// fingerprint still matches the one it was computed from. Requires the
+  /// same quiescence as CostCache::clear(). On any failure the session is
+  /// rolled back to fully cold (cache cleared, pending calibrations
+  /// dropped) and the diagnostic returned — a partially-applied snapshot
+  /// can never leak into results.
+  Result<SnapshotStats> load_snapshot(const std::string& path);
+
+  /// Atomically writes the session's cache entries, device calibrations
+  /// and still-unclaimed restored calibrations to `path` (empty = the
+  /// options' snapshot_path). Returns bytes written.
+  Result<std::uint64_t> save_snapshot(const std::string& path = {});
+
  private:
   struct ResolvedJob {
     const cost::DeviceCostDb* db;
@@ -249,7 +280,39 @@ class Session {
   std::vector<std::string> device_order_;
   std::vector<ir::BuildArena> arenas_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Calibrations restored from a snapshot, keyed by device name, waiting
+  /// for add_device() to claim them. The stored fingerprint is the
+  /// invalidation key: add_device() recalibrates (and drops the stale
+  /// entry) when the incoming description no longer matches.
+  struct RestoredCalibration {
+    std::uint64_t fingerprint{0};
+    cost::DeviceCostDb db;
+  };
+  std::map<std::string, RestoredCalibration, std::less<>> restored_;
 };
+
+// ---------------------------------------------------------------------------
+// Snapshot file inspection (the `tytra-cc cache inspect|verify` backend)
+// ---------------------------------------------------------------------------
+
+/// What a full offline walk of a snapshot file found. Producing one means
+/// every container check (magic, version, endianness, checksums, exact
+/// length) and every payload decode (each cache entry, each calibration)
+/// succeeded.
+struct SnapshotSummary {
+  std::uint32_t format_version{0};
+  std::uint32_t payload_version{0};
+  std::uint64_t file_bytes{0};
+  std::size_t structural_entries{0};
+  std::size_t variant_entries{0};
+  /// Restored calibrations as (device name, fingerprint) pairs.
+  std::vector<std::pair<std::string, std::uint64_t>> calibrations;
+};
+
+/// Fully validates `path` — container integrity and every payload —
+/// without touching any session state. The error carries the first
+/// defect found; `tytra-cc cache verify` maps it to a nonzero exit.
+Result<SnapshotSummary> verify_snapshot(const std::string& path);
 
 namespace detail {
 /// The skyline shared by per-sweep frontiers and the campaign's merged

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tytra/membench/dram.hpp"
+#include "tytra/support/binio.hpp"
 #include "tytra/support/polyfit.hpp"
 #include "tytra/target/device.hpp"
 
@@ -54,6 +55,14 @@ class BandwidthTable {
   [[nodiscard]] const std::vector<BandwidthSample>& samples() const {
     return samples_;
   }
+
+  /// Serializes the measured samples only — the interpolation models are
+  /// derived state, so load() rebuilds them through from_samples() and a
+  /// restored table goes through exactly the code path a fresh one does.
+  void save(binio::Encoder& enc) const;
+  /// Decodes a table; on a malformed payload the decoder is failed and an
+  /// empty table returned — check `dec.ok()` after the batch.
+  static BandwidthTable load(binio::Decoder& dec);
 
  private:
   tytra::PiecewiseLinear contiguous_;  ///< log2(bytes) -> bytes/s

@@ -211,4 +211,237 @@ double DeviceCostDb::host_sustained(std::uint64_t bytes) const {
   return std::max(1.0, host_bw_.eval(std::log2(static_cast<double>(bytes))));
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void save_resource_vec(binio::Encoder& enc, const ResourceVec& v) {
+  enc.f64(v.aluts);
+  enc.f64(v.regs);
+  enc.f64(v.bram_bits);
+  enc.f64(v.dsps);
+}
+
+ResourceVec load_resource_vec(binio::Decoder& dec) {
+  ResourceVec v;
+  v.aluts = dec.f64();
+  v.regs = dec.f64();
+  v.bram_bits = dec.f64();
+  v.dsps = dec.f64();
+  return v;
+}
+
+void save_poly(binio::Encoder& enc, const tytra::Polynomial& p) {
+  enc.u64(p.coeffs().size());
+  for (double c : p.coeffs()) enc.f64(c);
+}
+
+tytra::Polynomial load_poly(binio::Decoder& dec) {
+  const std::uint64_t count = dec.u64();
+  if (!dec.fits(count, 8)) return {};
+  std::vector<double> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    coeffs.push_back(dec.f64());
+  }
+  if (!dec.ok()) return {};
+  return tytra::Polynomial(std::move(coeffs));
+}
+
+void save_pwl(binio::Encoder& enc, const tytra::PiecewiseLinear& p) {
+  enc.u64(p.knots().size());
+  for (const auto& k : p.knots()) {
+    enc.f64(k.x);
+    enc.f64(k.y);
+  }
+}
+
+/// Pre-validates the strictly-increasing-x invariant the ctor would throw
+/// on, turning a corrupt payload into a clean decode failure.
+tytra::PiecewiseLinear load_pwl(binio::Decoder& dec) {
+  const std::uint64_t count = dec.u64();
+  if (!dec.fits(count, 2 * 8)) return {};
+  std::vector<tytra::PiecewiseLinear::Knot> knots;
+  knots.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    tytra::PiecewiseLinear::Knot k;
+    k.x = dec.f64();
+    k.y = dec.f64();
+    if (!knots.empty() && !(knots.back().x < k.x)) {
+      dec.fail("calibration: piecewise-linear knots out of order");
+      return {};
+    }
+    knots.push_back(k);
+  }
+  if (!dec.ok()) return {};
+  return tytra::PiecewiseLinear(std::move(knots));
+}
+
+void save_steps(binio::Encoder& enc, const tytra::StepModel& m) {
+  enc.u64(m.steps().size());
+  for (const auto& s : m.steps()) {
+    enc.f64(s.from_x);
+    enc.f64(s.value);
+  }
+}
+
+tytra::StepModel load_steps(binio::Decoder& dec) {
+  const std::uint64_t count = dec.u64();
+  if (!dec.fits(count, 2 * 8)) return {};
+  std::vector<tytra::StepModel::Step> steps;
+  steps.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    tytra::StepModel::Step s;
+    s.from_x = dec.f64();
+    s.value = dec.f64();
+    if (!steps.empty() && !(steps.back().from_x < s.from_x)) {
+      dec.fail("calibration: step-model breakpoints out of order");
+      return {};
+    }
+    steps.push_back(s);
+  }
+  if (!dec.ok()) return {};
+  return tytra::StepModel(std::move(steps));
+}
+
+void save_op_law(binio::Encoder& enc, const OpLaw& law) {
+  save_poly(enc, law.aluts);
+  save_poly(enc, law.regs);
+  save_poly(enc, law.bram_bits);
+  save_steps(enc, law.dsps);
+  enc.i64(law.fit_degree);
+  save_pwl(enc, law.aluts_pwl);
+  save_pwl(enc, law.regs_pwl);
+}
+
+OpLaw load_op_law(binio::Decoder& dec) {
+  OpLaw law;
+  law.aluts = load_poly(dec);
+  law.regs = load_poly(dec);
+  law.bram_bits = load_poly(dec);
+  law.dsps = load_steps(dec);
+  law.fit_degree = static_cast<int>(dec.i64());
+  law.aluts_pwl = load_pwl(dec);
+  law.regs_pwl = load_pwl(dec);
+  return law;
+}
+
+void save_device(binio::Encoder& enc, const target::DeviceDesc& dev) {
+  enc.str(dev.name);
+  enc.str(dev.family);
+  enc.u64(dev.resources.aluts);
+  enc.u64(dev.resources.regs);
+  enc.u64(dev.resources.bram_bits);
+  enc.u64(dev.resources.dsps);
+  enc.f64(dev.fmax_hz);
+  enc.f64(dev.default_freq_hz);
+  enc.f64(dev.dram.io_clock_hz);
+  enc.f64(dev.dram.bus_bytes);
+  enc.f64(dev.dram.burst_bytes);
+  enc.f64(dev.dram.row_bytes);
+  enc.f64(dev.dram.row_miss_cycles);
+  enc.f64(dev.dram.setup_seconds);
+  enc.f64(dev.dram_peak_bw);
+  enc.f64(dev.host.peak_bw);
+  enc.f64(dev.host.efficiency);
+  enc.f64(dev.host.latency_seconds);
+  enc.f64(dev.power.static_watts);
+  enc.f64(dev.power.alut_nw);
+  enc.f64(dev.power.dsp_nw);
+  enc.f64(dev.power.bram_kb_nw);
+  enc.u32(dev.word_bytes);
+  enc.f64(dev.shell_overhead);
+}
+
+target::DeviceDesc load_device(binio::Decoder& dec) {
+  target::DeviceDesc dev;
+  dev.name = dec.str();
+  dev.family = dec.str();
+  dev.resources.aluts = dec.u64();
+  dev.resources.regs = dec.u64();
+  dev.resources.bram_bits = dec.u64();
+  dev.resources.dsps = dec.u64();
+  dev.fmax_hz = dec.f64();
+  dev.default_freq_hz = dec.f64();
+  dev.dram.io_clock_hz = dec.f64();
+  dev.dram.bus_bytes = dec.f64();
+  dev.dram.burst_bytes = dec.f64();
+  dev.dram.row_bytes = dec.f64();
+  dev.dram.row_miss_cycles = dec.f64();
+  dev.dram.setup_seconds = dec.f64();
+  dev.dram_peak_bw = dec.f64();
+  dev.host.peak_bw = dec.f64();
+  dev.host.efficiency = dec.f64();
+  dev.host.latency_seconds = dec.f64();
+  dev.power.static_watts = dec.f64();
+  dev.power.alut_nw = dec.f64();
+  dev.power.dsp_nw = dec.f64();
+  dev.power.bram_kb_nw = dec.f64();
+  dev.word_bytes = dec.u32();
+  dev.shell_overhead = dec.f64();
+  return dev;
+}
+
+}  // namespace
+
+void DeviceCostDb::save(binio::Encoder& enc) const {
+  save_device(enc, device_);
+  enc.u64(int_laws_.size());
+  for (const auto& [op, law] : int_laws_) {
+    enc.u8(static_cast<std::uint8_t>(op));
+    save_op_law(enc, law);
+  }
+  enc.u64(float_costs_.size());
+  for (const auto& [key, vec] : float_costs_) {
+    enc.u8(static_cast<std::uint8_t>(key.first));
+    enc.i64(key.second);
+    save_resource_vec(enc, vec);
+  }
+  bandwidth_.save(enc);
+  save_pwl(enc, host_bw_);
+  enc.f64(calib_seconds_);
+}
+
+tytra::Result<DeviceCostDb> DeviceCostDb::load(binio::Decoder& dec) {
+  DeviceCostDb db;
+  db.device_ = load_device(dec);
+
+  const std::uint64_t laws = dec.u64();
+  if (dec.fits(laws, 8)) {
+    for (std::uint64_t i = 0; i < laws && dec.ok(); ++i) {
+      const std::uint8_t op = dec.u8();
+      if (op >= static_cast<std::uint8_t>(ir::kNumOpcodes)) {
+        dec.fail("calibration: opcode out of range in integer-law table");
+        break;
+      }
+      db.int_laws_[static_cast<ir::Opcode>(op)] = load_op_law(dec);
+    }
+  }
+
+  const std::uint64_t floats = dec.u64();
+  if (dec.fits(floats, 1 + 8 + 4 * 8)) {
+    for (std::uint64_t i = 0; i < floats && dec.ok(); ++i) {
+      const std::uint8_t op = dec.u8();
+      if (op >= static_cast<std::uint8_t>(ir::kNumOpcodes)) {
+        dec.fail("calibration: opcode out of range in float-cost table");
+        break;
+      }
+      const int width = static_cast<int>(dec.i64());
+      db.float_costs_[{static_cast<ir::Opcode>(op), width}] =
+          load_resource_vec(dec);
+    }
+  }
+
+  db.bandwidth_ = membench::BandwidthTable::load(dec);
+  db.host_bw_ = load_pwl(dec);
+  db.calib_seconds_ = dec.f64();
+
+  if (!dec.ok()) {
+    return make_error("calibration snapshot: " + dec.error());
+  }
+  return db;
+}
+
 }  // namespace tytra::cost

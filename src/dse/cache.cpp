@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -44,12 +46,6 @@ void hash_device(HashBuilder& h, const target::DeviceDesc& dev) {
       .f64(dev.shell_overhead);
 }
 
-std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
-  HashBuilder h;
-  hash_device(h, dev);
-  return h.value();
-}
-
 /// The 128-bit identity of a (design, database) pair, streamed: the
 /// device fingerprint (`dev`, hashed once per lookup by the callers)
 /// seeds both digest halves, then the module structure is walked once
@@ -74,6 +70,12 @@ std::string design_identity(const ir::Module& module, std::uint64_t dev) {
 }
 
 }  // namespace
+
+std::uint64_t device_fingerprint(const target::DeviceDesc& dev) {
+  HashBuilder h;
+  hash_device(h, dev);
+  return h.value();
+}
 
 std::uint64_t design_key(const ir::Module& module, const cost::DeviceCostDb& db) {
   return design_digest(module, device_fingerprint(db.device())).key;
@@ -142,6 +144,18 @@ class AtomicTable {
       n += s.size;
     }
     return n;
+  }
+
+  /// Visits every resident node, one shard at a time under that shard's
+  /// insert lock. Safe concurrent with cost(): readers never take the
+  /// lock, and inserts landing in already-visited shards are simply not
+  /// part of this sample.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (const auto& node : s.nodes) fn(*node);
+    }
   }
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -266,6 +280,39 @@ struct CostCache::Impl {
   AtomicTable<StructuralValue> structural;
   AtomicTable<VariantValue> variant;
   std::vector<Counter> counters;
+
+#ifndef NDEBUG
+  /// Debug-build enforcement of the clear()/load() quiescence contract:
+  /// cost() calls register here, and the destructive operations abort
+  /// with a diagnostic when any are in flight instead of silently racing
+  /// a lock-free reader against freed entries.
+  std::atomic<int> active_readers{0};
+
+  struct ReaderGuard {
+    explicit ReaderGuard(std::atomic<int>& count) : count_(count) {
+      count_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ReaderGuard() { count_.fetch_sub(1, std::memory_order_acq_rel); }
+    std::atomic<int>& count_;
+  };
+#endif
+
+  void require_quiescent(const char* operation) const {
+#ifndef NDEBUG
+    const int readers = active_readers.load(std::memory_order_acquire);
+    if (readers != 0) {
+      std::fprintf(stderr,
+                   "tytra: fatal: CostCache::%s() called with %d cost() "
+                   "call(s) in flight; %s() frees entries lock-free readers "
+                   "may still be probing and requires quiescence (see "
+                   "include/tytra/dse/cache.hpp)\n",
+                   operation, readers, operation);
+      std::abort();
+    }
+#else
+    (void)operation;
+#endif
+  }
 };
 
 CostCache::CostCache(std::size_t shards)
@@ -301,6 +348,9 @@ cost::CostReport CostCache::Impl::cost_structural(
 
 cost::CostReport CostCache::cost(const ir::Module& module,
                                  const cost::DeviceCostDb& db, bool* was_hit) {
+#ifndef NDEBUG
+  Impl::ReaderGuard guard(impl_->active_readers);
+#endif
   const std::uint64_t dev = device_fingerprint(db.device());
   return impl_->cost_structural(module, db, dev, design_digest(module, dev),
                                 was_hit);
@@ -310,6 +360,9 @@ cost::CostReport CostCache::cost(const frontend::Variant& variant,
                                  const Lowerer& lowerer,
                                  const cost::DeviceCostDb& db, HitLevel* level,
                                  ir::BuildArena* arena) {
+#ifndef NDEBUG
+  Impl::ReaderGuard guard(impl_->active_readers);
+#endif
   // One device hash serves the whole lookup: the variant-key fold, and on
   // a miss the structural digest and the identity text.
   const std::uint64_t dev = device_fingerprint(db.device());
@@ -375,6 +428,7 @@ std::size_t CostCache::shard_count() const {
 }
 
 void CostCache::clear() {
+  impl_->require_quiescent("clear");
   impl_->structural.clear();
   impl_->variant.clear();
   for (Impl::Counter& c : impl_->counters) {
@@ -382,6 +436,61 @@ void CostCache::clear() {
     c.misses.store(0, std::memory_order_relaxed);
     c.variant_hits.store(0, std::memory_order_relaxed);
   }
+}
+
+void CostCache::dump(binio::Encoder& structural_out,
+                     binio::Encoder& variant_out) const {
+  impl_->structural.for_each([&](const auto& node) {
+    structural_out.u64(node.key);
+    structural_out.u64(node.check);
+    structural_out.str(node.value.identity);
+    cost::save_report(structural_out, node.value.report);
+  });
+  impl_->variant.for_each([&](const auto& node) {
+    variant_out.u64(node.key);
+    variant_out.u64(node.check);
+    variant_out.u64(node.value.design.key);
+    variant_out.u64(node.value.design.check);
+    cost::save_report(variant_out, node.value.report);
+  });
+}
+
+Result<CostCache::LoadCounts> CostCache::load(binio::Decoder& structural_in,
+                                              binio::Decoder& variant_in) {
+  impl_->require_quiescent("load");
+  LoadCounts counts;
+  while (structural_in.ok() && structural_in.remaining() > 0) {
+    const std::uint64_t key = structural_in.u64();
+    const std::uint64_t check = structural_in.u64();
+    std::string identity = structural_in.str();
+    cost::CostReport report = cost::load_report(structural_in);
+    if (!structural_in.ok()) break;
+    impl_->structural.insert(
+        key, check,
+        Impl::StructuralValue{std::move(identity), std::move(report)});
+    ++counts.structural;
+  }
+  if (!structural_in.ok()) {
+    return make_error("cost-cache snapshot (structural level): " +
+                      structural_in.error());
+  }
+  while (variant_in.ok() && variant_in.remaining() > 0) {
+    const std::uint64_t key = variant_in.u64();
+    const std::uint64_t check = variant_in.u64();
+    ir::StructuralDigest design;
+    design.key = variant_in.u64();
+    design.check = variant_in.u64();
+    cost::CostReport report = cost::load_report(variant_in);
+    if (!variant_in.ok()) break;
+    impl_->variant.insert(key, check,
+                          Impl::VariantValue{design, std::move(report)});
+    ++counts.variant;
+  }
+  if (!variant_in.ok()) {
+    return make_error("cost-cache snapshot (variant level): " +
+                      variant_in.error());
+  }
+  return counts;
 }
 
 }  // namespace tytra::dse

@@ -384,7 +384,22 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
 // Session
 // ---------------------------------------------------------------------------
 
-Session::Session(SessionOptions options) : options_(options) {
+namespace {
+
+// Snapshot container section ids.
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecStructural = 2;
+constexpr std::uint32_t kSecVariant = 3;
+constexpr std::uint32_t kSecCalibration = 4;
+
+/// Version of the *payload* schemas inside the sections (report encoding,
+/// digest scheme, calibration layout). Bump on any change to those — the
+/// container format version in binio.hpp only covers the framing.
+constexpr std::uint32_t kSnapshotPayloadVersion = 1;
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
   if (options_.max_lanes == 0) {
     throw std::invalid_argument(
         "dse::Session: SessionOptions::max_lanes must be >= 1 (a sweep over "
@@ -393,11 +408,40 @@ Session::Session(SessionOptions options) : options_(options) {
   if (options_.enable_cache) {
     cache_ = std::make_unique<CostCache>(options_.cache_shards);
   }
+  if (!options_.snapshot_path.empty()) {
+    // A missing file is a normal first run: cold-start silently, and the
+    // eventual save_snapshot() creates it. Everything else that can be
+    // wrong with the file surfaces as exactly one structured warning.
+    std::FILE* probe = std::fopen(options_.snapshot_path.c_str(), "rb");
+    if (probe != nullptr) {
+      std::fclose(probe);
+      const auto loaded = load_snapshot(options_.snapshot_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr,
+                     "tytra: warning: snapshot-load path='%s' error='%s' "
+                     "action=cold-start\n",
+                     options_.snapshot_path.c_str(),
+                     loaded.diag().message.c_str());
+      }
+    }
+  }
 }
 
 Session::~Session() = default;
 
 const cost::DeviceCostDb& Session::add_device(const target::DeviceDesc& desc) {
+  // A restored calibration is used only while its fingerprint still
+  // matches the incoming description — a stale entry (edited .tgt file,
+  // different preset under the same name) is dropped and recalibrated,
+  // never trusted.
+  const auto it = restored_.find(desc.name);
+  if (it != restored_.end()) {
+    const bool fresh = it->second.fingerprint == device_fingerprint(desc);
+    cost::DeviceCostDb db = fresh ? std::move(it->second.db)
+                                  : cost::DeviceCostDb::calibrate(desc);
+    restored_.erase(it);
+    return add_device(desc.name, std::move(db));
+  }
   return add_device(desc.name, cost::DeviceCostDb::calibrate(desc));
 }
 
@@ -418,6 +462,169 @@ const cost::DeviceCostDb& Session::add_device(std::string name,
 const cost::DeviceCostDb* Session::find_device(std::string_view name) const {
   const auto it = devices_.find(name);
   return it == devices_.end() ? nullptr : &it->second;
+}
+
+Result<Session::SnapshotStats> Session::load_snapshot(const std::string& path) {
+  auto opened = binio::Reader::open(path);
+  if (!opened.ok()) return opened.diag();
+  const binio::Reader reader = std::move(opened).take();
+
+  if (!reader.has_section(kSecMeta)) {
+    return make_error("snapshot: missing meta section");
+  }
+  binio::Decoder meta(reader.section(kSecMeta));
+  const std::uint32_t payload_version = meta.u32();
+  if (meta.ok() && payload_version != kSnapshotPayloadVersion) {
+    return make_error("snapshot: payload version " +
+                      std::to_string(payload_version) +
+                      " unsupported (this build reads " +
+                      std::to_string(kSnapshotPayloadVersion) + ")");
+  }
+  if (!meta.at_end()) return make_error("snapshot: " + meta.error());
+
+  // Any failure past this point rolls the session back to fully cold: a
+  // prefix of a snapshot must be indistinguishable from no snapshot.
+  const auto rollback = [&] {
+    if (cache_) cache_->clear();
+    restored_.clear();
+  };
+
+  SnapshotStats stats;
+  if (cache_) {
+    binio::Decoder structural(reader.section(kSecStructural));
+    binio::Decoder variant(reader.section(kSecVariant));
+    auto counts = cache_->load(structural, variant);
+    if (!counts.ok()) {
+      rollback();
+      return counts.diag();
+    }
+    stats.structural_entries = counts.value().structural;
+    stats.variant_entries = counts.value().variant;
+  }
+
+  if (reader.has_section(kSecCalibration)) {
+    binio::Decoder calib(reader.section(kSecCalibration));
+    const std::uint64_t count = calib.u64();
+    if (!calib.fits(count, 8)) {
+      rollback();
+      return make_error("snapshot: " + calib.error());
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string name = calib.str();
+      const std::uint64_t fingerprint = calib.u64();
+      auto db = cost::DeviceCostDb::load(calib);
+      if (!db.ok()) {
+        rollback();
+        return db.diag();
+      }
+      if (!calib.ok()) {
+        rollback();
+        return make_error("snapshot: " + calib.error());
+      }
+      restored_.insert_or_assign(
+          std::move(name),
+          RestoredCalibration{fingerprint, std::move(db).take()});
+      ++stats.calibrations;
+    }
+    if (!calib.at_end()) {
+      rollback();
+      return make_error("snapshot: " + calib.error());
+    }
+  }
+  return stats;
+}
+
+Result<std::uint64_t> Session::save_snapshot(const std::string& path) {
+  const std::string& target = path.empty() ? options_.snapshot_path : path;
+  if (target.empty()) {
+    return make_error(
+        "snapshot: no path given (set SessionOptions::snapshot_path or pass "
+        "one explicitly)");
+  }
+
+  binio::Writer writer;
+  binio::Encoder meta;
+  meta.u32(kSnapshotPayloadVersion);
+  writer.add_section(kSecMeta, meta.take());
+
+  binio::Encoder structural;
+  binio::Encoder variant;
+  if (cache_) cache_->dump(structural, variant);
+  writer.add_section(kSecStructural, structural.take());
+  writer.add_section(kSecVariant, variant.take());
+
+  // Claimed calibrations first, then restored-but-unclaimed ones (a job
+  // that only exercised one device must not drop the others' calibration
+  // work); a name in both tables keeps the live database.
+  std::size_t unclaimed = 0;
+  for (const auto& [name, rc] : restored_) {
+    if (devices_.find(name) == devices_.end()) ++unclaimed;
+  }
+  binio::Encoder calib;
+  calib.u64(devices_.size() + unclaimed);
+  for (const auto& [name, db] : devices_) {
+    calib.str(name);
+    calib.u64(device_fingerprint(db.device()));
+    db.save(calib);
+  }
+  for (const auto& [name, rc] : restored_) {
+    if (devices_.find(name) != devices_.end()) continue;
+    calib.str(name);
+    calib.u64(rc.fingerprint);
+    rc.db.save(calib);
+  }
+  writer.add_section(kSecCalibration, calib.take());
+
+  return writer.write(target);
+}
+
+Result<SnapshotSummary> verify_snapshot(const std::string& path) {
+  auto opened = binio::Reader::open(path);
+  if (!opened.ok()) return opened.diag();
+  const binio::Reader reader = std::move(opened).take();
+
+  SnapshotSummary out;
+  out.format_version = reader.format_version();
+  out.file_bytes = reader.file_size();
+
+  if (!reader.has_section(kSecMeta)) {
+    return make_error("snapshot: missing meta section");
+  }
+  binio::Decoder meta(reader.section(kSecMeta));
+  out.payload_version = meta.u32();
+  if (meta.ok() && out.payload_version != kSnapshotPayloadVersion) {
+    return make_error("snapshot: payload version " +
+                      std::to_string(out.payload_version) +
+                      " unsupported (this build reads " +
+                      std::to_string(kSnapshotPayloadVersion) + ")");
+  }
+  if (!meta.at_end()) return make_error("snapshot: " + meta.error());
+
+  // Decode every cache entry through a scratch cache — the exact walk a
+  // warm start performs, so "verify passed" means "a load would succeed".
+  CostCache scratch(1);
+  binio::Decoder structural(reader.section(kSecStructural));
+  binio::Decoder variant(reader.section(kSecVariant));
+  auto counts = scratch.load(structural, variant);
+  if (!counts.ok()) return counts.diag();
+  out.structural_entries = counts.value().structural;
+  out.variant_entries = counts.value().variant;
+
+  if (reader.has_section(kSecCalibration)) {
+    binio::Decoder calib(reader.section(kSecCalibration));
+    const std::uint64_t count = calib.u64();
+    if (!calib.fits(count, 8)) return make_error("snapshot: " + calib.error());
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string name = calib.str();
+      const std::uint64_t fingerprint = calib.u64();
+      auto db = cost::DeviceCostDb::load(calib);
+      if (!db.ok()) return db.diag();
+      if (!calib.ok()) return make_error("snapshot: " + calib.error());
+      out.calibrations.emplace_back(std::move(name), fingerprint);
+    }
+    if (!calib.at_end()) return make_error("snapshot: " + calib.error());
+  }
+  return out;
 }
 
 Session::ResolvedJob Session::resolve(const Job& job) const {

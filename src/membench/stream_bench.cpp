@@ -84,4 +84,31 @@ double BandwidthTable::rho(std::uint64_t bytes, ir::AccessPattern pattern,
   return std::min(1.0, sustained(bytes, pattern, stride_words) / peak_bps);
 }
 
+void BandwidthTable::save(binio::Encoder& enc) const {
+  enc.u64(samples_.size());
+  for (const BandwidthSample& s : samples_) {
+    enc.u64(s.dim);
+    enc.u64(s.bytes);
+    enc.f64(s.contiguous_bps);
+    enc.f64(s.strided_bps);
+  }
+}
+
+BandwidthTable BandwidthTable::load(binio::Decoder& dec) {
+  const std::uint64_t count = dec.u64();
+  if (!dec.fits(count, 4 * 8)) return {};
+  std::vector<BandwidthSample> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    BandwidthSample s;
+    s.dim = dec.u64();
+    s.bytes = dec.u64();
+    s.contiguous_bps = dec.f64();
+    s.strided_bps = dec.f64();
+    samples.push_back(s);
+  }
+  if (!dec.ok()) return {};
+  return from_samples(samples);
+}
+
 }  // namespace tytra::membench

@@ -1,0 +1,619 @@
+// Persistence-layer tests: the binio container's corruption-detection
+// contract (every truncation and every single-bit flip is detected; writes
+// are atomic), exact round-trips of cost reports, calibrated databases and
+// the two-level cost cache, and the Session snapshot path — warm starts
+// byte-identical to cold runs, every failure mode degrading to a cold
+// start, and the debug-build quiescence guard on CostCache::clear().
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tytra/dse/session.hpp"
+#include "tytra/frontend/transform.hpp"
+#include "tytra/kernels/registry.hpp"
+#include "tytra/support/binio.hpp"
+
+namespace {
+
+using namespace tytra;
+using kernels::Registry;
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A unique scratch path in the ctest working directory, removed on
+/// destruction.
+struct TempPath {
+  explicit TempPath(const std::string& tag)
+      : path(tag + "_" + std::to_string(counter()++) + ".snap") {}
+  ~TempPath() {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+  std::string path;
+};
+
+const cost::DeviceCostDb& preset_db(const std::string& name) {
+  static std::map<std::string, cost::DeviceCostDb> dbs;
+  const auto it = dbs.find(name);
+  if (it != dbs.end()) return it->second;
+  return dbs.emplace(name, cost::DeviceCostDb::calibrate(*target::preset(name)))
+      .first->second;
+}
+
+dse::Job registry_job(const char* workload, std::uint32_t nd) {
+  auto job = Registry::instance().make_job(workload, nd);
+  EXPECT_TRUE(job.ok()) << job.error_message();
+  return std::move(job).take();
+}
+
+// ---------------------------------------------------------------------------
+// binio container
+// ---------------------------------------------------------------------------
+
+binio::Writer small_container() {
+  binio::Writer w;
+  binio::Encoder a;
+  a.u32(42);
+  a.str("alpha");
+  a.f64(3.25);
+  w.add_section(1, a.take());
+  binio::Encoder b;
+  b.u64(7);
+  b.i64(-9);
+  w.add_section(2, b.take());
+  return w;
+}
+
+TEST(Binio, RoundTripSectionsAndTypedFields) {
+  const std::string bytes = small_container().render();
+  auto r = binio::Reader::from_bytes(bytes);
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  ASSERT_TRUE(r.value().has_section(1));
+  ASSERT_TRUE(r.value().has_section(2));
+  EXPECT_FALSE(r.value().has_section(3));
+  EXPECT_EQ(r.value().format_version(), binio::kFormatVersion);
+  EXPECT_EQ(r.value().file_size(), bytes.size());
+
+  binio::Decoder a(r.value().section(1));
+  EXPECT_EQ(a.u32(), 42u);
+  EXPECT_EQ(a.str(), "alpha");
+  EXPECT_EQ(a.f64(), 3.25);
+  EXPECT_TRUE(a.at_end());
+  ASSERT_TRUE(a.ok()) << a.error();
+
+  binio::Decoder b(r.value().section(2));
+  EXPECT_EQ(b.u64(), 7u);
+  EXPECT_EQ(b.i64(), -9);
+  EXPECT_TRUE(b.at_end());
+  ASSERT_TRUE(b.ok()) << b.error();
+}
+
+TEST(Binio, EveryTruncationIsDetected) {
+  const std::string bytes = small_container().render();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto r = binio::Reader::from_bytes(bytes.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(Binio, EverySingleBitFlipIsDetected) {
+  // The robustness headline: there is no bit in the file whose flip goes
+  // unnoticed — magic/endianness have dedicated checks, the header prefix
+  // and table share a checksum, and every payload has its own.
+  const std::string bytes = small_container().render();
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto r = binio::Reader::from_bytes(std::move(mutated));
+      EXPECT_FALSE(r.ok())
+          << "flip of bit " << bit << " in byte " << byte << " accepted";
+    }
+  }
+}
+
+TEST(Binio, TrailingBytesRejected) {
+  std::string bytes = small_container().render();
+  bytes += '\0';
+  auto r = binio::Reader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.diag().message.find("trailing"), std::string::npos)
+      << r.error_message();
+}
+
+TEST(Binio, NewerFormatVersionRejectedByName) {
+  std::string bytes = small_container().render();
+  bytes[8] = static_cast<char>(binio::kFormatVersion + 1);
+  auto r = binio::Reader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.diag().message.find("unsupported format version"),
+            std::string::npos)
+      << r.error_message();
+}
+
+TEST(Binio, ForeignEndiannessRejectedByName) {
+  std::string bytes = small_container().render();
+  // Byte-swap the endian tag: exactly what the same file written on a
+  // big-endian machine would look like to this reader.
+  std::swap(bytes[12], bytes[15]);
+  std::swap(bytes[13], bytes[14]);
+  auto r = binio::Reader::from_bytes(std::move(bytes));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.diag().message.find("endian"), std::string::npos)
+      << r.error_message();
+}
+
+TEST(Binio, NonContainerFilesRejected) {
+  EXPECT_FALSE(binio::Reader::from_bytes("").ok());
+  EXPECT_FALSE(binio::Reader::from_bytes("not a container at all").ok());
+  EXPECT_FALSE(binio::Reader::open("/nonexistent/definitely/missing").ok());
+}
+
+TEST(Binio, AtomicWriteReplacesAndLeavesNoTemp) {
+  TempPath tmp("binio_atomic");
+  auto first = small_container().write(tmp.path);
+  ASSERT_TRUE(first.ok()) << first.error_message();
+  EXPECT_EQ(first.value(), read_file_bytes(tmp.path).size());
+
+  binio::Writer other;
+  binio::Encoder e;
+  e.str("replacement");
+  other.add_section(9, e.take());
+  auto second = other.write(tmp.path);
+  ASSERT_TRUE(second.ok()) << second.error_message();
+
+  auto r = binio::Reader::open(tmp.path);
+  ASSERT_TRUE(r.ok()) << r.error_message();
+  EXPECT_TRUE(r.value().has_section(9));
+  EXPECT_FALSE(r.value().has_section(1));
+  std::ifstream leftover(tmp.path + ".tmp");
+  EXPECT_FALSE(leftover.good()) << "atomic write left a .tmp file behind";
+}
+
+TEST(Binio, DecoderStickyFailureAndCountGuard) {
+  binio::Encoder e;
+  e.u64(0xffffffffffffffffULL);  // an absurd element count
+  const std::string payload = e.take();
+  binio::Decoder d(payload);
+  const std::uint64_t count = d.u64();
+  EXPECT_FALSE(d.fits(count, 8));
+  EXPECT_FALSE(d.ok());
+  // Sticky: every later read yields zero values, first error retained.
+  EXPECT_EQ(d.u64(), 0u);
+  EXPECT_EQ(d.str(), "");
+  EXPECT_FALSE(d.at_end());
+  EXPECT_NE(d.error().find("count"), std::string::npos);
+}
+
+TEST(Binio, StringLengthBeyondSectionRejected) {
+  binio::Encoder e;
+  e.u64(1000);  // claims a 1000-byte string with 3 bytes present
+  binio::Encoder tail;
+  tail.u8('x');
+  tail.u8('y');
+  tail.u8('z');
+  const std::string payload = e.bytes() + tail.bytes();
+  binio::Decoder d(payload);
+  EXPECT_EQ(d.str(), "");
+  EXPECT_FALSE(d.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-report and calibration round-trips
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotPayloads, CostReportRoundTripsExactly) {
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Job job = registry_job("sor", 8);
+  const ir::Module module =
+      job.lower->lower(frontend::baseline_variant(job.n));
+  const cost::CostReport report = cost::cost_design(module, db);
+
+  binio::Encoder enc;
+  cost::save_report(enc, report);
+  binio::Decoder dec(enc.bytes());
+  const cost::CostReport loaded = cost::load_report(dec);
+  EXPECT_TRUE(dec.at_end());
+  ASSERT_TRUE(dec.ok()) << dec.error();
+
+  // Bit-exact: the rendered report (which prints doubles) must match.
+  EXPECT_EQ(cost::format_report(loaded), cost::format_report(report));
+  EXPECT_EQ(loaded.design_name, report.design_name);
+  EXPECT_EQ(loaded.valid, report.valid);
+  EXPECT_EQ(loaded.resources.per_function.size(),
+            report.resources.per_function.size());
+  EXPECT_EQ(std::memcmp(&loaded.throughput.ekit, &report.throughput.ekit,
+                        sizeof(double)),
+            0);
+}
+
+TEST(SnapshotPayloads, CostReportBadEnumsFailTheDecoder) {
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Job job = registry_job("sor", 8);
+  const ir::Module module =
+      job.lower->lower(frontend::baseline_variant(job.n));
+  const cost::CostReport report = cost::cost_design(module, db);
+  binio::Encoder enc;
+  cost::save_report(enc, report);
+  std::string payload = enc.take();
+
+  // The config class is the byte right after the length-prefixed name.
+  const std::size_t config_at = 8 + report.design_name.size();
+  ASSERT_LT(config_at, payload.size());
+  payload[config_at] = static_cast<char>(200);
+  binio::Decoder dec(payload);
+  (void)cost::load_report(dec);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_NE(dec.error().find("configuration class"), std::string::npos);
+}
+
+TEST(SnapshotPayloads, CalibrationRoundTripsExactly) {
+  const auto& original = preset_db("fig15");
+  binio::Encoder enc;
+  original.save(enc);
+  binio::Decoder dec(enc.bytes());
+  auto loaded = cost::DeviceCostDb::load(dec);
+  ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+  EXPECT_TRUE(dec.at_end());
+
+  const cost::DeviceCostDb& db = loaded.value();
+  EXPECT_EQ(db.device().name, original.device().name);
+  EXPECT_EQ(db.calibration_seconds(), original.calibration_seconds());
+  // Fingerprint equality is the invalidation contract: a restored
+  // database must key the cache exactly as the original did.
+  EXPECT_EQ(dse::device_fingerprint(db.device()),
+            dse::device_fingerprint(original.device()));
+
+  // The laws and tables must evaluate bit-identically.
+  const ir::ScalarType u32 = ir::ScalarType::uint(32);
+  for (const ir::Opcode op : {ir::Opcode::Add, ir::Opcode::Mul,
+                              ir::Opcode::Div, ir::Opcode::Sqrt}) {
+    const ResourceVec a = db.op_cost(op, u32);
+    const ResourceVec b = original.op_cost(op, u32);
+    EXPECT_EQ(a.aluts, b.aluts);
+    EXPECT_EQ(a.regs, b.regs);
+    EXPECT_EQ(a.bram_bits, b.bram_bits);
+    EXPECT_EQ(a.dsps, b.dsps);
+  }
+  for (const std::uint64_t bytes : {1u << 10, 1u << 16, 1u << 24}) {
+    EXPECT_EQ(db.bandwidth().sustained(bytes, ir::AccessPattern::Contiguous),
+              original.bandwidth().sustained(bytes,
+                                             ir::AccessPattern::Contiguous));
+    EXPECT_EQ(db.host_sustained(bytes), original.host_sustained(bytes));
+  }
+
+  // And the whole cost model must agree byte for byte through it (modulo
+  // the wall-clock estimation stamp, which differs per call by nature).
+  dse::Job job = registry_job("sor", 8);
+  const ir::Module module =
+      job.lower->lower(frontend::baseline_variant(job.n));
+  cost::CostReport via_loaded = cost::cost_design(module, db);
+  cost::CostReport via_original = cost::cost_design(module, original);
+  via_loaded.estimate_seconds = 0;
+  via_original.estimate_seconds = 0;
+  EXPECT_EQ(cost::format_report(via_loaded), cost::format_report(via_original));
+}
+
+TEST(SnapshotPayloads, TruncatedCalibrationIsADiagnosticNotACrash) {
+  const auto& original = preset_db("fig15");
+  binio::Encoder enc;
+  original.save(enc);
+  const std::string payload = enc.bytes();
+  // A spread of truncation points; every one must fail cleanly.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, payload.size() / 4,
+        payload.size() / 2, payload.size() - 1}) {
+    binio::Decoder dec(std::string_view(payload).substr(0, len));
+    auto loaded = cost::DeviceCostDb::load(dec);
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CostCache dump/load
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCache, StructuralEntriesRoundTripAndHit) {
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Job job = registry_job("sor", 8);
+  const ir::Module module =
+      job.lower->lower(frontend::baseline_variant(job.n));
+
+  dse::CostCache first;
+  const cost::CostReport fresh = first.cost(module, db);
+  binio::Encoder structural;
+  binio::Encoder variant;
+  first.dump(structural, variant);
+
+  dse::CostCache second;
+  binio::Decoder s(structural.bytes());
+  binio::Decoder v(variant.bytes());
+  auto counts = second.load(s, v);
+  ASSERT_TRUE(counts.ok()) << counts.error_message();
+  EXPECT_EQ(counts.value().structural, 1u);
+  EXPECT_EQ(counts.value().variant, 0u);
+
+  bool was_hit = false;
+  const cost::CostReport warm = second.cost(module, db, &was_hit);
+  EXPECT_TRUE(was_hit) << "restored structural entry did not hit";
+  EXPECT_EQ(cost::format_report(warm), cost::format_report(fresh));
+}
+
+TEST(SnapshotCache, CorruptDumpFailsLoadWithoutCrashing) {
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Job job = registry_job("sor", 8);
+  const ir::Module module =
+      job.lower->lower(frontend::baseline_variant(job.n));
+  dse::CostCache first;
+  (void)first.cost(module, db);
+  binio::Encoder structural;
+  binio::Encoder variant;
+  first.dump(structural, variant);
+
+  // Truncate the structural payload mid-entry.
+  const std::string bytes = structural.bytes();
+  for (const std::size_t len : {bytes.size() / 2, bytes.size() - 1}) {
+    dse::CostCache fresh_cache;
+    binio::Decoder s(std::string_view(bytes).substr(0, len));
+    binio::Decoder v(std::string_view{});
+    auto counts = fresh_cache.load(s, v);
+    EXPECT_FALSE(counts.ok()) << "truncated cache payload accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session snapshots: warm-start identity and graceful degradation
+// ---------------------------------------------------------------------------
+
+struct SweepRender {
+  std::string sweep;
+  std::string pareto;
+  dse::CacheStats stats;
+};
+
+SweepRender run_with_snapshot(const std::string& snapshot_path,
+                              const char* workload, std::uint32_t nd,
+                              const std::string& preset_name, bool save) {
+  dse::SessionOptions so;
+  so.num_threads = 1;
+  so.snapshot_path = snapshot_path;
+  dse::Session session(so);
+  session.add_device(*target::preset(preset_name));
+  dse::Job job = registry_job(workload, nd);
+  job.device = target::preset(preset_name)->name;
+  const dse::DseResult result = session.explore(job);
+  if (save) {
+    auto written = session.save_snapshot();
+    EXPECT_TRUE(written.ok()) << written.error_message();
+  }
+  return SweepRender{dse::format_sweep(result), dse::format_pareto(result),
+                     result.cache_stats};
+}
+
+TEST(SessionSnapshot, WarmStartIsByteIdenticalAndHitsVariantLevel) {
+  struct Case {
+    const char* workload;
+    std::uint32_t nd;
+  };
+  const Case cases[] = {{"sor", 8}, {"hotspot", 12}, {"lavamd", 64}};
+  for (const auto& c : cases) {
+    for (const auto& preset_name : target::preset_names()) {
+      TempPath tmp(std::string("session_warm_") + c.workload);
+      const SweepRender cold =
+          run_with_snapshot(tmp.path, c.workload, c.nd, preset_name, true);
+      EXPECT_EQ(cold.stats.variant_hits, 0u);
+      // A brand-new session (a "new process" as far as the library state
+      // is concerned) loading the snapshot must render the same bytes
+      // and answer every variant at the key level without lowering.
+      const SweepRender warm =
+          run_with_snapshot(tmp.path, c.workload, c.nd, preset_name, false);
+      EXPECT_EQ(warm.sweep, cold.sweep) << c.workload << " on " << preset_name;
+      EXPECT_EQ(warm.pareto, cold.pareto)
+          << c.workload << " on " << preset_name;
+      EXPECT_EQ(warm.stats.misses, 0u) << c.workload << " on " << preset_name;
+      EXPECT_GT(warm.stats.variant_hits, 0u)
+          << c.workload << " on " << preset_name;
+    }
+  }
+}
+
+TEST(SessionSnapshot, RestoredCalibrationIsReusedOnFingerprintMatch) {
+  TempPath tmp("session_calib");
+  double saved_calib_seconds = 0;
+  {
+    dse::SessionOptions so;
+    so.snapshot_path = tmp.path;
+    dse::Session session(so);
+    const auto& db = session.add_device(*target::preset("fig15"));
+    saved_calib_seconds = db.calibration_seconds();
+    auto written = session.save_snapshot();
+    ASSERT_TRUE(written.ok()) << written.error_message();
+  }
+  {
+    dse::SessionOptions so;
+    so.snapshot_path = tmp.path;
+    dse::Session session(so);
+    const auto& db = session.add_device(*target::preset("fig15"));
+    // The wall-clock of the original calibration is only reproducible by
+    // actually restoring it — a recalibration would stamp its own.
+    EXPECT_EQ(db.calibration_seconds(), saved_calib_seconds)
+        << "matching fingerprint was recalibrated instead of restored";
+  }
+  {
+    // Same name, different device description: the fingerprint mismatch
+    // must force a recalibration rather than trust the stale entry.
+    dse::SessionOptions so;
+    so.snapshot_path = tmp.path;
+    dse::Session session(so);
+    target::DeviceDesc edited = *target::preset("fig15");
+    edited.dram_peak_bw *= 2.0;
+    const auto& db = session.add_device(edited);
+    EXPECT_EQ(db.device().dram_peak_bw, edited.dram_peak_bw);
+    EXPECT_NE(db.calibration_seconds(), saved_calib_seconds)
+        << "stale calibration reused despite a changed device";
+  }
+}
+
+TEST(SessionSnapshot, EveryCorruptionDegradesToColdWithIdenticalOutput) {
+  TempPath tmp("session_fuzz");
+  const SweepRender cold =
+      run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", true);
+  const std::string good = read_file_bytes(tmp.path);
+  ASSERT_FALSE(good.empty());
+
+  auto expect_degraded = [&](const std::string& what) {
+    const SweepRender degraded =
+        run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", false);
+    EXPECT_EQ(degraded.sweep, cold.sweep) << what;
+    EXPECT_EQ(degraded.pareto, cold.pareto) << what;
+    EXPECT_EQ(degraded.stats.variant_hits, 0u)
+        << what << ": corrupt snapshot produced cache hits";
+  };
+
+  // Truncations at every section boundary (and inside each section).
+  auto reader = binio::Reader::open(tmp.path);
+  ASSERT_TRUE(reader.ok()) << reader.error_message();
+  std::vector<std::size_t> cut_points{0, 7, 16, 31};
+  for (const auto& sec : reader.value().sections()) {
+    cut_points.push_back(static_cast<std::size_t>(sec.offset));
+    cut_points.push_back(static_cast<std::size_t>(sec.offset + sec.size / 2));
+  }
+  for (const std::size_t cut : cut_points) {
+    if (cut >= good.size()) continue;
+    write_file_bytes(tmp.path, good.substr(0, cut));
+    expect_degraded("truncation at byte " + std::to_string(cut));
+  }
+
+  // Deterministically scattered single-bit flips across the whole file.
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t byte = (i * 2654435761u) % good.size();
+    std::string mutated = good;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ (1u << (i % 8)));
+    write_file_bytes(tmp.path, mutated);
+    expect_degraded("bit flip in byte " + std::to_string(byte));
+  }
+
+  // A future format version.
+  {
+    std::string mutated = good;
+    mutated[8] = static_cast<char>(binio::kFormatVersion + 1);
+    write_file_bytes(tmp.path, mutated);
+    expect_degraded("newer container version");
+  }
+
+  // Garbage that is not a container at all.
+  write_file_bytes(tmp.path, "definitely not a snapshot");
+  expect_degraded("non-container file");
+
+  // And the valid snapshot still warm-starts after all of that.
+  write_file_bytes(tmp.path, good);
+  const SweepRender warm =
+      run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", false);
+  EXPECT_EQ(warm.sweep, cold.sweep);
+  EXPECT_GT(warm.stats.variant_hits, 0u);
+}
+
+TEST(SessionSnapshot, StaleDeviceFingerprintEntriesNeverHit) {
+  // Snapshot taken against one device; the same workload against a
+  // different device must miss every restored entry (fingerprints are
+  // folded into the keys) and still produce exactly the cold output.
+  TempPath tmp("session_stale");
+  (void)run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", true);
+  const SweepRender cold_other =
+      run_with_snapshot("", "sor", 8, "fig15", false);
+  const SweepRender stale =
+      run_with_snapshot(tmp.path, "sor", 8, "fig15", false);
+  EXPECT_EQ(stale.sweep, cold_other.sweep);
+  EXPECT_EQ(stale.stats.variant_hits, 0u)
+      << "entries for another device fingerprint were trusted";
+}
+
+TEST(SessionSnapshot, MissingSnapshotIsASilentColdStart) {
+  TempPath tmp("session_missing");
+  const SweepRender fresh =
+      run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", false);
+  const SweepRender plain = run_with_snapshot("", "sor", 8, "stratix-v-gsd8",
+                                              false);
+  EXPECT_EQ(fresh.sweep, plain.sweep);
+}
+
+TEST(SessionSnapshot, VerifySnapshotAcceptsGoodRejectsCorrupt) {
+  TempPath tmp("session_verify");
+  (void)run_with_snapshot(tmp.path, "sor", 8, "stratix-v-gsd8", true);
+  auto good = dse::verify_snapshot(tmp.path);
+  ASSERT_TRUE(good.ok()) << good.error_message();
+  EXPECT_GT(good.value().structural_entries, 0u);
+  EXPECT_GT(good.value().variant_entries, 0u);
+  ASSERT_EQ(good.value().calibrations.size(), 1u);
+  EXPECT_EQ(good.value().calibrations[0].first, "stratix-v-gsd8");
+
+  std::string bytes = read_file_bytes(tmp.path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  write_file_bytes(tmp.path, bytes);
+  EXPECT_FALSE(dse::verify_snapshot(tmp.path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// clear() quiescence enforcement (debug builds)
+// ---------------------------------------------------------------------------
+
+#ifndef NDEBUG
+
+/// A lowerer that re-enters the cache with clear() from inside lower() —
+/// a deterministic stand-in for the clear-vs-concurrent-reader race the
+/// quiescence contract forbids.
+class ReentrantClearLowerer final : public dse::Lowerer {
+ public:
+  ReentrantClearLowerer(dse::CostCache* cache, std::shared_ptr<const dse::Lowerer> inner)
+      : cache_(cache), inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::optional<dse::VariantKey> key(
+      const frontend::Variant&) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] ir::Module lower(const frontend::Variant& v,
+                                 ir::BuildArena* arena) const override {
+    cache_->clear();  // boom: a cost() call is in flight on this thread
+    return inner_->lower(v, arena);
+  }
+
+ private:
+  dse::CostCache* cache_;
+  std::shared_ptr<const dse::Lowerer> inner_;
+};
+
+TEST(CacheQuiescence, ClearDuringCostAbortsWithDiagnostic) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto& db = preset_db("stratix-v-gsd8");
+  dse::Job job = registry_job("sor", 8);
+  dse::CostCache cache;
+  const ReentrantClearLowerer reentrant(&cache, job.lower);
+  EXPECT_DEATH(
+      (void)cache.cost(frontend::baseline_variant(job.n), reentrant, db),
+      "requires quiescence");
+}
+
+#endif  // !NDEBUG
+
+}  // namespace

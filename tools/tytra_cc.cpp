@@ -50,23 +50,37 @@ std::string preset_list() {
   return out;
 }
 
-int usage() {
+std::string usage_text() {
   const std::string kernels = kernel_list();
   const std::string presets = preset_list();
-  std::fprintf(
-      stderr,
-      "usage: tytra-cc <design.tirl> [--target file.tgt | --preset name] "
-      "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n"
-      "       tytra-cc explore <%s | --ir file.tir> [--nd dim] "
-      "[--max-lanes n] [--jobs n] [--pareto] [--json] "
-      "[--device %s|file.tgt]\n"
-      "       tytra-cc tune <%s | --ir file.tir> [--nd dim] [--max-steps n] "
-      "[--max-lanes n] [--json] [--device %s|file.tgt]\n"
-      "       tytra-cc campaign [--kernel name]... [--ir file.tir]... "
-      "[--nd dim]... [--device name|file.tgt]... [--max-lanes n] [--jobs n] "
-      "[--pareto] [--json]\n"
-      "       tytra-cc list [--names] [--ir file.tir]...\n",
-      kernels.c_str(), presets.c_str(), kernels.c_str(), presets.c_str());
+  std::string out;
+  out += "usage: tytra-cc <design.tirl> [--target file.tgt | --preset name] "
+         "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n";
+  out += "       tytra-cc explore <" + kernels + " | --ir file.tir> [--nd dim] "
+         "[--max-lanes n] [--jobs n] [--pareto] [--json] [--snapshot file] "
+         "[--device " + presets + "|file.tgt]\n";
+  out += "       tytra-cc tune <" + kernels + " | --ir file.tir> [--nd dim] "
+         "[--max-steps n] [--max-lanes n] [--json] [--snapshot file] "
+         "[--device " + presets + "|file.tgt]\n";
+  out += "       tytra-cc campaign [--kernel name]... [--ir file.tir]... "
+         "[--nd dim]... [--device name|file.tgt]... [--max-lanes n] [--jobs n] "
+         "[--pareto] [--json] [--snapshot file]\n";
+  out += "       tytra-cc cache dump <file> [campaign flags] | "
+         "load <file> | inspect <file> | verify <file>\n";
+  out += "       tytra-cc list [--names] [--ir file.tir]...\n";
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr, "%s", usage_text().c_str());
+  return 2;
+}
+
+/// One-line error + usage pointer: every malformed invocation exits
+/// through here (or a sibling single-fprintf path), so diagnostics are
+/// uniform and stdout stays empty.
+int flag_error(const std::string& message) {
+  std::fprintf(stderr, "tytra-cc: %s (see tytra-cc --help)\n", message.c_str());
   return 2;
 }
 
@@ -119,7 +133,24 @@ struct ExploreSpec {
   bool pareto{false};
   bool json{false};
   std::vector<std::string> devices;  ///< empty: stratix-v-gsd8
+  /// Snapshot file to warm-start from and save back to (--snapshot).
+  std::string snapshot;
+  /// Suppress the result tables (`cache dump` wants only the summary).
+  bool quiet{false};
 };
+
+/// Saves the session snapshot when the spec asked for one. Failures are
+/// loud and nonzero: the user explicitly requested persistence, so a
+/// snapshot that cannot be written is an error, not a degradation.
+int save_spec_snapshot(dse::Session& session, const ExploreSpec& spec) {
+  if (spec.snapshot.empty()) return 0;
+  const auto written = session.save_snapshot(spec.snapshot);
+  if (!written.ok()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", written.diag().message.c_str());
+    return 1;
+  }
+  return 0;
+}
 
 /// Builds the registry job for the spec and runs it through a session
 /// holding the resolved devices. `mode` is "explore" or "tune".
@@ -148,7 +179,10 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
   // A single-shot explore/tune evaluates each variant exactly once, so a
   // per-invocation cache would be pure keying + insert overhead; only
   // `campaign` (repeat sizes, sweep-then-tune patterns) warms one.
-  so.enable_cache = false;
+  // --snapshot changes that calculus: the cache IS the artifact being
+  // persisted, and the next process's warm start pays for it.
+  so.enable_cache = !spec.snapshot.empty();
+  so.snapshot_path = spec.snapshot;
 
   try {
     dse::Session session(so);
@@ -166,6 +200,7 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
     if (mode == "tune") {
       job.max_steps = spec.max_steps;
       const dse::TuneResult result = session.tune(job);
+      if (const int rc = save_spec_snapshot(session, spec)) return rc;
       if (spec.json) {
         std::printf("%s", dse::format_tune_json(result).c_str());
       } else {
@@ -178,6 +213,7 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
     }
 
     const dse::DseResult result = session.explore(job);
+    if (const int rc = save_spec_snapshot(session, spec)) return rc;
     if (spec.json) {
       std::printf("%s", dse::format_sweep_json(result).c_str());
       return 0;
@@ -209,6 +245,7 @@ int run_campaign(const ExploreSpec& spec,
   dse::SessionOptions so;
   so.max_lanes = spec.max_lanes;
   so.num_threads = spec.jobs;
+  so.snapshot_path = spec.snapshot;
   try {
     dse::Session session(so);
 
@@ -258,6 +295,16 @@ int run_campaign(const ExploreSpec& spec,
     }
 
     const dse::CampaignResult result = session.run(campaign);
+    if (const int rc = save_spec_snapshot(session, spec)) return rc;
+    if (spec.quiet) {
+      const dse::CostCache* cache = session.cache();
+      std::printf("snapshot: wrote %s (structural=%zu variant=%zu "
+                  "calibrations=%zu)\n",
+                  spec.snapshot.c_str(), cache ? cache->size() : 0,
+                  cache ? cache->variant_size() : 0,
+                  session.device_names().size());
+      return 0;
+    }
     if (spec.json) {
       std::printf("%s", dse::format_campaign_json(result).c_str());
       return 0;
@@ -314,45 +361,178 @@ int run_list(bool names_only) {
   return 0;
 }
 
-/// Parses the flags shared by explore/tune/campaign. Returns false (after
-/// printing usage) on a malformed flag.
-bool parse_explore_flags(int argc, char** argv, int& i, ExploreSpec& spec,
-                         std::vector<std::string>* kernels,
-                         std::vector<std::uint32_t>* nds) {
+/// Parses one flag shared by explore/tune/campaign (and `cache dump`).
+/// Returns the empty string on success, otherwise a one-line diagnostic
+/// naming exactly what was wrong — the caller prints it and exits nonzero
+/// before any stdout output.
+std::string parse_explore_flags(int argc, char** argv, int& i,
+                                ExploreSpec& spec,
+                                std::vector<std::string>* kernels,
+                                std::vector<std::uint32_t>* nds) {
   const std::string arg = argv[i];
-  if (arg == "--nd" && i + 1 < argc) {
+  const bool takes_value = arg == "--nd" || arg == "--max-lanes" ||
+                           arg == "--jobs" || arg == "--max-steps" ||
+                           arg == "--device" || arg == "--preset" ||
+                           arg == "--target" || arg == "--kernel" ||
+                           arg == "--ir" || arg == "--snapshot";
+  if (takes_value && i + 1 >= argc) return arg + " requires a value";
+  if (arg == "--nd") {
     std::uint32_t nd = 0;
-    if (!parse_u32(argv[++i], nd)) return false;
+    if (!parse_u32(argv[++i], nd)) {
+      return "--nd: '" + std::string(argv[i]) + "' is not an unsigned integer";
+    }
     spec.nd = nd;
     if (nds) nds->push_back(nd);
-  } else if (arg == "--max-lanes" && i + 1 < argc) {
-    if (!parse_u32(argv[++i], spec.max_lanes)) return false;
-  } else if (arg == "--jobs" && i + 1 < argc) {
-    if (!parse_u32(argv[++i], spec.jobs)) return false;
-  } else if (arg == "--max-steps" && i + 1 < argc) {
+  } else if (arg == "--max-lanes") {
+    if (!parse_u32(argv[++i], spec.max_lanes)) {
+      return "--max-lanes: '" + std::string(argv[i]) +
+             "' is not an unsigned integer";
+    }
+  } else if (arg == "--jobs") {
+    if (!parse_u32(argv[++i], spec.jobs)) {
+      return "--jobs: '" + std::string(argv[i]) +
+             "' is not an unsigned integer";
+    }
+  } else if (arg == "--max-steps") {
     std::uint32_t steps = 0;
-    if (!parse_u32(argv[++i], steps) || steps > 10000) return false;
+    if (!parse_u32(argv[++i], steps) || steps > 10000) {
+      return "--max-steps: '" + std::string(argv[i]) +
+             "' is not an unsigned integer <= 10000";
+    }
     spec.max_steps = static_cast<int>(steps);
-  } else if (arg == "--device" && i + 1 < argc) {
-    spec.devices.emplace_back(argv[++i]);
-  } else if ((arg == "--preset" || arg == "--target") && i + 1 < argc) {
+  } else if (arg == "--device" || arg == "--preset" || arg == "--target") {
     // Classic-mode spellings accepted as synonyms of --device.
     spec.devices.emplace_back(argv[++i]);
-  } else if (arg == "--kernel" && kernels && i + 1 < argc) {
+  } else if (arg == "--kernel") {
+    if (!kernels) return "--kernel only applies to campaign";
     kernels->emplace_back(argv[++i]);
-  } else if (arg == "--ir" && i + 1 < argc) {
+  } else if (arg == "--ir") {
     spec.irs.emplace_back(argv[++i]);
+  } else if (arg == "--snapshot") {
+    spec.snapshot = argv[++i];
   } else if (arg == "--pareto") {
     spec.pareto = true;
   } else if (arg == "--json") {
     spec.json = true;
   } else {
-    return false;
+    return "unknown flag '" + arg + "'";
   }
-  return true;
+  return {};
+}
+
+/// The names of the snapshot container sections, for `cache inspect`.
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case 1: return "meta";
+    case 2: return "structural";
+    case 3: return "variant";
+    case 4: return "calibration";
+    default: return "unknown";
+  }
+}
+
+/// `tytra-cc cache <dump|load|inspect|verify>`: the snapshot tooling.
+/// dump runs a campaign-shaped workload purely to populate and persist a
+/// cache; the other three operate on an existing snapshot file.
+int run_cache(int argc, char** argv) {
+  if (argc < 3) {
+    return flag_error("cache needs an action: dump|load|inspect|verify");
+  }
+  const std::string action = argv[2];
+
+  if (action == "dump") {
+    if (argc < 4 || argv[3][0] == '-') {
+      return flag_error("cache dump needs an output file before any flags");
+    }
+    ExploreSpec spec;
+    spec.snapshot = argv[3];
+    spec.quiet = true;
+    std::vector<std::string> kernels_arg;
+    std::vector<std::uint32_t> nds_arg;
+    for (int i = 4; i < argc; ++i) {
+      const std::string err =
+          parse_explore_flags(argc, argv, i, spec, &kernels_arg, &nds_arg);
+      if (!err.empty()) return flag_error("cache dump: " + err);
+    }
+    if (!register_ir_files(spec.irs)) return 1;
+    kernels_arg.insert(kernels_arg.end(), spec.irs.begin(), spec.irs.end());
+    return run_campaign(spec, kernels_arg, nds_arg);
+  }
+
+  if (action != "load" && action != "inspect" && action != "verify") {
+    return flag_error("unknown cache action '" + action +
+                      "' (dump|load|inspect|verify)");
+  }
+  if (argc < 4) {
+    return flag_error("cache " + action + " needs a snapshot file");
+  }
+  if (argc > 4) {
+    return flag_error("cache " + action + " takes exactly one snapshot file");
+  }
+  const std::string path = argv[3];
+
+  if (action == "load") {
+    // An explicit load is a command, not a warm-start opportunity: unlike
+    // --snapshot (which degrades to cold), a file that cannot be loaded
+    // is a hard error here.
+    try {
+      dse::Session session{dse::SessionOptions{}};
+      const auto stats = session.load_snapshot(path);
+      if (!stats.ok()) {
+        std::fprintf(stderr, "tytra-cc: cache load: %s\n",
+                     stats.diag().message.c_str());
+        return 1;
+      }
+      std::printf("loaded %s: structural=%zu variant=%zu calibrations=%zu\n",
+                  path.c_str(), stats.value().structural_entries,
+                  stats.value().variant_entries, stats.value().calibrations);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tytra-cc: cache load failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // inspect / verify: the full offline integrity + payload walk.
+  const auto summary = dse::verify_snapshot(path);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "tytra-cc: cache %s: %s: %s\n", action.c_str(),
+                 path.c_str(), summary.diag().message.c_str());
+    return 1;
+  }
+  if (action == "verify") {
+    std::printf("ok: %s (structural=%zu variant=%zu calibrations=%zu)\n",
+                path.c_str(), summary.value().structural_entries,
+                summary.value().variant_entries,
+                summary.value().calibrations.size());
+    return 0;
+  }
+  const dse::SnapshotSummary& s = summary.value();
+  std::printf("snapshot %s: %llu bytes, container v%u, payload v%u\n",
+              path.c_str(), static_cast<unsigned long long>(s.file_bytes),
+              s.format_version, s.payload_version);
+  auto reader = binio::Reader::open(path);
+  if (reader.ok()) {
+    for (const auto& sec : reader.value().sections()) {
+      std::printf("  section %-12s id=%u offset=%llu size=%llu "
+                  "checksum=%016llx\n",
+                  section_name(sec.id), sec.id,
+                  static_cast<unsigned long long>(sec.offset),
+                  static_cast<unsigned long long>(sec.size),
+                  static_cast<unsigned long long>(sec.checksum));
+    }
+  }
+  std::printf("  entries: structural=%zu variant=%zu\n", s.structural_entries,
+              s.variant_entries);
+  for (const auto& [name, fingerprint] : s.calibrations) {
+    std::printf("  calibration %s fingerprint=%016llx\n", name.c_str(),
+                static_cast<unsigned long long>(fingerprint));
+  }
+  return 0;
 }
 
 int run_subcommand(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "cache") return run_cache(argc, argv);
   if (cmd == "list") {
     bool names_only = false;
     std::vector<std::string> irs;
@@ -360,7 +540,8 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
       if (std::strcmp(argv[i], "--names") == 0) names_only = true;
       else if (std::strcmp(argv[i], "--ir") == 0 && i + 1 < argc)
         irs.emplace_back(argv[++i]);
-      else return usage();
+      else return flag_error("list: unknown or incomplete flag '" +
+                             std::string(argv[i]) + "'");
     }
     if (!register_ir_files(irs)) return 1;
     return run_list(names_only);
@@ -374,11 +555,11 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
     spec.kernel = argv[i++];
   }
   for (; i < argc; ++i) {
-    if (!parse_explore_flags(argc, argv, i, spec,
-                             cmd == "campaign" ? &kernels_arg : nullptr,
-                             cmd == "campaign" ? &nds_arg : nullptr)) {
-      return usage();
-    }
+    const std::string err =
+        parse_explore_flags(argc, argv, i, spec,
+                            cmd == "campaign" ? &kernels_arg : nullptr,
+                            cmd == "campaign" ? &nds_arg : nullptr);
+    if (!err.empty()) return flag_error(cmd + ": " + err);
   }
   if (cmd == "campaign") {
     if (!register_ir_files(spec.irs)) return 1;
@@ -426,8 +607,12 @@ int main(int argc, char** argv) {
 
   if (argc >= 2) {
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      std::printf("%s", usage_text().c_str());
+      return 0;
+    }
     if (cmd == "explore" || cmd == "tune" || cmd == "campaign" ||
-        cmd == "list") {
+        cmd == "cache" || cmd == "list") {
       return run_subcommand(cmd, argc, argv);
     }
   }
@@ -458,22 +643,33 @@ int main(int argc, char** argv) {
       spec.kernel = argv[++i];
     } else if (arg == "--nd" && i + 1 < argc) {
       std::uint32_t nd = 0;
-      if (!parse_u32(argv[++i], nd)) return usage();
+      if (!parse_u32(argv[++i], nd)) {
+        return flag_error("--nd: '" + std::string(argv[i]) +
+                          "' is not an unsigned integer");
+      }
       spec.nd = nd;
       explore_flags_seen = true;
     } else if (arg == "--max-lanes" && i + 1 < argc) {
-      if (!parse_u32(argv[++i], spec.max_lanes)) return usage();
+      if (!parse_u32(argv[++i], spec.max_lanes)) {
+        return flag_error("--max-lanes: '" + std::string(argv[i]) +
+                          "' is not an unsigned integer");
+      }
       explore_flags_seen = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
-      if (!parse_u32(argv[++i], spec.jobs)) return usage();
+      if (!parse_u32(argv[++i], spec.jobs)) {
+        return flag_error("--jobs: '" + std::string(argv[i]) +
+                          "' is not an unsigned integer");
+      }
       explore_flags_seen = true;
     } else if (arg == "--pareto") {
       spec.pareto = true;
       explore_flags_seen = true;
     } else if (!arg.empty() && arg[0] != '-' && input_path.empty()) {
       input_path = arg;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return flag_error("unknown or incomplete flag '" + arg + "'");
     } else {
-      return usage();
+      return flag_error("unexpected argument '" + arg + "'");
     }
   }
   if (!do_explore && input_path.empty()) return usage();
@@ -531,7 +727,12 @@ int main(int argc, char** argv) {
 
   std::string source;
   if (!read_file(input_path, source)) {
-    std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", input_path.c_str());
+    // A bare word that is neither a readable design nor a subcommand lands
+    // here — name both interpretations so a typoed subcommand is obvious.
+    std::fprintf(stderr,
+                 "tytra-cc: cannot read '%s' (not a design file; subcommands "
+                 "are explore|tune|campaign|cache|list)\n",
+                 input_path.c_str());
     return 1;
   }
 
