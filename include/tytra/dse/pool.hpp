@@ -26,6 +26,10 @@
 // requires one job or campaign at a time, which implies this). A batch
 // function that throws does not wedge the pool — the first exception is
 // rethrown at the run_batch call site after every participant finished.
+// When several participants throw in one batch, only one exception can
+// be rethrown; the others are *counted*, logged once per batch to
+// stderr, and exposed via suppressed_exception_count(), so multi-fault
+// batches are observable instead of silently collapsing to one error.
 
 #include <cstdint>
 #include <functional>
@@ -56,8 +60,15 @@ class ThreadPool {
   /// calling thread — and blocks until all invocations return. Throws
   /// std::invalid_argument when fn is null or participants exceeds
   /// worker_count() + 1. If any invocation throws, the first exception
-  /// (caller's first, then workers') is rethrown after the batch drains.
+  /// (caller's first, then workers') is rethrown after the batch drains;
+  /// additional exceptions from the same batch are counted and logged
+  /// (see suppressed_exception_count()), never silently dropped.
   void run_batch(std::uint32_t participants, const BatchFn& fn);
+
+  /// Exceptions thrown by batch participants over the pool's lifetime
+  /// that could not be rethrown because another participant's exception
+  /// won the batch. Monotone; 0 in a healthy pool.
+  [[nodiscard]] std::uint64_t suppressed_exception_count() const;
 
  private:
   struct Impl;

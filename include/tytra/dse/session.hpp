@@ -52,6 +52,7 @@
 
 #include "tytra/cost/calibration.hpp"
 #include "tytra/dse/cache.hpp"
+#include "tytra/dse/cancel.hpp"
 #include "tytra/dse/explorer.hpp"
 #include "tytra/dse/pool.hpp"
 #include "tytra/dse/tuner.hpp"
@@ -86,6 +87,19 @@ struct SessionOptions {
   /// stderr and cold-starts; it never throws and never half-applies a
   /// snapshot. Save-back is explicit via save_snapshot().
   std::string snapshot_path;
+  /// Cooperative cancellation (non-owning; must outlive the session's
+  /// calls). Polled at variant granularity: flipping it stops the next
+  /// evaluation, never one in flight. Single-job calls throw
+  /// CancelledError; run(Campaign) reports JobState::Cancelled per job
+  /// and keeps every completed job's results. Safe to flip from a signal
+  /// handler (see dse/cancel.hpp).
+  CancelToken* cancel{nullptr};
+  /// Wall-clock budget in seconds for each explore/tune/run call,
+  /// measured from the call's start; 0 disables. Checked at the same
+  /// variant granularity as cancellation. Single-job calls throw
+  /// DeadlineExceeded; campaign jobs degrade to JobState::TimedOut.
+  /// Job::deadline_seconds overrides this per job.
+  double deadline_seconds{0};
 };
 
 /// One unit of exploration work: which design family, how big, against
@@ -119,6 +133,10 @@ struct Job {
   /// Step budget for tune() (<= 0 yields an empty trajectory, matching
   /// the free function).
   int max_steps{12};
+  /// Per-job wall-clock budget in seconds, measured from the start of
+  /// the explore/tune/run call this job is part of; 0 inherits
+  /// SessionOptions::deadline_seconds.
+  double deadline_seconds{0};
 };
 
 /// A batch of jobs fanned through one shared warm cache.
@@ -126,10 +144,45 @@ struct Campaign {
   std::vector<Job> jobs;
 };
 
-/// One campaign job's sweep, with the job echoed for labeling.
+/// How one campaign job ended. Ok is the only state with results; the
+/// other three are the job's failure domain — contained to this job,
+/// never the campaign (see JobStatus).
+enum class JobState {
+  Ok,        ///< every variant evaluated
+  Failed,    ///< an evaluation threw; `error` carries the first what()
+  TimedOut,  ///< the job's deadline elapsed mid-sweep
+  Cancelled  ///< the run's CancelToken was flipped before the job finished
+};
+
+/// Lowercase stable name for tables and JSON ("ok", "failed",
+/// "timed_out", "cancelled").
+std::string_view job_state_name(JobState state);
+
+/// Per-job outcome of a campaign. A non-ok job keeps the shared cache
+/// consistent (entries are only ever published after a successful
+/// evaluation, so a fault cannot tear one) and costs no retries: the
+/// first fault marks the job dead and its remaining variants are
+/// skipped, so a failing job never takes longer than it would have
+/// healthy.
+struct JobStatus {
+  JobState state{JobState::Ok};
+  /// First failure's message; empty when ok. For TimedOut/Cancelled a
+  /// short structured reason ("deadline exceeded (...)", "cancelled").
+  std::string error;
+  std::size_t evaluated{0};  ///< variants with a computed report
+  std::size_t faults{0};     ///< evaluations that threw (first one wins `error`)
+  std::size_t skipped{0};    ///< variants never attempted after the fault/expiry
+
+  [[nodiscard]] bool ok() const { return state == JobState::Ok; }
+};
+
+/// One campaign job's sweep, with the job echoed for labeling. When
+/// `status` is not ok, `result` is empty (no entries, no best, no
+/// frontier) — partial sweeps are never presented as results.
 struct CampaignJobResult {
   Job job;
   DseResult result;
+  JobStatus status;
 };
 
 /// A merged-frontier member: `point.index` indexes jobs[job].result.entries.
@@ -156,6 +209,14 @@ struct CampaignResult {
 
   [[nodiscard]] const DseEntry& entry(const CampaignParetoPoint& p) const {
     return jobs[p.job].result.entries[p.point.index];
+  }
+  /// Number of non-ok jobs (the campaign's degradation count).
+  [[nodiscard]] std::size_t degraded() const {
+    std::size_t n = 0;
+    for (const auto& jr : jobs) {
+      if (!jr.status.ok()) ++n;
+    }
+    return n;
   }
 };
 
@@ -224,6 +285,18 @@ class Session {
   /// from one device — race at the structural level instead, and their
   /// per-job hit/miss stats may vary across thread counts; the reports,
   /// entries, best and frontiers are still exact.
+  ///
+  /// Failure domains are per job: an evaluation that throws (or a job
+  /// whose deadline elapses) marks *that job* Failed/TimedOut in its
+  /// JobStatus, skips its remaining variants, and every unaffected job
+  /// completes with results byte-identical to a fault-free run of those
+  /// jobs. run() itself only throws for campaign-level errors (invalid
+  /// jobs at the resolve boundary). A flipped CancelToken drains the
+  /// work list and marks unfinished jobs Cancelled. Caveat: when a
+  /// failed evaluation was the wave-1 representative of a design
+  /// repeated in another job, the repeat re-evaluates cold — its results
+  /// are unchanged, but its hit/miss stats can differ from the
+  /// fault-free run.
   CampaignResult run(const Campaign& campaign,
                      CostCache* cache_override = nullptr);
 
@@ -326,7 +399,11 @@ std::vector<bool> skyline_keep(const std::vector<ParetoPoint>& candidates);
 
 /// Cross-device comparison table: one row per campaign job (workload,
 /// nd, device, variant count, best design). Deterministic — no wall
-/// times — so output is directly comparable across runs.
+/// times — so output is directly comparable across runs. A non-ok job's
+/// row carries its status + error in place of the best-design columns,
+/// and a "degraded:" summary line appears only when degraded() > 0 — a
+/// fault-free campaign renders byte-identically to before the failure
+/// model existed.
 std::string format_campaign(const CampaignResult& result);
 
 /// The merged frontier, labeled with workload/device per row.

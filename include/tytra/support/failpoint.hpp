@@ -1,0 +1,104 @@
+#pragma once
+
+// Named fault-injection points ("failpoints") for exercising the
+// engine's failure domains. Every risky seam — binio reads/writes,
+// snapshot save/load, calibration measurement, cache inserts, pool task
+// execution, file-workload parsing — hosts one named point; tests and CI
+// arm them to prove that a fault in any seam is contained, reported and
+// recovered from, instead of hoping real I/O errors show up on demand.
+//
+// Zero overhead when disabled is the design constraint: a production
+// process pays exactly one relaxed atomic load per failpoint site
+// (`armed()`), nothing else — no map lookup, no string hashing, no lock.
+// Only armed processes (tests, the CI sweep) take the slow path.
+//
+// Arming:
+//   * environment: TYTRA_FAILPOINTS="name=PCT%[,name=PCT%...]" parsed
+//     once at startup (the '%' is optional). A malformed spec or an
+//     unknown name logs one warning and arms nothing — a typo must not
+//     silently run a fault-free "fault" test.
+//   * programmatic: arm(name, percent) / reset(), or the Scoped RAII
+//     guard for tests.
+//
+// Firing is deterministic, not random: a point armed at PCT fires on
+// hit n (0-based) iff ((n+1)*PCT)/100 > (n*PCT)/100 — exactly PCT of
+// every 100 consecutive hits, same hits every run, so "50%" in a test
+// means the 2nd, 4th, ... calls, reproducibly. 100% fires always.
+//
+// Two firing styles match the two error idioms in the codebase:
+// `fire(name)` returns true for Result-returning seams (the caller
+// builds its own Diag), `maybe_throw(name)` throws InjectedFault for
+// value-returning seams.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tytra::failpoint {
+
+/// What maybe_throw() raises when an armed point fires. Derives from
+/// std::runtime_error so every existing catch/containment path treats an
+/// injected fault exactly like a real one.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string_view point)
+      : std::runtime_error("injected fault at failpoint '" +
+                           std::string(point) + "'"),
+        point_(point) {}
+  /// The failpoint that fired.
+  [[nodiscard]] const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// True when at least one failpoint is armed — one relaxed atomic load.
+/// Every site guards its slow path with this, so a disarmed process pays
+/// nothing else.
+bool armed();
+
+/// True when `name` is armed and fires at this hit (see the pacing rule
+/// above). False immediately when nothing is armed.
+bool fire(std::string_view name);
+
+/// Throws InjectedFault when `name` fires.
+void maybe_throw(std::string_view name);
+
+/// Arms `name` at `percent` (clamped to 100); 0 disarms the point and
+/// forgets its hit count. Unknown names are allowed here (tests may
+/// declare ad-hoc points); the env-spec path is strict instead.
+void arm(std::string_view name, unsigned percent);
+
+/// Disarms every point and zeroes all hit/fired counts.
+void reset();
+
+/// Parses a TYTRA_FAILPOINTS-style spec and arms the points. Strict:
+/// returns false — arming nothing — on a malformed entry or a name not
+/// in known_names().
+bool arm_from_spec(std::string_view spec);
+
+/// Every failpoint name compiled into the engine, for sweeps and for
+/// validating env specs.
+const std::vector<std::string>& known_names();
+
+/// Total fires since the last reset() (all points).
+std::uint64_t fired_count();
+
+/// RAII arm/disarm for tests: arms on construction, disarms (percent 0)
+/// on destruction.
+class Scoped {
+ public:
+  Scoped(std::string_view name, unsigned percent) : name_(name) {
+    arm(name_, percent);
+  }
+  ~Scoped() { arm(name_, 0); }
+  Scoped(const Scoped&) = delete;
+  Scoped& operator=(const Scoped&) = delete;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace tytra::failpoint

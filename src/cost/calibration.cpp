@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "tytra/membench/dram.hpp"
+#include "tytra/support/failpoint.hpp"
 
 namespace tytra::cost {
 
@@ -87,6 +88,10 @@ OpLaw fit_int_law(Opcode op, const target::DeviceDesc& device) {
 }  // namespace
 
 DeviceCostDb DeviceCostDb::calibrate(const target::DeviceDesc& device) {
+  // Calibration is the probe/measure phase: a fault here (the failpoint
+  // stands in for a flaky probe run) must surface before any DSE work
+  // consumes the half-built table.
+  failpoint::maybe_throw("calibration.measure");
   const auto t0 = std::chrono::steady_clock::now();
   DeviceCostDb db;
   db.device_ = device;

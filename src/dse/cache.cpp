@@ -11,6 +11,7 @@
 
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/structural_hash.hpp"
+#include "tytra/support/failpoint.hpp"
 #include "tytra/support/hash.hpp"
 
 namespace tytra::dse {
@@ -340,9 +341,15 @@ cost::CostReport CostCache::Impl::cost_structural(
   const ir::AnalysisSummary summary = ir::summarize(module);
   cost::CostReport report = cost::cost_design(module, db, summary);
   // First insert materializes the identity text (collision fallback /
-  // audit record); hits never do.
-  structural.insert(digest.key, digest.check,
-                    Impl::StructuralValue{design_identity(module, dev), report});
+  // audit record); hits never do. A failed insert (the `cache.insert`
+  // failpoint stands in for allocation/grow failure) degrades to a lost
+  // memoization, never a lost or torn result: the report was already
+  // computed, and an entry is only ever published whole.
+  if (!failpoint::fire("cache.insert")) {
+    structural.insert(
+        digest.key, digest.check,
+        Impl::StructuralValue{design_identity(module, dev), report});
+  }
   return report;
 }
 
@@ -400,7 +407,7 @@ cost::CostReport CostCache::cost(const frontend::Variant& variant,
   bool structural_hit = false;
   cost::CostReport report =
       impl_->cost_structural(module, db, dev, digest, &structural_hit);
-  if (vk) {
+  if (vk && !failpoint::fire("cache.insert")) {
     impl_->variant.insert(full.key, full.check,
                           Impl::VariantValue{digest, report});
   }

@@ -1,6 +1,8 @@
 #include "tytra/dse/pool.hpp"
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -24,7 +26,12 @@ struct ThreadPool::Impl {
   std::uint64_t generation{0};
   std::uint32_t outstanding{0};  ///< drafted pool workers still running
   std::exception_ptr batch_error;
+  std::uint32_t batch_thrown{0};  ///< worker exceptions this batch
   bool stop{false};
+
+  /// Lifetime count of exceptions that lost the who-gets-rethrown race
+  /// (atomic so the accessor needs no lock while a batch runs).
+  std::atomic<std::uint64_t> suppressed_total{0};
 
   std::vector<std::thread> threads;
 
@@ -48,7 +55,10 @@ struct ThreadPool::Impl {
       }
       {
         std::lock_guard<std::mutex> lock(mu);
-        if (error && !batch_error) batch_error = error;
+        if (error) {
+          ++batch_thrown;
+          if (!batch_error) batch_error = error;
+        }
         if (--outstanding == 0) done_cv.notify_all();
       }
     }
@@ -104,6 +114,7 @@ void ThreadPool::run_batch(std::uint32_t participants, const BatchFn& fn) {
     impl_->participants = participants;
     impl_->outstanding = participants - 1;
     impl_->batch_error = nullptr;
+    impl_->batch_thrown = 0;
     ++impl_->generation;
   }
   impl_->work_cv.notify_all();
@@ -119,15 +130,34 @@ void ThreadPool::run_batch(std::uint32_t participants, const BatchFn& fn) {
     caller_error = std::current_exception();
   }
   std::exception_ptr worker_error;
+  std::uint32_t thrown = 0;
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->done_cv.wait(lock, [&] { return impl_->outstanding == 0; });
     impl_->batch = nullptr;
     worker_error = impl_->batch_error;
     impl_->batch_error = nullptr;
+    thrown = impl_->batch_thrown;
+    impl_->batch_thrown = 0;
+  }
+  // Only one exception can be rethrown per batch; every other one is
+  // counted and logged so a multi-fault batch stays observable (the old
+  // behavior dropped them without a trace).
+  if (caller_error) ++thrown;
+  if (thrown > 1) {
+    const std::uint32_t suppressed = thrown - 1;
+    impl_->suppressed_total.fetch_add(suppressed, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "tytra: warning: thread pool: %u of %u exception(s) in one "
+                 "batch suppressed (first rethrown)\n",
+                 suppressed, thrown);
   }
   if (caller_error) std::rethrow_exception(caller_error);
   if (worker_error) std::rethrow_exception(worker_error);
+}
+
+std::uint64_t ThreadPool::suppressed_exception_count() const {
+  return impl_->suppressed_total.load(std::memory_order_relaxed);
 }
 
 }  // namespace tytra::dse

@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -17,6 +18,7 @@
 #include <thread>
 #include <tuple>
 
+#include "tytra/support/failpoint.hpp"
 #include "tytra/support/strings.hpp"
 
 // This file IS the DSE engine: the batched parallel sweep, the tuner's
@@ -43,13 +45,60 @@ std::uint32_t resolve_threads(std::uint32_t requested, std::size_t work_items) {
 }
 
 /// One unit of evaluation work: a variant, the lowerer/database it is
-/// evaluated through, and the result slot it writes. A sweep's tasks all
-/// share one (lower, db); a campaign's flattened list mixes jobs.
+/// evaluated through, the result slot it writes, and the job it belongs
+/// to (the failure domain). A sweep's tasks all share one (lower, db,
+/// job); a campaign's flattened list mixes jobs.
 struct EvalTask {
   const frontend::Variant* variant;
   const Lowerer* lower;
   const cost::DeviceCostDb* db;
   std::size_t slot;
+  std::size_t job;
+};
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// What the workers recorded about one job. Exactly one task per job —
+/// the one whose dead-flag exchange came back false — gets to set the
+/// state and first error; later faults in the same job only bump the
+/// count.
+struct FaultRecord {
+  JobState state{JobState::Ok};
+  std::exception_ptr error;  ///< first failing evaluation, for rethrow
+  std::string message;       ///< its what(), for JobStatus::error
+  std::size_t faults{0};     ///< evaluations that threw
+};
+
+/// Per-batch failure-domain state shared by the workers: one dead flag
+/// and one FaultRecord per job. The dead flags gate task draw — the
+/// first fault (or deadline expiry) in a job marks it dead and its
+/// remaining tasks are skipped, so a failing job costs no more
+/// wall-clock than the work it completed (no retries, no wedged pool).
+struct EvalContext {
+  const CancelToken* cancel;
+  std::chrono::steady_clock::time_point t0;
+  /// Per-job wall-clock budget in seconds since t0; <= 0 disables.
+  std::vector<double> deadline;
+  bool any_deadline{false};
+  std::vector<FaultRecord> records;
+  std::unique_ptr<std::atomic<bool>[]> dead;  ///< one flag per job
+  std::mutex mu;  ///< guards records (cold path only)
+
+  EvalContext(std::size_t jobs, const CancelToken* cancel_token,
+              std::chrono::steady_clock::time_point start)
+      : cancel(cancel_token),
+        t0(start),
+        deadline(jobs, 0.0),
+        records(jobs),
+        dead(std::make_unique<std::atomic<bool>[]>(jobs)) {
+    for (std::size_t j = 0; j < jobs; ++j) {
+      dead[j].store(false, std::memory_order_relaxed);
+    }
+  }
 };
 
 /// Drains `tasks` into per-task slots. The work-queue is a single atomic
@@ -61,22 +110,51 @@ struct EvalTask {
 /// level answered (stays Miss when uncached); the per-batch accounting
 /// is aggregated from it afterwards, deterministically, instead of from
 /// racing shared counters.
+///
+/// Failure containment is per job, not per batch: a throwing evaluation
+/// (including the `dse.pool-task` failpoint) records the job's first
+/// error in ctx and kills only that job's remaining tasks; every other
+/// job keeps evaluating. A flipped CancelToken jumps the cursor past the
+/// end — in-flight evaluations finish (their slots stay valid), nothing
+/// new starts. This function itself never throws engine errors; callers
+/// read ctx.records and decide (explore rethrows, run() degrades).
 void evaluate_tasks(const std::vector<EvalTask>& tasks, CostCache* cache,
                     ThreadPool* pool, std::uint32_t participants,
                     std::vector<ir::BuildArena>& arenas,
                     std::vector<std::optional<cost::CostReport>>& slots,
-                    std::vector<CostCache::HitLevel>& levels) {
+                    std::vector<CostCache::HitLevel>& levels,
+                    EvalContext& ctx) {
   std::atomic<std::size_t> cursor{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
 
   auto worker = [&](std::uint32_t worker_index) {
     ir::BuildArena& arena = arenas[worker_index];
     for (;;) {
+      if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+        // Unfinished jobs are marked Cancelled by finalize_status once
+        // the batch drains.
+        cursor.store(tasks.size(), std::memory_order_relaxed);
+        return;
+      }
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) return;
       const EvalTask& t = tasks[i];
+      if (ctx.dead[t.job].load(std::memory_order_relaxed)) continue;
+      if (ctx.any_deadline) {
+        const double budget = ctx.deadline[t.job];
+        if (budget > 0 && seconds_since(ctx.t0) >= budget) {
+          if (!ctx.dead[t.job].exchange(true, std::memory_order_relaxed)) {
+            std::lock_guard<std::mutex> lock(ctx.mu);
+            FaultRecord& r = ctx.records[t.job];
+            r.state = JobState::TimedOut;
+            std::ostringstream why;
+            why << "deadline exceeded (budget " << budget << " s)";
+            r.message = why.str();
+          }
+          continue;
+        }
+      }
       try {
+        failpoint::maybe_throw("dse.pool-task");
         if (cache) {
           CostCache::HitLevel level = CostCache::HitLevel::Miss;
           slots[t.slot] = cache->cost(*t.variant, *t.lower, *t.db, &level,
@@ -88,12 +166,22 @@ void evaluate_tasks(const std::vector<EvalTask>& tasks, CostCache* cache,
           arena.recycle(std::move(module));
         }
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+        const bool first =
+            !ctx.dead[t.job].exchange(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(ctx.mu);
+        FaultRecord& r = ctx.records[t.job];
+        ++r.faults;
+        if (first) {
+          r.state = JobState::Failed;
+          r.error = std::current_exception();
+          try {
+            throw;
+          } catch (const std::exception& e) {
+            r.message = e.what();
+          } catch (...) {
+            r.message = "unknown exception";
+          }
         }
-        cursor.store(tasks.size(), std::memory_order_relaxed);
-        return;
       }
     }
   };
@@ -103,17 +191,44 @@ void evaluate_tasks(const std::vector<EvalTask>& tasks, CostCache* cache,
   } else {
     pool->run_batch(participants, worker);
   }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
-/// Sums levels[begin, end) into per-sweep stats. Separate from the
-/// cache's global counters, which concurrent sweeps sharing the cache
-/// also advance; and per-slot, so a campaign can attribute one flattened
-/// batch back to its jobs in enumeration order.
+/// Derives one job's final JobStatus from its slot range after every
+/// wave drained: evaluated = filled slots, skipped = the rest minus the
+/// faulting attempts. A job that recorded nothing wrong but did not
+/// finish can only have been stopped by the cancel latch.
+JobStatus finalize_status(const EvalContext& ctx, std::size_t job,
+                          const std::vector<std::optional<cost::CostReport>>&
+                              slots,
+                          std::size_t begin, std::size_t end) {
+  const FaultRecord& r = ctx.records[job];
+  JobStatus s;
+  s.state = r.state;
+  s.error = r.message;
+  s.faults = r.faults;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (slots[i].has_value()) ++s.evaluated;
+  }
+  s.skipped = (end - begin) - s.evaluated - s.faults;
+  if (s.state == JobState::Ok && s.evaluated < end - begin) {
+    s.state = JobState::Cancelled;
+    s.error = "cancelled";
+  }
+  return s;
+}
+
+/// Sums levels[begin, end) into per-sweep stats — only for slots that
+/// were actually evaluated (a skipped task's level is a meaningless
+/// default, not a miss). Separate from the cache's global counters,
+/// which concurrent sweeps sharing the cache also advance; and per-slot,
+/// so a campaign can attribute one flattened batch back to its jobs in
+/// enumeration order.
 void accumulate_stats(CacheStats& stats,
                       const std::vector<CostCache::HitLevel>& levels,
+                      const std::vector<std::optional<cost::CostReport>>& slots,
                       std::size_t begin, std::size_t end) {
   for (std::size_t i = begin; i < end; ++i) {
+    if (!slots[i].has_value()) continue;
     if (levels[i] == CostCache::HitLevel::Miss) {
       ++stats.misses;
     } else {
@@ -290,16 +405,12 @@ void merge_sweep(DseResult& result, std::vector<frontend::Variant>& variants,
   result.pareto = pareto_frontier(result.entries);
 }
 
-double seconds_since(const std::chrono::steady_clock::time_point& t0) {
-  return std::chrono::duration_cast<std::chrono::duration<double>>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
                     const cost::DeviceCostDb& db, int max_steps,
                     std::uint32_t max_lanes, CostCache* cache,
-                    ir::BuildArena& arena) {
+                    ir::BuildArena& arena, const CancelToken* cancel,
+                    double deadline_seconds,
+                    std::chrono::steady_clock::time_point t0) {
   TuneResult result;
   if (max_steps <= 0) {
     // Guard the degenerate budget instead of indexing an empty trajectory.
@@ -312,6 +423,12 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
   std::string action = "baseline: single kernel pipeline (what an HLS tool extracts)";
 
   for (int step = 0; step < max_steps; ++step) {
+    // The walk's checkpoints mirror evaluate_tasks' variant granularity:
+    // a cancel or expiry stops the next step, never one in flight.
+    if (cancel != nullptr && cancel->cancelled()) throw CancelledError();
+    if (deadline_seconds > 0 && seconds_since(t0) >= deadline_seconds) {
+      throw DeadlineExceeded(deadline_seconds);
+    }
     cost::CostReport report;
     if (cache) {
       report = cache->cost(current, lower, db, nullptr, &arena);
@@ -464,7 +581,20 @@ const cost::DeviceCostDb* Session::find_device(std::string_view name) const {
   return it == devices_.end() ? nullptr : &it->second;
 }
 
+std::string_view job_state_name(JobState state) {
+  switch (state) {
+    case JobState::Ok: return "ok";
+    case JobState::Failed: return "failed";
+    case JobState::TimedOut: return "timed_out";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 Result<Session::SnapshotStats> Session::load_snapshot(const std::string& path) {
+  if (failpoint::fire("snapshot.load")) {
+    return make_error("snapshot: injected fault at failpoint 'snapshot.load'");
+  }
   auto opened = binio::Reader::open(path);
   if (!opened.ok()) return opened.diag();
   const binio::Reader reader = std::move(opened).take();
@@ -540,6 +670,9 @@ Result<std::uint64_t> Session::save_snapshot(const std::string& path) {
     return make_error(
         "snapshot: no path given (set SessionOptions::snapshot_path or pass "
         "one explicitly)");
+  }
+  if (failpoint::fire("snapshot.save")) {
+    return make_error("snapshot: injected fault at failpoint 'snapshot.save'");
   }
 
   binio::Writer writer;
@@ -701,14 +834,31 @@ DseResult Session::explore(const Job& job, CostCache* cache_override) {
   std::vector<EvalTask> tasks;
   tasks.reserve(variants.size());
   for (std::size_t i = 0; i < variants.size(); ++i) {
-    tasks.push_back(EvalTask{&variants[i], r.lower, r.db, i});
+    tasks.push_back(EvalTask{&variants[i], r.lower, r.db, i, 0});
   }
   CostCache* cache = effective_cache(cache_override);
   const std::uint32_t participants =
       resolve_threads(options_.num_threads, variants.size());
+  EvalContext ctx(1, options_.cancel, t0);
+  ctx.deadline[0] = job.deadline_seconds > 0 ? job.deadline_seconds
+                                             : options_.deadline_seconds;
+  ctx.any_deadline = ctx.deadline[0] > 0;
   evaluate_tasks(tasks, cache, pool_for(participants), participants,
-                 arenas(participants), slots, levels);
-  if (cache) accumulate_stats(result.cache_stats, levels, 0, levels.size());
+                 arenas(participants), slots, levels, ctx);
+  // Single-job semantics: a contained failure surfaces as the original
+  // exception (so callers and the legacy shims see exactly what the
+  // evaluation threw), an expiry/cancel as its typed error.
+  const JobStatus status = finalize_status(ctx, 0, slots, 0, slots.size());
+  if (status.state == JobState::Failed) {
+    std::rethrow_exception(ctx.records[0].error);
+  }
+  if (status.state == JobState::TimedOut) {
+    throw DeadlineExceeded(ctx.deadline[0]);
+  }
+  if (status.state == JobState::Cancelled) throw CancelledError();
+  if (cache) {
+    accumulate_stats(result.cache_stats, levels, slots, 0, levels.size());
+  }
   merge_sweep(result, variants, slots, 0);
   result.explore_seconds = seconds_since(t0);
   return result;
@@ -716,12 +866,19 @@ DseResult Session::explore(const Job& job, CostCache* cache_override) {
 
 TuneResult Session::tune(const Job& job, CostCache* cache_override) {
   const ResolvedJob r = resolve(job);
+  const double deadline = job.deadline_seconds > 0 ? job.deadline_seconds
+                                                   : options_.deadline_seconds;
   return run_tune(r.n, *r.lower, *r.db, job.max_steps, r.max_lanes,
-                  effective_cache(cache_override), arenas(1)[0]);
+                  effective_cache(cache_override), arenas(1)[0],
+                  options_.cancel, deadline,
+                  std::chrono::steady_clock::now());
 }
 
 cost::CostReport Session::baseline(const Job& job, CostCache* cache_override) {
   const ResolvedJob r = resolve(job);
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    throw CancelledError();
+  }
   const frontend::Variant variant = frontend::baseline_variant(r.n);
   CostCache* cache = effective_cache(cache_override);
   ir::BuildArena& arena = arenas(1)[0];
@@ -775,7 +932,7 @@ CampaignResult Session::run(const Campaign& campaign,
   for (std::size_t j = 0; j < variants.size(); ++j) {
     for (std::size_t i = 0; i < variants[j].size(); ++i) {
       const EvalTask task{&variants[j][i], resolved[j].lower, resolved[j].db,
-                          offset[j] + i};
+                          offset[j] + i, j};
       bool repeat = false;
       if (cache) {
         if (const auto vk = resolved[j].lower->key(variants[j][i])) {
@@ -789,31 +946,46 @@ CampaignResult Session::run(const Campaign& campaign,
       (repeat ? wave2 : wave1).push_back(task);
     }
   }
+  EvalContext ctx(campaign.jobs.size(), options_.cancel, t0);
+  for (std::size_t j = 0; j < campaign.jobs.size(); ++j) {
+    ctx.deadline[j] = campaign.jobs[j].deadline_seconds > 0
+                          ? campaign.jobs[j].deadline_seconds
+                          : options_.deadline_seconds;
+    if (ctx.deadline[j] > 0) ctx.any_deadline = true;
+  }
   for (const std::vector<EvalTask>* wave : {&wave1, &wave2}) {
     if (wave->empty()) continue;
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) break;
     const std::uint32_t participants =
         resolve_threads(options_.num_threads, wave->size());
     evaluate_tasks(*wave, cache, pool_for(participants), participants,
-                   arenas(participants), slots, levels);
+                   arenas(participants), slots, levels, ctx);
   }
   const double eval_seconds = seconds_since(t0);
 
   // Per-job merge, stats, best and frontier in enumeration order —
-  // byte-identical to running the jobs one at a time.
+  // byte-identical to running the jobs one at a time. A non-ok job
+  // keeps its status (and cache stats for whatever it did evaluate) but
+  // presents no entries: a partial sweep is not a result.
   out.jobs.reserve(campaign.jobs.size());
   for (std::size_t j = 0; j < campaign.jobs.size(); ++j) {
+    CampaignJobResult jr;
+    jr.job = campaign.jobs[j];
+    jr.status = finalize_status(ctx, j, slots, offset[j], offset[j + 1]);
     DseResult r;
     if (cache) {
-      accumulate_stats(r.cache_stats, levels, offset[j], offset[j + 1]);
+      accumulate_stats(r.cache_stats, levels, slots, offset[j],
+                       offset[j + 1]);
       out.cache_stats.hits += r.cache_stats.hits;
       out.cache_stats.misses += r.cache_stats.misses;
       out.cache_stats.variant_hits += r.cache_stats.variant_hits;
     }
-    merge_sweep(r, variants[j], slots, offset[j]);
+    if (jr.status.ok()) merge_sweep(r, variants[j], slots, offset[j]);
     // Jobs were evaluated as one flattened batch; each reports the
     // campaign's shared evaluation wall clock (see CampaignResult docs).
     r.explore_seconds = eval_seconds;
-    out.jobs.push_back(CampaignJobResult{campaign.jobs[j], std::move(r)});
+    jr.result = std::move(r);
+    out.jobs.push_back(std::move(jr));
   }
 
   // Merged frontier over every job's per-sweep frontier. Restricting the
@@ -1004,7 +1176,13 @@ std::string format_campaign(const CampaignResult& result) {
        << tytra::pad_right(jr.job.nd ? std::to_string(jr.job.nd) : "-", 8)
        << tytra::pad_right(device_label(jr.job), 18)
        << tytra::pad_left(std::to_string(jr.result.entries.size()), 9);
-    if (const DseEntry* best = jr.result.best_entry()) {
+    if (!jr.status.ok()) {
+      // The failure domain's row: status (and its reason) in place of
+      // the best-design columns.
+      os << tytra::pad_left("-", 6) << tytra::pad_left("-", 12) << "  "
+         << job_state_name(jr.status.state);
+      if (!jr.status.error.empty()) os << ": " << jr.status.error;
+    } else if (const DseEntry* best = jr.result.best_entry()) {
       os << tytra::pad_left(std::to_string(best->report.params.knl), 6)
          << tytra::pad_left(
                 tytra::format_fixed(best->report.throughput.ekit, 1), 12)
@@ -1021,6 +1199,21 @@ std::string format_campaign(const CampaignResult& result) {
      << " evaluations; cache: " << result.cache_stats.hits << " hits ("
      << result.cache_stats.variant_hits << " pre-lowering) / "
      << result.cache_stats.misses << " misses\n";
+  // Degradation summary only when something degraded — a fault-free
+  // campaign's table is byte-identical to the pre-failure-model output.
+  if (const std::size_t degraded = result.degraded(); degraded > 0) {
+    std::size_t failed = 0;
+    std::size_t timed_out = 0;
+    std::size_t cancelled = 0;
+    for (const auto& jr : result.jobs) {
+      if (jr.status.state == JobState::Failed) ++failed;
+      if (jr.status.state == JobState::TimedOut) ++timed_out;
+      if (jr.status.state == JobState::Cancelled) ++cancelled;
+    }
+    os << "degraded: " << degraded << " of " << result.jobs.size()
+       << " jobs (failed=" << failed << " timed_out=" << timed_out
+       << " cancelled=" << cancelled << ")\n";
+  }
   return os.str();
 }
 
@@ -1089,7 +1282,15 @@ std::string format_campaign_json(const CampaignResult& result) {
     os << (j ? ",\n" : "\n") << "      {\"workload\": \""
        << json_escape(job_label(jr.job)) << "\", \"nd\": " << jr.job.nd
        << ", \"n\": " << jr.job.n << ", \"device\": \""
-       << json_escape(device_label(jr.job)) << "\", \"sweep\": ";
+       << json_escape(device_label(jr.job)) << "\", \"status\": \""
+       << job_state_name(jr.status.state) << "\"";
+    if (!jr.status.ok()) {
+      os << ", \"error\": \"" << json_escape(jr.status.error)
+         << "\", \"evaluated\": " << jr.status.evaluated
+         << ", \"faults\": " << jr.status.faults
+         << ", \"skipped\": " << jr.status.skipped;
+    }
+    os << ", \"sweep\": ";
     json_sweep(os, jr.result, "      ");
     os << "}";
   }
@@ -1109,6 +1310,7 @@ std::string format_campaign_json(const CampaignResult& result) {
   }
   os << "\n    ],\n    \"cache\": ";
   json_cache_stats(os, result.cache_stats);
+  os << ",\n    \"degraded\": " << result.degraded();
   os << ",\n    \"seconds\": ";
   json_num(os, result.campaign_seconds);
   os << "\n  }\n}\n";

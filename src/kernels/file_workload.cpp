@@ -13,6 +13,7 @@
 #include "tytra/ir/structural_hash.hpp"
 #include "tytra/ir/verifier.hpp"
 #include "tytra/kernels/streams.hpp"
+#include "tytra/support/failpoint.hpp"
 
 namespace tytra::kernels {
 
@@ -58,6 +59,9 @@ tytra::Diag first_verify_error(const tytra::DiagBag& diags) {
 
 tytra::Result<FileWorkload> load_file_workload(std::string_view source,
                                                std::uint32_t nd) {
+  if (failpoint::fire("workload.parse")) {
+    return tytra::make_error("injected fault at failpoint 'workload.parse'");
+  }
   // First pass with the file's own values, to discover the ND constants.
   auto first = ir::parse_module(source);
   if (!first.ok()) return first.diag();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tytra/support/failpoint.hpp"
+
 namespace tytra::membench {
 
 std::vector<std::uint64_t> default_dims() {
@@ -30,6 +32,7 @@ std::vector<BandwidthSample> run_stream_bench(
 }
 
 BandwidthTable BandwidthTable::measure(const target::DeviceDesc& device) {
+  failpoint::maybe_throw("membench.measure");
   // Calibration measures below the Fig. 10 sweep as well, so the table
   // covers the small transfers kernels with modest NDRanges produce. The
   // ladder steps by ~sqrt(2) in dim (one octave in bytes): the sustained

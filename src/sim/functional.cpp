@@ -200,11 +200,17 @@ class Executor {
     std::map<std::string, double> env;
     for (std::size_t i = 0; i < n; ++i) {
       env.clear();
-      // Parameters read their stream at index i.
+      // Parameters read their stream at index i. An output-stream
+      // parameter can become available mid-PE (the PE itself appends to
+      // it, so by i > 0 it exists but is shorter than n); it is not a
+      // readable input — skip it exactly like the length-resolution
+      // pass did when it was absent.
       for (const auto& p : f.params) {
         const std::string& stream = binding.at(p.name);
         const auto sit = available_.find(stream);
-        if (sit != available_.end()) env[p.name] = sit->second[i];
+        if (sit != available_.end() && i < sit->second.size()) {
+          env[p.name] = sit->second[i];
+        }
       }
       if (auto r = eval_items(f, binding, env, i, n); !r.ok()) return r.diag();
       ++items_;

@@ -12,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "tytra/support/failpoint.hpp"
 #include "tytra/support/hash.hpp"
 
 namespace tytra::binio {
@@ -190,6 +191,10 @@ std::string Writer::render() const {
 }
 
 tytra::Result<std::uint64_t> Writer::write(const std::string& path) const {
+  if (failpoint::fire("binio.write")) {
+    return make_error("injected fault at failpoint 'binio.write' (writing '" +
+                      path + "')");
+  }
   const std::string bytes = render();
   const std::string tmp = path + ".tmp";
 
@@ -245,6 +250,9 @@ tytra::Result<Reader> Reader::open(const std::string& path) {
 }
 
 tytra::Result<Reader> Reader::from_bytes(std::string bytes) {
+  if (failpoint::fire("binio.read")) {
+    return corrupt("injected fault at failpoint 'binio.read'");
+  }
   Reader r;
   r.data_ = std::move(bytes);
   const std::string& d = r.data_;

@@ -1,0 +1,311 @@
+// End-to-end tests of the tytra-cc failure surface: TYTRA_FAILPOINTS
+// arming through the environment, the --on-error continue|abort campaign
+// policy, per-job status reporting in text and JSON, --deadline-ms, and
+// the no-partial-stdout contract (a degraded or aborted run never leaves
+// half a table on stdout).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+#if defined(TYTRA_CC_BIN) && defined(TYTRA_SOURCE_DIR)
+
+struct RunResult {
+  int exit_code{-1};
+  std::string out;
+  std::string err;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs tytra-cc with `args`, optionally under a TYTRA_FAILPOINTS spec
+/// (sh-style `VAR=value cmd` prefix — each invocation is a fresh process,
+/// so the env-arming startup path is the one under test).
+RunResult run_cc(const std::string& args, const std::string& failpoints = {}) {
+  static int counter = 0;
+  const std::string tag = "cli_fail_" + std::to_string(counter++);
+  const std::string out_path = tag + ".out";
+  const std::string err_path = tag + ".err";
+  std::string cmd;
+  if (!failpoints.empty()) cmd += "TYTRA_FAILPOINTS='" + failpoints + "' ";
+  cmd += std::string(TYTRA_CC_BIN) + " " + args + " > " + out_path + " 2> " +
+         err_path;
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = status < 0 ? status : WEXITSTATUS(status);
+  r.out = read_file(out_path);
+  r.err = read_file(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return r;
+}
+
+/// A unique snapshot path in the ctest working directory, removed on
+/// destruction.
+struct TempSnap {
+  explicit TempSnap(const std::string& tag) {
+    static int counter = 0;
+    path = tag + "_" + std::to_string(counter++) + ".snap";
+    std::remove(path.c_str());
+  }
+  ~TempSnap() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string sor_tir_path() {
+  return std::string(TYTRA_SOURCE_DIR) + "/examples/ir/sor.tir";
+}
+
+/// Drops the first line (the banner carries wall-clock timings).
+std::string strip_banner(const std::string& text) {
+  const auto nl = text.find('\n');
+  return nl == std::string::npos ? std::string() : text.substr(nl + 1);
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto at = hay.find(needle); at != std::string::npos;
+       at = hay.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// --on-error policy
+// ---------------------------------------------------------------------------
+
+TEST(CliFailure, ContinuePolicyReportsPerJobStatusAndExitsZero) {
+  const RunResult r = run_cc(
+      "campaign --kernel sor --kernel hotspot --on-error continue --json",
+      "dse.pool-task=100%");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(count_of(r.out, "\"status\": \"failed\""), 2u) << r.out;
+  EXPECT_NE(r.out.find("\"error\": \"injected fault at failpoint "
+                       "'dse.pool-task'\""),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"degraded\": 2"), std::string::npos) << r.out;
+}
+
+TEST(CliFailure, AbortPolicyIsTheDefaultAndKeepsStdoutEmpty) {
+  for (const std::string extra : {"", " --on-error abort"}) {
+    const RunResult r =
+        run_cc("campaign --kernel sor" + extra, "dse.pool-task=100%");
+    EXPECT_EQ(r.exit_code, 1) << extra;
+    EXPECT_TRUE(r.out.empty()) << extra << " wrote to stdout: " << r.out;
+    EXPECT_NE(r.err.find("'sor'"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("failed: injected fault at failpoint "
+                         "'dse.pool-task'"),
+              std::string::npos)
+        << r.err;
+  }
+}
+
+TEST(CliFailure, ContinuePolicyTextOutputMarksTheDegradedRows) {
+  const RunResult r = run_cc(
+      "campaign --kernel sor --kernel hotspot --on-error continue",
+      "dse.pool-task=100%");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_EQ(count_of(r.out, "failed: injected fault"), 2u) << r.out;
+  EXPECT_NE(r.out.find("degraded: 2 of 2 jobs (failed=2 timed_out=0 "
+                       "cancelled=0)"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST(CliFailure, SurvivingJobsRenderByteIdenticalUnderContinue) {
+  // Fire the pool-task failpoint on every 10th evaluation (serial, so
+  // the paced firing is deterministic): one job dies, the others
+  // survive, and the survivors' rows must match the fault-free run
+  // exactly. The comparison is row-by-row rather than pinning the
+  // casualty, so reshuffling the flattened task order stays harmless.
+  const RunResult clean = run_cc("campaign --nd 16 --jobs 1");
+  ASSERT_EQ(clean.exit_code, 0) << clean.err;
+  const RunResult faulted = run_cc("campaign --nd 16 --jobs 1 "
+                                   "--on-error continue",
+                                   "dse.pool-task=10%");
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.err;
+  EXPECT_NE(faulted.out.find("degraded:"), std::string::npos)
+      << "10% over every job's variants should down at least one job:\n"
+      << faulted.out;
+
+  std::istringstream clean_rows(strip_banner(clean.out));
+  std::istringstream faulted_rows(strip_banner(faulted.out));
+  std::string c;
+  std::string f;
+  std::size_t surviving = 0;
+  while (std::getline(clean_rows, c) && std::getline(faulted_rows, f)) {
+    if (c.rfind("campaign:", 0) == 0) break;  // summary lines diverge (stats)
+    if (f.find("failed:") != std::string::npos) continue;  // a casualty row
+    EXPECT_EQ(f, c);
+    ++surviving;
+  }
+  EXPECT_GT(surviving, 1u) << faulted.out;
+}
+
+TEST(CliFailure, HealthyCampaignJsonCarriesOkStatusAndZeroDegraded) {
+  const RunResult r = run_cc("campaign --kernel sor --json");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"status\": \"ok\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"degraded\": 0"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("\"error\""), std::string::npos)
+      << "ok jobs must not carry an error field: " << r.out;
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint seams through the CLI
+// ---------------------------------------------------------------------------
+
+TEST(CliFailure, CacheInsertFaultIsInvisibleToResults) {
+  const RunResult clean = run_cc("campaign --kernel sor");
+  ASSERT_EQ(clean.exit_code, 0) << clean.err;
+  const RunResult faulted = run_cc("campaign --kernel sor",
+                                   "cache.insert=100%");
+  EXPECT_EQ(faulted.exit_code, 0) << faulted.err;
+  EXPECT_EQ(strip_banner(faulted.out), strip_banner(clean.out))
+      << "lost memoization changed the results";
+}
+
+TEST(CliFailure, SetupFaultsFailBeforeAnyStdout) {
+  // Faults ahead of evaluation (calibration, the bandwidth ladder, file
+  // workload parsing) are invocation failures: exit 1, clean stdout.
+  struct Case {
+    const char* failpoints;
+    std::string args;
+  };
+  const Case cases[] = {
+      {"calibration.measure=100%", "explore sor"},
+      {"membench.measure=100%", "explore sor"},
+      {"calibration.measure=100%", "campaign --kernel sor"},
+      {"workload.parse=100%", "campaign --ir " + sor_tir_path()},
+      {"workload.parse=100%", "explore --ir " + sor_tir_path()},
+  };
+  for (const auto& c : cases) {
+    const RunResult r = run_cc(c.args, c.failpoints);
+    EXPECT_EQ(r.exit_code, 1) << c.failpoints << " / " << c.args;
+    EXPECT_TRUE(r.out.empty())
+        << c.failpoints << " wrote to stdout: " << r.out;
+    EXPECT_NE(r.err.find("injected fault"), std::string::npos) << r.err;
+  }
+}
+
+TEST(CliFailure, SnapshotLoadFaultDegradesToColdStart) {
+  TempSnap snap("load_fault");
+  const std::string args = "campaign --kernel sor --snapshot " + snap.path;
+  const RunResult cold = run_cc(args);
+  ASSERT_EQ(cold.exit_code, 0) << cold.err;
+
+  for (const char* point : {"snapshot.load=100%", "binio.read=100%"}) {
+    const RunResult degraded = run_cc(args, point);
+    EXPECT_EQ(degraded.exit_code, 0) << point << ": " << degraded.err;
+    EXPECT_EQ(strip_banner(degraded.out), strip_banner(cold.out)) << point;
+    EXPECT_NE(degraded.err.find("warning: snapshot-load"), std::string::npos)
+        << point << ": " << degraded.err;
+    EXPECT_NE(degraded.err.find("action=cold-start"), std::string::npos)
+        << point << ": " << degraded.err;
+  }
+}
+
+TEST(CliFailure, SnapshotSaveFaultIsLoudNonzeroAndLeavesNoStdout) {
+  TempSnap snap("save_fault");
+  for (const char* point : {"snapshot.save=100%", "binio.write=100%"}) {
+    const RunResult r =
+        run_cc("campaign --kernel sor --snapshot " + snap.path, point);
+    EXPECT_EQ(r.exit_code, 1) << point;
+    EXPECT_TRUE(r.out.empty()) << point << " wrote to stdout: " << r.out;
+    EXPECT_NE(r.err.find("injected fault"), std::string::npos)
+        << point << ": " << r.err;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Env-spec strictness and flag validation
+// ---------------------------------------------------------------------------
+
+TEST(CliFailure, MalformedSpecWarnsOnceAndArmsNothing) {
+  const RunResult clean = run_cc("campaign --kernel sor");
+  ASSERT_EQ(clean.exit_code, 0) << clean.err;
+  for (const char* bad : {"bogus.point=100%", "dse.pool-task=banana",
+                          "dse.pool-task"}) {
+    const RunResult r = run_cc("campaign --kernel sor", bad);
+    EXPECT_EQ(r.exit_code, 0) << bad << ": " << r.err;
+    EXPECT_EQ(strip_banner(r.out), strip_banner(clean.out)) << bad;
+    EXPECT_EQ(count_of(r.err, "TYTRA_FAILPOINTS"), 1u)
+        << bad << ": " << r.err;
+    EXPECT_NE(r.err.find("nothing armed"), std::string::npos)
+        << bad << ": " << r.err;
+  }
+}
+
+TEST(CliFailure, BadPolicyAndDeadlineFlagsExitTwoCleanly) {
+  struct Case {
+    const char* args;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"campaign --on-error sometimes", "'sometimes' is not continue|abort"},
+      {"campaign --on-error", "--on-error requires a value"},
+      {"campaign --deadline-ms 0", "not a positive integer"},
+      {"campaign --deadline-ms banana", "not a positive integer"},
+      {"explore sor --deadline-ms", "--deadline-ms requires a value"},
+  };
+  for (const auto& c : cases) {
+    const RunResult r = run_cc(c.args);
+    EXPECT_EQ(r.exit_code, 2) << c.args;
+    EXPECT_TRUE(r.out.empty()) << c.args << " wrote to stdout: " << r.out;
+    EXPECT_NE(r.err.find(c.expect), std::string::npos)
+        << c.args << " stderr: " << r.err;
+  }
+}
+
+TEST(CliFailure, DeadlineTripsReliablyOnAJobFarOverBudget) {
+  // --deadline-ms cannot be made instant from the CLI (the minimum is
+  // 1 ms), so the job under deadline is a wide cold sweep (~100 ms
+  // serial, two orders of magnitude over budget) — the variant-level
+  // deadline check trips long before the sweep can finish.
+  const std::string heavy = "sor --nd 96 --max-lanes 4096 --jobs 1";
+
+  const RunResult abort_run =
+      run_cc("campaign --kernel " + heavy + " --deadline-ms 1");
+  EXPECT_EQ(abort_run.exit_code, 1);
+  EXPECT_TRUE(abort_run.out.empty()) << abort_run.out;
+  EXPECT_NE(abort_run.err.find("timed_out: deadline exceeded"),
+            std::string::npos)
+      << abort_run.err;
+
+  const RunResult cont = run_cc("campaign --kernel " + heavy +
+                                " --deadline-ms 1 --on-error continue --json");
+  EXPECT_EQ(cont.exit_code, 0) << cont.err;
+  EXPECT_NE(cont.out.find("\"status\": \"timed_out\""), std::string::npos)
+      << cont.out;
+
+  const RunResult explore_run =
+      run_cc("explore " + heavy + " --deadline-ms 1");
+  EXPECT_EQ(explore_run.exit_code, 1);
+  EXPECT_TRUE(explore_run.out.empty()) << explore_run.out;
+  EXPECT_NE(explore_run.err.find("deadline exceeded"), std::string::npos)
+      << explore_run.err;
+}
+
+#else  // TYTRA_CC_BIN / TYTRA_SOURCE_DIR
+
+TEST(CliFailure, RequiresToolPaths) {
+  GTEST_SKIP() << "built without TYTRA_CC_BIN/TYTRA_SOURCE_DIR";
+}
+
+#endif
+
+}  // namespace

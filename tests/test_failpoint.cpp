@@ -1,0 +1,134 @@
+// Unit tests for the support/failpoint subsystem: disarmed zero-cost
+// behavior, deterministic pacing, programmatic and spec-based arming
+// (strictness included), the Scoped RAII guard, and the InjectedFault
+// exception surface. The end-to-end seam tests live in
+// test_failure_domains.cpp and test_cli_failure.cpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tytra/support/failpoint.hpp"
+
+namespace {
+
+using namespace tytra;
+
+/// Every test leaves the registry disarmed; this guards against a failing
+/// EXPECT leaking armed state into a sibling test.
+struct FailpointTest : ::testing::Test {
+  void SetUp() override { failpoint::reset(); }
+  void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedProcessFiresNothing) {
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::fire("cache.insert"));
+  EXPECT_NO_THROW(failpoint::maybe_throw("dse.pool-task"));
+  EXPECT_FALSE(failpoint::fire("not-even-a-known-name"));
+  EXPECT_EQ(failpoint::fired_count(), 0u);
+}
+
+TEST_F(FailpointTest, HundredPercentFiresEveryHit) {
+  failpoint::arm("test.always", 100);
+  EXPECT_TRUE(failpoint::armed());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(failpoint::fire("test.always")) << "hit " << i;
+  }
+  EXPECT_EQ(failpoint::fired_count(), 10u);
+  // Other points stay cold.
+  EXPECT_FALSE(failpoint::fire("test.other"));
+}
+
+TEST_F(FailpointTest, PacingIsDeterministicNotRandom) {
+  // PCT=50 must fire on exactly the 2nd, 4th, 6th, ... hits — the same
+  // hits every run, so a "50%" fault test is reproducible.
+  failpoint::arm("test.paced", 50);
+  std::vector<int> fired_hits;
+  for (int n = 0; n < 8; ++n) {
+    if (failpoint::fire("test.paced")) fired_hits.push_back(n);
+  }
+  EXPECT_EQ(fired_hits, (std::vector<int>{1, 3, 5, 7}));
+
+  // PCT=1: exactly one fire per 100 consecutive hits.
+  failpoint::arm("test.rare", 1);
+  int fires = 0;
+  for (int n = 0; n < 200; ++n) {
+    if (failpoint::fire("test.rare")) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(FailpointTest, PercentZeroDisarmsAndResetForgetsHitCounts) {
+  failpoint::arm("test.p", 100);
+  EXPECT_TRUE(failpoint::fire("test.p"));
+  failpoint::arm("test.p", 0);
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::fire("test.p"));
+
+  // Re-arming at 50 restarts the pacing from hit 0 after reset().
+  failpoint::arm("test.p", 50);
+  EXPECT_FALSE(failpoint::fire("test.p"));  // hit 0 never fires at 50%
+  failpoint::reset();
+  EXPECT_EQ(failpoint::fired_count(), 0u);
+  failpoint::arm("test.p", 50);
+  EXPECT_FALSE(failpoint::fire("test.p")) << "hit count survived reset()";
+}
+
+TEST_F(FailpointTest, MaybeThrowRaisesInjectedFaultNamingThePoint) {
+  failpoint::arm("test.throwing", 100);
+  try {
+    failpoint::maybe_throw("test.throwing");
+    FAIL() << "armed point did not throw";
+  } catch (const failpoint::InjectedFault& e) {
+    EXPECT_EQ(e.point(), "test.throwing");
+    EXPECT_NE(std::string(e.what()).find("test.throwing"), std::string::npos);
+  }
+  // InjectedFault is a runtime_error so existing containment catches it.
+  failpoint::arm("test.throwing", 100);
+  EXPECT_THROW(failpoint::maybe_throw("test.throwing"), std::runtime_error);
+}
+
+TEST_F(FailpointTest, ScopedGuardArmsAndDisarms) {
+  {
+    failpoint::Scoped guard("test.scoped", 100);
+    EXPECT_TRUE(failpoint::fire("test.scoped"));
+  }
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::fire("test.scoped"));
+}
+
+TEST_F(FailpointTest, KnownNamesCoverEveryInstrumentedSeam) {
+  const auto& names = failpoint::known_names();
+  for (const char* required :
+       {"binio.read", "binio.write", "cache.insert", "calibration.measure",
+        "dse.pool-task", "membench.measure", "snapshot.load", "snapshot.save",
+        "workload.parse"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing failpoint name: " << required;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(FailpointTest, SpecParsingArmsValidEntries) {
+  EXPECT_TRUE(failpoint::arm_from_spec("cache.insert=100%,binio.read=50"));
+  EXPECT_TRUE(failpoint::fire("cache.insert"));
+  EXPECT_FALSE(failpoint::fire("binio.read"));  // hit 0 at 50%: no fire
+  EXPECT_TRUE(failpoint::fire("binio.read"));   // hit 1: fires
+}
+
+TEST_F(FailpointTest, SpecParsingIsStrictAndArmsNothingOnAnyDefect) {
+  // A typo in a fault test must not silently produce a fault-free run:
+  // one bad entry rejects the whole spec.
+  for (const char* bad :
+       {"bogus.name=100", "cache.insert", "cache.insert=", "cache.insert=abc",
+        "cache.insert=101", "cache.insert=100,bogus=5", "=50", "",
+        "cache.insert=1000%"}) {
+    EXPECT_FALSE(failpoint::arm_from_spec(bad)) << "accepted: " << bad;
+    EXPECT_FALSE(failpoint::armed()) << "partially armed by: " << bad;
+  }
+}
+
+}  // namespace

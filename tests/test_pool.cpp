@@ -113,6 +113,49 @@ TEST(Pool, ExceptionsPropagateAndThePoolStaysUsable) {
   EXPECT_EQ(done.load(), 4);
 }
 
+TEST(Pool, CountsSuppressedExceptionsAcrossBatches) {
+  // Only one exception can be rethrown per batch; the losers must be
+  // counted, not silently dropped. The counter is cumulative over the
+  // pool's lifetime and untouched by single-fault or clean batches.
+  dse::ThreadPool pool(3);
+  EXPECT_EQ(pool.suppressed_exception_count(), 0u);
+
+  // All four participants throw: one rethrown, three suppressed.
+  EXPECT_THROW(pool.run_batch(4,
+                              [](std::uint32_t index) {
+                                throw std::runtime_error(
+                                    "boom " + std::to_string(index));
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(pool.suppressed_exception_count(), 3u);
+
+  // A single-fault batch suppresses nothing.
+  EXPECT_THROW(pool.run_batch(4,
+                              [](std::uint32_t index) {
+                                if (index == 1) {
+                                  throw std::runtime_error("lone fault");
+                                }
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(pool.suppressed_exception_count(), 3u);
+
+  // Two faults (caller + one worker): one more suppressed, cumulatively.
+  EXPECT_THROW(pool.run_batch(4,
+                              [](std::uint32_t index) {
+                                if (index <= 1) {
+                                  throw std::runtime_error("pair fault");
+                                }
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(pool.suppressed_exception_count(), 4u);
+
+  // A clean batch leaves the count alone and the pool usable.
+  std::atomic<int> done{0};
+  pool.run_batch(4, [&](std::uint32_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_EQ(pool.suppressed_exception_count(), 4u);
+}
+
 TEST(Pool, DrainsASharedCursorCorrectly) {
   // The DSE usage pattern: the batch function drains an atomic cursor,
   // every item claimed exactly once across participants.

@@ -14,6 +14,7 @@
 // kernels::Registry — registering a workload is the only step needed for
 // it to appear here. Devices are the target presets or any .tgt file.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +25,7 @@
 
 #include "tytra/codegen/verilog.hpp"
 #include "tytra/cost/report.hpp"
+#include "tytra/dse/cancel.hpp"
 #include "tytra/dse/session.hpp"
 #include "tytra/ir/analysis.hpp"
 #include "tytra/ir/parser.hpp"
@@ -36,6 +38,25 @@
 namespace {
 
 using namespace tytra;
+
+/// Exit code for a run cut short by Ctrl-C: 128 + SIGINT, the shell
+/// convention scripts already test for.
+constexpr int kExitInterrupted = 130;
+
+/// The process-wide cancellation token the SIGINT handler flips. The DSE
+/// session polls it between variant batches, so a long campaign winds
+/// down at the next batch boundary instead of dying mid-write.
+dse::CancelToken g_cancel;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+extern "C" void handle_sigint(int) {
+  // request_cancel is a relaxed atomic store — async-signal-safe. Restore
+  // the default disposition so a second Ctrl-C kills the process outright
+  // if the cooperative wind-down is not fast enough for the user.
+  g_cancel.request_cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
+void install_sigint_cancel() { std::signal(SIGINT, handle_sigint); }
 
 std::string kernel_list() {
   return kernels::Registry::instance().names_joined();
@@ -58,13 +79,14 @@ std::string usage_text() {
          "[--cost] [--params] [--tree] [--emit-hdl out.v] [--print-ir]\n";
   out += "       tytra-cc explore <" + kernels + " | --ir file.tir> [--nd dim] "
          "[--max-lanes n] [--jobs n] [--pareto] [--json] [--snapshot file] "
-         "[--device " + presets + "|file.tgt]\n";
+         "[--deadline-ms n] [--device " + presets + "|file.tgt]\n";
   out += "       tytra-cc tune <" + kernels + " | --ir file.tir> [--nd dim] "
          "[--max-steps n] [--max-lanes n] [--json] [--snapshot file] "
-         "[--device " + presets + "|file.tgt]\n";
+         "[--deadline-ms n] [--device " + presets + "|file.tgt]\n";
   out += "       tytra-cc campaign [--kernel name]... [--ir file.tir]... "
          "[--nd dim]... [--device name|file.tgt]... [--max-lanes n] [--jobs n] "
-         "[--pareto] [--json] [--snapshot file]\n";
+         "[--pareto] [--json] [--snapshot file] [--deadline-ms n] "
+         "[--on-error continue|abort]\n";
   out += "       tytra-cc cache dump <file> [campaign flags] | "
          "load <file> | inspect <file> | verify <file>\n";
   out += "       tytra-cc list [--names] [--ir file.tir]...\n";
@@ -137,6 +159,13 @@ struct ExploreSpec {
   std::string snapshot;
   /// Suppress the result tables (`cache dump` wants only the summary).
   bool quiet{false};
+  /// Wall-clock budget per job in milliseconds; 0 = no deadline.
+  std::uint32_t deadline_ms{0};
+  /// Campaign policy when a job fails or times out: abort (default —
+  /// stderr diagnostic, nonzero exit, empty stdout, matching the old
+  /// fail-the-whole-campaign contract) or continue (report per-job
+  /// status, exit 0).
+  bool on_error_abort{true};
 };
 
 /// Saves the session snapshot when the spec asked for one. Failures are
@@ -183,6 +212,9 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
   // persisted, and the next process's warm start pays for it.
   so.enable_cache = !spec.snapshot.empty();
   so.snapshot_path = spec.snapshot;
+  so.cancel = &g_cancel;
+  so.deadline_seconds = spec.deadline_ms / 1000.0;
+  install_sigint_cancel();
 
   try {
     dse::Session session(so);
@@ -226,6 +258,11 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
       std::printf("\npareto frontier (EKIT vs utilization vs bandwidth share):\n");
       std::printf("%s", dse::format_pareto(result).c_str());
     }
+  } catch (const dse::CancelledError&) {
+    // Ctrl-C: no partial tables were written (results only print after
+    // the job completes), so stdout is clean — just say why we stopped.
+    std::fprintf(stderr, "tytra-cc: %s interrupted\n", mode.c_str());
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tytra-cc: %s failed: %s\n", mode.c_str(), e.what());
     return 1;
@@ -246,6 +283,9 @@ int run_campaign(const ExploreSpec& spec,
   so.max_lanes = spec.max_lanes;
   so.num_threads = spec.jobs;
   so.snapshot_path = spec.snapshot;
+  so.cancel = &g_cancel;
+  so.deadline_seconds = spec.deadline_ms / 1000.0;
+  install_sigint_cancel();
   try {
     dse::Session session(so);
 
@@ -295,28 +335,70 @@ int run_campaign(const ExploreSpec& spec,
     }
 
     const dse::CampaignResult result = session.run(campaign);
+    const bool interrupted = g_cancel.cancelled();
+
+    if (!interrupted && spec.on_error_abort && result.degraded() > 0) {
+      // Abort policy (the default): a failed or timed-out job fails the
+      // whole invocation before anything reaches stdout — the
+      // pre-failure-model contract (nonzero exit, empty stdout, stderr
+      // names the first casualty). No snapshot is written either, same
+      // as when the failure used to propagate as an exception.
+      for (const auto& jr : result.jobs) {
+        if (jr.status.ok()) continue;
+        std::fprintf(stderr,
+                     "tytra-cc: campaign: job '%s' (nd=%u, %s) %s: %s "
+                     "(use --on-error continue to keep surviving jobs)\n",
+                     jr.job.workload.c_str(), jr.job.nd,
+                     jr.job.device.c_str(),
+                     std::string(dse::job_state_name(jr.status.state)).c_str(),
+                     jr.status.error.c_str());
+        return 1;
+      }
+    }
     if (const int rc = save_spec_snapshot(session, spec)) return rc;
+
+    // The whole report is composed off-line and written with one fwrite:
+    // an interrupt stops the run early (the token is polled between
+    // variants), but it can never leave a half-written table on stdout.
+    std::string out;
     if (spec.quiet) {
       const dse::CostCache* cache = session.cache();
-      std::printf("snapshot: wrote %s (structural=%zu variant=%zu "
-                  "calibrations=%zu)\n",
-                  spec.snapshot.c_str(), cache ? cache->size() : 0,
-                  cache ? cache->variant_size() : 0,
-                  session.device_names().size());
-      return 0;
+      out = "snapshot: wrote " + spec.snapshot +
+            " (structural=" + std::to_string(cache ? cache->size() : 0) +
+            " variant=" + std::to_string(cache ? cache->variant_size() : 0) +
+            " calibrations=" + std::to_string(session.device_names().size()) +
+            ")\n";
+    } else if (spec.json) {
+      out = dse::format_campaign_json(result);
+    } else {
+      char head[160];
+      std::snprintf(head, sizeof head,
+                    "campaign: %zu jobs (%zu kernels x %zu device(s)) in "
+                    "%.3f s\n",
+                    result.jobs.size(), kernels_to_run.size(),
+                    device_names.size(), result.campaign_seconds);
+      out = head;
+      out += dse::format_campaign(result);
+      if (spec.pareto) {
+        out += "\nmerged pareto frontier across all jobs:\n";
+        out += dse::format_campaign_pareto(result);
+      }
     }
-    if (spec.json) {
-      std::printf("%s", dse::format_campaign_json(result).c_str());
-      return 0;
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    if (interrupted) {
+      std::size_t cancelled = 0;
+      for (const auto& jr : result.jobs) {
+        if (jr.status.state == dse::JobState::Cancelled) ++cancelled;
+      }
+      std::fprintf(stderr,
+                   "tytra-cc: campaign interrupted (%zu of %zu jobs "
+                   "cancelled; completed results above)\n",
+                   cancelled, result.jobs.size());
+      return kExitInterrupted;
     }
-    std::printf("campaign: %zu jobs (%zu kernels x %zu device(s)) in %.3f s\n",
-                result.jobs.size(), kernels_to_run.size(), device_names.size(),
-                result.campaign_seconds);
-    std::printf("%s", dse::format_campaign(result).c_str());
-    if (spec.pareto) {
-      std::printf("\nmerged pareto frontier across all jobs:\n");
-      std::printf("%s", dse::format_campaign_pareto(result).c_str());
-    }
+  } catch (const dse::CancelledError&) {
+    std::fprintf(stderr, "tytra-cc: campaign interrupted\n");
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tytra-cc: campaign failed: %s\n", e.what());
     return 1;
@@ -374,7 +456,8 @@ std::string parse_explore_flags(int argc, char** argv, int& i,
                            arg == "--jobs" || arg == "--max-steps" ||
                            arg == "--device" || arg == "--preset" ||
                            arg == "--target" || arg == "--kernel" ||
-                           arg == "--ir" || arg == "--snapshot";
+                           arg == "--ir" || arg == "--snapshot" ||
+                           arg == "--deadline-ms" || arg == "--on-error";
   if (takes_value && i + 1 >= argc) return arg + " requires a value";
   if (arg == "--nd") {
     std::uint32_t nd = 0;
@@ -410,6 +493,20 @@ std::string parse_explore_flags(int argc, char** argv, int& i,
     spec.irs.emplace_back(argv[++i]);
   } else if (arg == "--snapshot") {
     spec.snapshot = argv[++i];
+  } else if (arg == "--deadline-ms") {
+    if (!parse_u32(argv[++i], spec.deadline_ms) || spec.deadline_ms == 0) {
+      return "--deadline-ms: '" + std::string(argv[i]) +
+             "' is not a positive integer";
+    }
+  } else if (arg == "--on-error") {
+    const std::string policy = argv[++i];
+    if (policy == "abort") {
+      spec.on_error_abort = true;
+    } else if (policy == "continue") {
+      spec.on_error_abort = false;
+    } else {
+      return "--on-error: '" + policy + "' is not continue|abort";
+    }
   } else if (arg == "--pareto") {
     spec.pareto = true;
   } else if (arg == "--json") {
