@@ -1,0 +1,230 @@
+// Measures what the tytra-dsed wire adds on top of the engine and what
+// the shared warm session buys across clients: the protocol floor (ping
+// round-trips over the Unix socket), a cold explore through the daemon
+// vs the identical call straight into a Session, the warm-cache repeat
+// rate once the daemon has seen the job, and aggregate throughput with
+// several concurrent clients sharing the one scheduler.
+//
+//   bench_daemon_roundtrip [--smoke]
+//
+// --smoke shrinks the request counts for CI. Output is one JSON object,
+// following the bench-driver convention (BENCH_estimator_baseline.json
+// et al.). The server runs in-process on its own thread — the same
+// serve() loop, socket and frame layers a real deployment uses; only
+// fork/exec is elided so the numbers isolate protocol + scheduling cost.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tytra/dse/server.hpp"
+#include "tytra/dse/session.hpp"
+#include "tytra/kernels/registry.hpp"
+#include "tytra/support/framing.hpp"
+#include "tytra/support/json.hpp"
+#include "tytra/target/device.hpp"
+
+namespace {
+
+using namespace tytra;
+
+double now_seconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int connect_to(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends one request and reads frames until the terminal one; returns
+/// its exit code, or -1 on a transport/parse defect.
+int round_trip(int fd, const std::string& request) {
+  std::string err;
+  if (!framing::write_frame(fd, request, err)) return -1;
+  std::string payload;
+  for (;;) {
+    if (framing::read_frame(fd, payload, err) != framing::ReadStatus::Frame) {
+      return -1;
+    }
+    auto parsed = json::parse(payload);
+    if (!parsed.ok()) return -1;
+    const json::Value frame = std::move(parsed).take();
+    const std::string type = frame.get_string("type").value_or("");
+    if (type == "pong") return 0;
+    if (type == "result" || type == "error") {
+      return static_cast<int>(frame.get_u32("exit").value_or(99));
+    }
+  }
+}
+
+constexpr char kExploreReq[] =
+    R"({"cmd": "explore", "kernel": "sor", "nd": 16, "json": true})";
+constexpr char kCampaignReq[] =
+    R"({"cmd": "campaign", "kernels": ["sor", "hotspot"], "nds": [8], "json": true})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int ping_count = smoke ? 50 : 1000;
+  const int warm_count = smoke ? 5 : 50;
+  const int clients = smoke ? 2 : 4;
+  const int requests_per_client = smoke ? 2 : 8;
+
+  dse::ServerOptions opts;
+  opts.socket_path = "/tmp/tytra_bench_dsed_" + std::to_string(::getpid()) +
+                     ".sock";
+  dse::Server server(std::move(opts));
+  std::thread serving([&] { server.serve(); });
+
+  const int fd = connect_to(server.socket_path());
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to %s\n",
+                 server.socket_path().c_str());
+    server.signal_shutdown();
+    serving.join();
+    return 1;
+  }
+
+  // Protocol floor: ping round-trips (frame write + parse + scheduler
+  // hop + frame read; no DSE work).
+  std::vector<double> ping_us(static_cast<std::size_t>(ping_count));
+  for (int i = 0; i < ping_count; ++i) {
+    const double t0 = now_seconds();
+    if (round_trip(fd, R"({"cmd": "ping"})") != 0) {
+      std::fprintf(stderr, "ping failed\n");
+      return 1;
+    }
+    ping_us[static_cast<std::size_t>(i)] = (now_seconds() - t0) * 1e6;
+  }
+  std::sort(ping_us.begin(), ping_us.end());
+  const double ping_median = ping_us[ping_us.size() / 2];
+  const double ping_p99 = ping_us[ping_us.size() * 99 / 100];
+
+  // Cold explore through the daemon (calibration + full sweep)...
+  const double cold_t0 = now_seconds();
+  if (round_trip(fd, kExploreReq) != 0) {
+    std::fprintf(stderr, "cold explore failed\n");
+    return 1;
+  }
+  const double cold_seconds = now_seconds() - cold_t0;
+
+  // ...vs the identical job straight into a fresh Session (no wire).
+  double direct_seconds = 0;
+  {
+    dse::Session session;
+    auto job_r = kernels::Registry::instance().make_job("sor", 16);
+    if (!job_r.ok()) {
+      std::fprintf(stderr, "cannot build job: %s\n",
+                   job_r.error_message().c_str());
+      return 1;
+    }
+    dse::Job job = std::move(job_r).take();
+    const auto desc = target::preset("stratix-v-gsd8");
+    const double t0 = now_seconds();
+    session.add_device(*desc);
+    job.device = desc->name;
+    job.max_lanes = 16;
+    session.explore(job);
+    direct_seconds = now_seconds() - t0;
+  }
+
+  // Warm repeats: the daemon has the variant keys now.
+  double warm_total = 0;
+  for (int i = 0; i < warm_count; ++i) {
+    const double t0 = now_seconds();
+    if (round_trip(fd, kExploreReq) != 0) {
+      std::fprintf(stderr, "warm explore failed\n");
+      return 1;
+    }
+    warm_total += now_seconds() - t0;
+  }
+  const double warm_seconds = warm_total / warm_count;
+  ::close(fd);
+
+  // Concurrent clients hammering campaigns at the one warm session.
+  const double conc_t0 = now_seconds();
+  std::vector<std::thread> threads;
+  std::vector<int> failures(static_cast<std::size_t>(clients), 0);
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int cfd = connect_to(server.socket_path());
+      if (cfd < 0) {
+        failures[static_cast<std::size_t>(c)] = requests_per_client;
+        return;
+      }
+      for (int r = 0; r < requests_per_client; ++r) {
+        if (round_trip(cfd, kCampaignReq) != 0) {
+          ++failures[static_cast<std::size_t>(c)];
+        }
+      }
+      ::close(cfd);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double conc_seconds = now_seconds() - conc_t0;
+  int failed = 0;
+  for (const int f : failures) failed += f;
+  const int total_requests = clients * requests_per_client;
+
+  server.signal_shutdown();
+  serving.join();
+  const dse::ServerStats stats = server.stats();
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"daemon_roundtrip\",\n");
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf(
+      "  \"ping\": {\"count\": %d, \"median_us\": %g, \"p99_us\": %g},\n",
+      ping_count, ping_median, ping_p99);
+  std::printf(
+      "  \"explore\": {\"cold_via_daemon_seconds\": %g, "
+      "\"cold_direct_seconds\": %g, \"warm_via_daemon_seconds\": %g, "
+      "\"warm_speedup_vs_cold\": %g},\n",
+      cold_seconds, direct_seconds, warm_seconds,
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0);
+  std::printf(
+      "  \"concurrent\": {\"clients\": %d, \"requests\": %d, "
+      "\"seconds\": %g, \"requests_per_sec\": %g, \"failed\": %d},\n",
+      clients, total_requests, conc_seconds,
+      conc_seconds > 0 ? total_requests / conc_seconds : 0.0, failed);
+  std::printf(
+      "  \"server\": {\"connections\": %llu, \"requests\": %llu, "
+      "\"jobs_ok\": %llu, \"jobs_degraded\": %llu}\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.jobs_ok),
+      static_cast<unsigned long long>(stats.jobs_degraded));
+  std::printf("}\n");
+
+  if (failed != 0 || stats.jobs_degraded != 0) {
+    std::fprintf(stderr, "degraded bench run (failed=%d degraded=%llu)\n",
+                 failed, static_cast<unsigned long long>(stats.jobs_degraded));
+    return 1;
+  }
+  return 0;
+}

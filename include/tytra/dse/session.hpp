@@ -137,6 +137,15 @@ struct Job {
   /// the explore/tune/run call this job is part of; 0 inherits
   /// SessionOptions::deadline_seconds.
   double deadline_seconds{0};
+  /// Per-job cooperative cancellation (non-owning; must outlive the
+  /// call). Unlike SessionOptions::cancel — which stops the whole batch —
+  /// flipping this kills only *this* job: in a campaign it degrades to
+  /// JobState::Cancelled while every other job completes normally;
+  /// single-job calls throw CancelledError. Checked at the same variant
+  /// (explore/run) or step (tune) granularity as the session-wide token.
+  /// The daemon wires each client connection's token here so one
+  /// client's disconnect cancels its jobs and nobody else's.
+  const CancelToken* cancel{nullptr};
 };
 
 /// A batch of jobs fanned through one shared warm cache.

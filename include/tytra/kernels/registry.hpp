@@ -99,6 +99,17 @@ class Registry {
   std::vector<WorkloadInfo> entries_;
 };
 
+/// The `tytra-cc list` rendering of a registry: one block per workload
+/// (name, summary, nd help with the default, source for file-backed
+/// workloads) plus the device-preset footer. Shared by the CLI and the
+/// daemon's `list` response so the two can never drift.
+std::string format_registry(const Registry& reg);
+
+/// The same enumeration as JSON: {"workloads": [{name, summary, nd_help,
+/// default_nd, source}...], "presets": [...]} — source is null for
+/// built-ins. Rendering style matches the dse::format_*_json family.
+std::string format_registry_json(const Registry& reg);
+
 /// Static-initialization helper: `static WorkloadRegistrar reg{info};`
 /// in a workload's translation unit self-registers it before main.
 struct WorkloadRegistrar {

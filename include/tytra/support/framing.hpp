@@ -1,0 +1,52 @@
+#pragma once
+
+// Length-prefixed frame I/O — the byte layer of the tytra-dsed wire
+// protocol. One frame is a 4-byte little-endian payload length followed
+// by exactly that many payload bytes (UTF-8 JSON at the protocol layer;
+// this layer does not care). The prefix makes message boundaries
+// explicit on a stream socket: a reader never has to scan for
+// delimiters, and a slow or chunked sender costs nothing but another
+// read() loop iteration.
+//
+// Failure model, in the spirit of support/binio.hpp: every defect is
+// detected and named, nothing hangs. A length over kMaxFrameBytes is
+// rejected before any payload byte is read (a garbage prefix must not
+// make the daemon try to allocate 4 GB), a stream that ends mid-frame
+// is a TruncatedFrame-style error, and a clean EOF *between* frames is
+// its own status — the one legitimate way a peer says goodbye. Short
+// reads/writes and EINTR are retried internally.
+//
+// The `frame.read` / `frame.write` failpoints (support/failpoint.hpp)
+// fire at the top of each call so tests and the CI sweep can prove the
+// daemon's containment: an injected read fault closes one connection,
+// never the daemon; an injected write fault looks to the client like a
+// disconnect while the daemon keeps serving everyone else.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tytra::framing {
+
+/// Upper bound on one frame's payload. Generous for campaign renderings
+/// (a full 3-kernel sweep is ~100 kB) while keeping a hostile 0xffffffff
+/// prefix from turning into an allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class ReadStatus {
+  Frame,  ///< one complete frame read into `payload`
+  Eof,    ///< peer closed cleanly between frames (zero prefix bytes read)
+  Error   ///< I/O error, truncated frame, oversized length, injected fault
+};
+
+/// Reads exactly one frame from `fd`. On Error, `error` names the defect;
+/// on Eof/Frame it is untouched. Blocking; retries EINTR and short reads.
+ReadStatus read_frame(int fd, std::string& payload, std::string& error);
+
+/// Writes one frame (prefix + payload) to `fd`. Returns false on any
+/// failure — including EPIPE from a peer that already hung up, which the
+/// caller must treat as a disconnect, not a crash (the daemon ignores
+/// SIGPIPE for exactly this reason). `error` names the defect.
+bool write_frame(int fd, std::string_view payload, std::string& error);
+
+}  // namespace tytra::framing

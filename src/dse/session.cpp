@@ -84,6 +84,12 @@ struct EvalContext {
   /// Per-job wall-clock budget in seconds since t0; <= 0 disables.
   std::vector<double> deadline;
   bool any_deadline{false};
+  /// Per-job cancel tokens (Job::cancel); null disables. A flipped token
+  /// kills only its job — the dead flag gates the rest, and
+  /// finalize_status turns the incomplete-but-fault-free job into
+  /// Cancelled.
+  std::vector<const CancelToken*> job_cancel;
+  bool any_job_cancel{false};
   std::vector<FaultRecord> records;
   std::unique_ptr<std::atomic<bool>[]> dead;  ///< one flag per job
   std::mutex mu;  ///< guards records (cold path only)
@@ -93,6 +99,7 @@ struct EvalContext {
       : cancel(cancel_token),
         t0(start),
         deadline(jobs, 0.0),
+        job_cancel(jobs, nullptr),
         records(jobs),
         dead(std::make_unique<std::atomic<bool>[]>(jobs)) {
     for (std::size_t j = 0; j < jobs; ++j) {
@@ -139,6 +146,15 @@ void evaluate_tasks(const std::vector<EvalTask>& tasks, CostCache* cache,
       if (i >= tasks.size()) return;
       const EvalTask& t = tasks[i];
       if (ctx.dead[t.job].load(std::memory_order_relaxed)) continue;
+      if (ctx.any_job_cancel) {
+        const CancelToken* jc = ctx.job_cancel[t.job];
+        if (jc != nullptr && jc->cancelled()) {
+          // Idempotent store, no record: finalize_status derives the
+          // Cancelled state from the fault-free-but-incomplete slots.
+          ctx.dead[t.job].store(true, std::memory_order_relaxed);
+          continue;
+        }
+      }
       if (ctx.any_deadline) {
         const double budget = ctx.deadline[t.job];
         if (budget > 0 && seconds_since(ctx.t0) >= budget) {
@@ -409,7 +425,7 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
                     const cost::DeviceCostDb& db, int max_steps,
                     std::uint32_t max_lanes, CostCache* cache,
                     ir::BuildArena& arena, const CancelToken* cancel,
-                    double deadline_seconds,
+                    const CancelToken* job_cancel, double deadline_seconds,
                     std::chrono::steady_clock::time_point t0) {
   TuneResult result;
   if (max_steps <= 0) {
@@ -426,6 +442,9 @@ TuneResult run_tune(std::uint64_t n, const Lowerer& lower,
     // The walk's checkpoints mirror evaluate_tasks' variant granularity:
     // a cancel or expiry stops the next step, never one in flight.
     if (cancel != nullptr && cancel->cancelled()) throw CancelledError();
+    if (job_cancel != nullptr && job_cancel->cancelled()) {
+      throw CancelledError();
+    }
     if (deadline_seconds > 0 && seconds_since(t0) >= deadline_seconds) {
       throw DeadlineExceeded(deadline_seconds);
     }
@@ -843,6 +862,8 @@ DseResult Session::explore(const Job& job, CostCache* cache_override) {
   ctx.deadline[0] = job.deadline_seconds > 0 ? job.deadline_seconds
                                              : options_.deadline_seconds;
   ctx.any_deadline = ctx.deadline[0] > 0;
+  ctx.job_cancel[0] = job.cancel;
+  ctx.any_job_cancel = job.cancel != nullptr;
   evaluate_tasks(tasks, cache, pool_for(participants), participants,
                  arenas(participants), slots, levels, ctx);
   // Single-job semantics: a contained failure surfaces as the original
@@ -870,7 +891,7 @@ TuneResult Session::tune(const Job& job, CostCache* cache_override) {
                                                    : options_.deadline_seconds;
   return run_tune(r.n, *r.lower, *r.db, job.max_steps, r.max_lanes,
                   effective_cache(cache_override), arenas(1)[0],
-                  options_.cancel, deadline,
+                  options_.cancel, job.cancel, deadline,
                   std::chrono::steady_clock::now());
 }
 
@@ -879,6 +900,7 @@ cost::CostReport Session::baseline(const Job& job, CostCache* cache_override) {
   if (options_.cancel != nullptr && options_.cancel->cancelled()) {
     throw CancelledError();
   }
+  if (job.cancel != nullptr && job.cancel->cancelled()) throw CancelledError();
   const frontend::Variant variant = frontend::baseline_variant(r.n);
   CostCache* cache = effective_cache(cache_override);
   ir::BuildArena& arena = arenas(1)[0];
@@ -952,6 +974,8 @@ CampaignResult Session::run(const Campaign& campaign,
                           ? campaign.jobs[j].deadline_seconds
                           : options_.deadline_seconds;
     if (ctx.deadline[j] > 0) ctx.any_deadline = true;
+    ctx.job_cancel[j] = campaign.jobs[j].cancel;
+    if (ctx.job_cancel[j] != nullptr) ctx.any_job_cancel = true;
   }
   for (const std::vector<EvalTask>* wave : {&wave1, &wave2}) {
     if (wave->empty()) continue;

@@ -1,11 +1,15 @@
 #include "tytra/kernels/registry.hpp"
 
+#include <cstdio>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "tytra/kernels/kernels.hpp"
 #include "tytra/kernels/lowerers.hpp"
+#include "tytra/support/json.hpp"
+#include "tytra/target/device.hpp"
 
 namespace tytra::kernels {
 
@@ -164,6 +168,59 @@ std::string Registry::names_joined(std::string_view sep) const {
     out += e.name;
   }
   return out;
+}
+
+std::string format_registry(const Registry& reg) {
+  std::string out = "workloads (kernels::Registry):\n";
+  char line[512];
+  for (const auto& info : reg.all()) {
+    std::snprintf(line, sizeof line, "  %-10s %s\n", info.name.c_str(),
+                  info.summary.c_str());
+    out += line;
+    std::snprintf(line, sizeof line, "  %-10s --nd: %s (default %u)\n", "",
+                  info.nd_help.c_str(), info.default_nd);
+    out += line;
+    if (!info.source.empty()) {
+      std::snprintf(line, sizeof line, "  %-10s source: %s\n", "",
+                    info.source.c_str());
+      out += line;
+    }
+  }
+  out += "device presets: ";
+  const auto& presets = target::preset_names();
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    if (i) out += "|";
+    out += presets[i];
+  }
+  out += " (or any .tgt file)\n";
+  return out;
+}
+
+std::string format_registry_json(const Registry& reg) {
+  std::ostringstream os;
+  os << "{\n  \"workloads\": [";
+  const auto& entries = reg.all();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& info = entries[i];
+    os << (i ? ",\n" : "\n") << "    {\"name\": \""
+       << tytra::json::escape(info.name) << "\", \"summary\": \""
+       << tytra::json::escape(info.summary) << "\", \"nd_help\": \""
+       << tytra::json::escape(info.nd_help)
+       << "\", \"default_nd\": " << info.default_nd << ", \"source\": ";
+    if (info.source.empty()) {
+      os << "null";
+    } else {
+      os << "\"" << tytra::json::escape(info.source) << "\"";
+    }
+    os << "}";
+  }
+  os << "\n  ],\n  \"presets\": [";
+  const auto& presets = target::preset_names();
+  for (std::size_t i = 0; i < presets.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << tytra::json::escape(presets[i]) << "\"";
+  }
+  os << "]\n}\n";
+  return os.str();
 }
 
 tytra::Result<dse::Job> Registry::make_job(std::string_view workload,

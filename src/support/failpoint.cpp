@@ -86,7 +86,11 @@ const std::vector<std::string>& known_names() {
       "cache.insert",        // CostCache entry publication (both levels)
       "calibration.measure", // cost::DeviceCostDb::calibrate
       "dse.pool-task",       // one variant evaluation in evaluate_tasks
+      "frame.read",          // framing::read_frame (daemon wire protocol)
+      "frame.write",         // framing::write_frame (daemon wire protocol)
       "membench.measure",    // membench::BandwidthTable::measure
+      "server.accept",       // dse::Server accept loop
+      "server.drain",        // dse::Server graceful drain (skips the wait)
       "snapshot.load",       // Session::load_snapshot
       "snapshot.save",       // Session::save_snapshot
       "workload.parse",      // kernels::load_file_workload

@@ -1,0 +1,115 @@
+#include "tytra/support/framing.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "tytra/support/failpoint.hpp"
+
+namespace tytra::framing {
+
+namespace {
+
+/// Reads exactly `n` bytes into `buf`, retrying EINTR and short reads.
+/// Returns n on success, 0 on clean EOF before the first byte, -1 on
+/// error or EOF mid-read (errno left from the failing read, or 0 when
+/// the defect is truncation rather than a syscall failure).
+ssize_t read_exact(int fd, void* buf, std::size_t n) {
+  std::size_t got = 0;
+  char* p = static_cast<char*>(buf);
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) {
+      errno = 0;
+      return got == 0 ? 0 : -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool write_exact(int fd, const void* buf, std::size_t n, std::string& error) {
+  std::size_t put = 0;
+  const char* p = static_cast<const char*>(buf);
+  while (put < n) {
+    const ssize_t r = ::write(fd, p + put, n - put);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("frame write failed: ") + std::strerror(errno);
+      return false;
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadStatus read_frame(int fd, std::string& payload, std::string& error) {
+  if (failpoint::fire("frame.read")) {
+    error = "injected fault at failpoint 'frame.read'";
+    return ReadStatus::Error;
+  }
+  unsigned char prefix[4];
+  const ssize_t pr = read_exact(fd, prefix, sizeof prefix);
+  if (pr == 0) return ReadStatus::Eof;
+  if (pr < 0) {
+    error = errno != 0
+                ? std::string("frame prefix read failed: ") + std::strerror(errno)
+                : "truncated frame prefix";
+    return ReadStatus::Error;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    error = "frame length " + std::to_string(len) + " exceeds limit " +
+            std::to_string(kMaxFrameBytes);
+    return ReadStatus::Error;
+  }
+  payload.resize(len);
+  if (len > 0) {
+    const ssize_t br = read_exact(fd, payload.data(), len);
+    if (br <= 0) {
+      // EOF after a prefix is truncation, never a clean close.
+      error = errno != 0 ? std::string("frame payload read failed: ") +
+                               std::strerror(errno)
+                         : "truncated frame payload";
+      return ReadStatus::Error;
+    }
+  }
+  return ReadStatus::Frame;
+}
+
+bool write_frame(int fd, std::string_view payload, std::string& error) {
+  if (failpoint::fire("frame.write")) {
+    error = "injected fault at failpoint 'frame.write'";
+    return false;
+  }
+  if (payload.size() > kMaxFrameBytes) {
+    error = "frame length " + std::to_string(payload.size()) +
+            " exceeds limit " + std::to_string(kMaxFrameBytes);
+    return false;
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char prefix[4] = {
+      static_cast<unsigned char>(len & 0xFF),
+      static_cast<unsigned char>((len >> 8) & 0xFF),
+      static_cast<unsigned char>((len >> 16) & 0xFF),
+      static_cast<unsigned char>((len >> 24) & 0xFF),
+  };
+  if (!write_exact(fd, prefix, sizeof prefix, error)) return false;
+  if (!payload.empty() &&
+      !write_exact(fd, payload.data(), payload.size(), error)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tytra::framing

@@ -14,6 +14,11 @@
 // kernels::Registry — registering a workload is the only step needed for
 // it to appear here. Devices are the target presets or any .tgt file.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +38,8 @@
 #include "tytra/ir/verifier.hpp"
 #include "tytra/kernels/file_workload.hpp"
 #include "tytra/kernels/registry.hpp"
+#include "tytra/support/framing.hpp"
+#include "tytra/support/json.hpp"
 #include "tytra/target/device.hpp"
 
 namespace {
@@ -48,15 +55,22 @@ constexpr int kExitInterrupted = 130;
 /// down at the next batch boundary instead of dying mid-write.
 dse::CancelToken g_cancel;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
 
-extern "C" void handle_sigint(int) {
+extern "C" void handle_signal(int sig) {
   // request_cancel is a relaxed atomic store — async-signal-safe. Restore
-  // the default disposition so a second Ctrl-C kills the process outright
-  // if the cooperative wind-down is not fast enough for the user.
+  // the default disposition so a second Ctrl-C (or a follow-up SIGTERM
+  // from a supervisor's kill escalation) ends the process outright if the
+  // cooperative wind-down is not fast enough.
   g_cancel.request_cancel();
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(sig, SIG_DFL);
 }
 
-void install_sigint_cancel() { std::signal(SIGINT, handle_sigint); }
+/// SIGINT and SIGTERM share the cooperative-cancellation contract: wind
+/// down at the next variant boundary, keep every completed job's results,
+/// exit 130. Ctrl-C and a service manager's stop request look the same.
+void install_signal_cancel() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
 
 std::string kernel_list() {
   return kernels::Registry::instance().names_joined();
@@ -89,7 +103,10 @@ std::string usage_text() {
          "[--on-error continue|abort]\n";
   out += "       tytra-cc cache dump <file> [campaign flags] | "
          "load <file> | inspect <file> | verify <file>\n";
-  out += "       tytra-cc list [--names] [--ir file.tir]...\n";
+  out += "       tytra-cc list [--names] [--json] [--ir file.tir]...\n";
+  out += "       tytra-cc [explore|tune|campaign|list] --server SOCKET ...   "
+         "run via a tytra-dsed daemon (same output, shared warm cache)\n";
+  out += "       tytra-cc [ping|shutdown] --server SOCKET\n";
   return out;
 }
 
@@ -166,6 +183,10 @@ struct ExploreSpec {
   /// fail-the-whole-campaign contract) or continue (report per-job
   /// status, exit 0).
   bool on_error_abort{true};
+  /// tytra-dsed socket path (--server). When set the command is shipped
+  /// to the daemon over the frame protocol instead of run in-process;
+  /// output and exit code are byte-identical to a standalone run.
+  std::string server;
 };
 
 /// Saves the session snapshot when the spec asked for one. Failures are
@@ -214,7 +235,7 @@ int run_job_command(const std::string& mode, const ExploreSpec& spec) {
   so.snapshot_path = spec.snapshot;
   so.cancel = &g_cancel;
   so.deadline_seconds = spec.deadline_ms / 1000.0;
-  install_sigint_cancel();
+  install_signal_cancel();
 
   try {
     dse::Session session(so);
@@ -285,7 +306,7 @@ int run_campaign(const ExploreSpec& spec,
   so.snapshot_path = spec.snapshot;
   so.cancel = &g_cancel;
   so.deadline_seconds = spec.deadline_ms / 1000.0;
-  install_sigint_cancel();
+  install_signal_cancel();
   try {
     dse::Session session(so);
 
@@ -421,7 +442,7 @@ bool register_ir_files(const std::vector<std::string>& irs) {
   return true;
 }
 
-int run_list(bool names_only) {
+int run_list(bool names_only, bool json) {
   const auto& registry = kernels::Registry::instance();
   if (names_only) {
     for (const auto& info : registry.all()) {
@@ -429,18 +450,193 @@ int run_list(bool names_only) {
     }
     return 0;
   }
-  std::printf("workloads (kernels::Registry):\n");
-  for (const auto& info : registry.all()) {
-    std::printf("  %-10s %s\n", info.name.c_str(), info.summary.c_str());
-    std::printf("  %-10s --nd: %s (default %u)\n", "",
-                info.nd_help.c_str(), info.default_nd);
-    if (!info.source.empty()) {
-      std::printf("  %-10s source: %s\n", "", info.source.c_str());
+  // Shared renderers (kernels/registry.hpp): the daemon's `list` response
+  // is composed from the same functions, so the two cannot drift.
+  const std::string out = json ? kernels::format_registry_json(registry)
+                               : kernels::format_registry(registry);
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client mode (--server): ship the command to a tytra-dsed daemon
+// ---------------------------------------------------------------------------
+
+/// Appends the request fields shared by explore/tune/campaign, including
+/// the --ir files' *content* (the daemon registers them server-side; its
+/// filesystem never needs to see the paths).
+bool append_common_fields(std::ostringstream& os, const ExploreSpec& spec) {
+  os << ", \"max_lanes\": " << spec.max_lanes << ", \"json\": "
+     << (spec.json ? "true" : "false") << ", \"pareto\": "
+     << (spec.pareto ? "true" : "false") << ", \"on_error\": \""
+     << (spec.on_error_abort ? "abort" : "continue") << "\"";
+  if (spec.deadline_ms != 0) os << ", \"deadline_ms\": " << spec.deadline_ms;
+  if (!spec.devices.empty()) {
+    os << ", \"devices\": [";
+    for (std::size_t i = 0; i < spec.devices.size(); ++i) {
+      os << (i ? ", " : "") << "\"" << json::escape(spec.devices[i]) << "\"";
+    }
+    os << "]";
+  }
+  if (!spec.irs.empty()) {
+    os << ", \"irs\": [";
+    for (std::size_t i = 0; i < spec.irs.size(); ++i) {
+      std::string text;
+      if (!read_file(spec.irs[i], text)) {
+        std::fprintf(stderr, "tytra-cc: cannot read '%s'\n",
+                     spec.irs[i].c_str());
+        return false;
+      }
+      os << (i ? ", " : "") << "{\"name\": \"" << json::escape(spec.irs[i])
+         << "\", \"source\": \"" << json::escape(text) << "\"}";
+    }
+    os << "]";
+  }
+  return true;
+}
+
+/// Sends one request frame and streams the response: per-job progress
+/// frames are consumed silently (the final frame carries the standalone
+/// run's full stdout/stderr), "result"/"error" terminate with the
+/// daemon's exit code — so `tytra-cc --server ...` is byte- and
+/// exit-code-identical to the same command run standalone.
+int run_via_server(const std::string& socket_path, const std::string& request) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "tytra-cc: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "tytra-cc: --server path '%s' is too long\n",
+                 socket_path.c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr,
+                 "tytra-cc: cannot connect to server '%s': %s (is tytra-dsed "
+                 "running?)\n",
+                 socket_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  std::string err;
+  if (!framing::write_frame(fd, request, err)) {
+    std::fprintf(stderr, "tytra-cc: server write failed: %s\n", err.c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::string payload;
+  for (;;) {
+    const framing::ReadStatus st = framing::read_frame(fd, payload, err);
+    if (st == framing::ReadStatus::Eof) {
+      std::fprintf(stderr, "tytra-cc: server disconnected\n");
+      ::close(fd);
+      return 1;
+    }
+    if (st == framing::ReadStatus::Error) {
+      std::fprintf(stderr, "tytra-cc: %s\n", err.c_str());
+      ::close(fd);
+      return 1;
+    }
+    auto parsed = json::parse(payload);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      std::fprintf(stderr, "tytra-cc: bad frame from server: %s\n",
+                   parsed.ok() ? "not an object"
+                               : parsed.diag().message.c_str());
+      ::close(fd);
+      return 1;
+    }
+    const json::Value frame = std::move(parsed).take();
+    const std::string type = frame.get_string("type").value_or("");
+    if (type == "job") continue;  // per-job progress; the result frame
+                                  // carries the composed stdout
+    if (type == "pong") {
+      std::printf("%s\n", payload.c_str());
+      ::close(fd);
+      return 0;
+    }
+    const int exit_code =
+        static_cast<int>(frame.get_number("exit").value_or(1));
+    if (type == "result") {
+      const std::string out = frame.get_string("stdout").value_or("");
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      const std::string errout = frame.get_string("stderr").value_or("");
+      if (!errout.empty()) {
+        std::fwrite(errout.data(), 1, errout.size(), stderr);
+      }
+      ::close(fd);
+      return exit_code;
+    }
+    if (type == "error") {
+      std::fprintf(stderr, "tytra-cc: %s\n",
+                   frame.get_string("message").value_or("server error")
+                       .c_str());
+      ::close(fd);
+      return exit_code;
+    }
+    std::fprintf(stderr, "tytra-cc: unexpected frame type '%s' from server\n",
+                 type.c_str());
+    ::close(fd);
+    return 1;
+  }
+}
+
+/// explore/tune via the daemon. The kernel was already validated against
+/// the local registry (which saw the same --ir files), so error paths
+/// match standalone byte-for-byte.
+int run_job_via_server(const std::string& mode, const ExploreSpec& spec) {
+  std::ostringstream os;
+  os << "{\"cmd\": \"" << mode << "\", \"kernel\": \""
+     << json::escape(spec.kernel) << "\"";
+  if (spec.nd) os << ", \"nd\": " << *spec.nd;
+  if (mode == "tune") os << ", \"max_steps\": " << spec.max_steps;
+  if (!append_common_fields(os, spec)) return 1;
+  os << "}";
+  return run_via_server(spec.server, os.str());
+}
+
+/// campaign via the daemon. The client expands the kernel list itself
+/// (registry order, --ir paths appended), so "every registered kernel"
+/// means the CLIENT's registry — another client's IR registrations on the
+/// daemon can never leak into this campaign.
+int run_campaign_via_server(const ExploreSpec& spec,
+                            const std::vector<std::string>& kernel_names,
+                            const std::vector<std::uint32_t>& nds) {
+  const auto& registry = kernels::Registry::instance();
+  if (spec.max_lanes == 0) {
+    std::fprintf(stderr, "tytra-cc: --max-lanes must be >= 1\n");
+    return 1;
+  }
+  const std::vector<std::string> kernels_to_run =
+      kernel_names.empty() ? registry.names() : kernel_names;
+  for (const auto& kernel : kernels_to_run) {
+    if (!registry.find(kernel)) {
+      std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (%s)\n",
+                   kernel.c_str(), kernel_list().c_str());
+      return 1;
     }
   }
-  std::printf("device presets: %s (or any .tgt file)\n",
-              preset_list().c_str());
-  return 0;
+  std::ostringstream os;
+  os << "{\"cmd\": \"campaign\", \"kernels\": [";
+  for (std::size_t i = 0; i < kernels_to_run.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json::escape(kernels_to_run[i]) << "\"";
+  }
+  os << "]";
+  if (!nds.empty()) {
+    os << ", \"nds\": [";
+    for (std::size_t i = 0; i < nds.size(); ++i) {
+      os << (i ? ", " : "") << nds[i];
+    }
+    os << "]";
+  }
+  if (!append_common_fields(os, spec)) return 1;
+  os << "}";
+  return run_via_server(spec.server, os.str());
 }
 
 /// Parses one flag shared by explore/tune/campaign (and `cache dump`).
@@ -457,7 +653,8 @@ std::string parse_explore_flags(int argc, char** argv, int& i,
                            arg == "--device" || arg == "--preset" ||
                            arg == "--target" || arg == "--kernel" ||
                            arg == "--ir" || arg == "--snapshot" ||
-                           arg == "--deadline-ms" || arg == "--on-error";
+                           arg == "--deadline-ms" || arg == "--on-error" ||
+                           arg == "--server";
   if (takes_value && i + 1 >= argc) return arg + " requires a value";
   if (arg == "--nd") {
     std::uint32_t nd = 0;
@@ -493,6 +690,8 @@ std::string parse_explore_flags(int argc, char** argv, int& i,
     spec.irs.emplace_back(argv[++i]);
   } else if (arg == "--snapshot") {
     spec.snapshot = argv[++i];
+  } else if (arg == "--server") {
+    spec.server = argv[++i];
   } else if (arg == "--deadline-ms") {
     if (!parse_u32(argv[++i], spec.deadline_ms) || spec.deadline_ms == 0) {
       return "--deadline-ms: '" + std::string(argv[i]) +
@@ -550,6 +749,10 @@ int run_cache(int argc, char** argv) {
       const std::string err =
           parse_explore_flags(argc, argv, i, spec, &kernels_arg, &nds_arg);
       if (!err.empty()) return flag_error("cache dump: " + err);
+    }
+    if (!spec.server.empty()) {
+      return flag_error("cache dump: --server is not supported (the daemon "
+                        "owns its snapshot; use tytra-dsed --snapshot)");
     }
     if (!register_ir_files(spec.irs)) return 1;
     kernels_arg.insert(kernels_arg.end(), spec.irs.begin(), spec.irs.end());
@@ -632,16 +835,36 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
   if (cmd == "cache") return run_cache(argc, argv);
   if (cmd == "list") {
     bool names_only = false;
+    bool json = false;
+    std::string server;
     std::vector<std::string> irs;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--names") == 0) names_only = true;
+      else if (std::strcmp(argv[i], "--json") == 0) json = true;
       else if (std::strcmp(argv[i], "--ir") == 0 && i + 1 < argc)
         irs.emplace_back(argv[++i]);
+      else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc)
+        server = argv[++i];
       else return flag_error("list: unknown or incomplete flag '" +
                              std::string(argv[i]) + "'");
     }
+    if (!server.empty()) {
+      if (names_only) {
+        return flag_error("list: --names cannot be combined with --server");
+      }
+      ExploreSpec spec;
+      spec.irs = irs;
+      spec.server = server;
+      spec.json = json;
+      if (!register_ir_files(irs)) return 1;  // same local validation bytes
+      std::ostringstream os;
+      os << "{\"cmd\": \"list\"";
+      if (!append_common_fields(os, spec)) return 1;
+      os << "}";
+      return run_via_server(server, os.str());
+    }
     if (!register_ir_files(irs)) return 1;
-    return run_list(names_only);
+    return run_list(names_only, json);
   }
 
   ExploreSpec spec;
@@ -658,10 +881,17 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
                             cmd == "campaign" ? &nds_arg : nullptr);
     if (!err.empty()) return flag_error(cmd + ": " + err);
   }
+  if (!spec.server.empty() && !spec.snapshot.empty()) {
+    return flag_error(cmd + ": --snapshot cannot be combined with --server "
+                            "(the daemon owns the snapshot)");
+  }
   if (cmd == "campaign") {
     if (!register_ir_files(spec.irs)) return 1;
     // File workloads join the named-kernel list under their path names.
     kernels_arg.insert(kernels_arg.end(), spec.irs.begin(), spec.irs.end());
+    if (!spec.server.empty()) {
+      return run_campaign_via_server(spec, kernels_arg, nds_arg);
+    }
     return run_campaign(spec, kernels_arg, nds_arg);
   }
   if (cmd != "explore" && cmd != "tune") return usage();
@@ -694,6 +924,20 @@ int run_subcommand(const std::string& cmd, int argc, char** argv) {
                  cmd.c_str());
     return 2;
   }
+  if (!spec.server.empty()) {
+    // Validate the kernel against the local registry (it registered the
+    // same --ir files), so the unknown-kernel path stays byte-identical.
+    if (!kernels::Registry::instance().find(spec.kernel)) {
+      std::fprintf(stderr, "tytra-cc: unknown kernel '%s' (%s)\n",
+                   spec.kernel.c_str(), kernel_list().c_str());
+      return 1;
+    }
+    if (spec.max_lanes == 0) {
+      std::fprintf(stderr, "tytra-cc: --max-lanes must be >= 1\n");
+      return 1;
+    }
+    return run_job_via_server(cmd, spec);
+  }
   return run_job_command(cmd, spec);
 }
 
@@ -711,6 +955,22 @@ int main(int argc, char** argv) {
     if (cmd == "explore" || cmd == "tune" || cmd == "campaign" ||
         cmd == "cache" || cmd == "list") {
       return run_subcommand(cmd, argc, argv);
+    }
+    if (cmd == "ping" || cmd == "shutdown") {
+      // Daemon-only conveniences: `tytra-cc ping --server S` checks
+      // liveness (prints the pong frame), `shutdown` asks for a graceful
+      // drain (the daemon's SIGTERM path, reachable over the socket).
+      std::string server;
+      for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+          server = argv[++i];
+        } else {
+          return flag_error(cmd + ": unknown or incomplete flag '" +
+                            std::string(argv[i]) + "'");
+        }
+      }
+      if (server.empty()) return flag_error(cmd + " requires --server PATH");
+      return run_via_server(server, "{\"cmd\": \"" + cmd + "\"}");
     }
   }
 
