@@ -1,0 +1,148 @@
+#pragma once
+
+// ir::lint — the coded static-analysis pass framework over TyTra-IR.
+//
+// The verifier answers "is this module well-formed?"; lint answers "will
+// this design cost well under the EKIT model?" (Eq. 1-3: pipeline
+// composition, offset-induced buffering, bandwidth saturation) before any
+// DSE campaign is spent on it. Each rule is a registered pass with a
+// stable code (`TL0xx`), a default severity and SourceLoc-carrying
+// diagnostics; tools and tests consume findings either as rendered text
+// (`format_lint`) or machine-readable JSON (`format_lint_json`).
+//
+// Layering: this header must not pull in cost/ (cost/ already includes
+// ir/); device-aware rules see the calibrated database only through the
+// forward-declared pointer in Options, and the rule bodies include the
+// cost headers from src/ir/lint/*.cpp.
+//
+// Preconditions: run_lint assumes the module verifies (`ir::verify`
+// reported no errors). Lint never duplicates a verifier diagnostic.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tytra/ir/analysis.hpp"
+#include "tytra/ir/module.hpp"
+#include "tytra/support/diag.hpp"
+
+namespace tytra::cost {
+class DeviceCostDb;
+}  // namespace tytra::cost
+
+namespace tytra::ir::lint {
+
+/// Identity card of one rule: the stable code findings carry, the short
+/// kebab-case name, the default severity and a one-line summary (the
+/// docs/IR.md catalog and `format_rules` render from this).
+struct RuleInfo {
+  std::string_view code;     ///< stable, e.g. "TL005"
+  std::string_view name;     ///< kebab-case, e.g. "seq-serializes-pipeline"
+  Severity severity{Severity::Warning};  ///< default finding severity
+  std::string_view summary;  ///< one line, for catalogs and --help
+  /// Device-aware rules need a calibrated DeviceCostDb and are skipped
+  /// when Options::db is null.
+  bool needs_device{false};
+};
+
+/// Everything a rule may look at. `summary` is the shared one-traversal
+/// analysis bundle (config tree, Table-I params, per-function partitions);
+/// `db` is null unless the caller supplied a calibrated device.
+struct Context {
+  const Module& module;
+  const AnalysisSummary& summary;
+  const cost::DeviceCostDb* db{nullptr};
+};
+
+/// The reporting surface handed to a rule: stamps the rule's code (and
+/// default severity, unless overridden) onto every finding.
+class Reporter {
+ public:
+  Reporter(const RuleInfo& info, DiagBag& bag) : info_(info), bag_(bag) {}
+
+  /// Reports a finding at the rule's default severity.
+  void report(std::string message, SourceLoc loc = {}) {
+    report(info_.severity, std::move(message), loc);
+  }
+  /// Reports a finding at an explicit severity (e.g. a rule that warns at
+  /// a soft threshold and errors at a hard one).
+  void report(Severity severity, std::string message, SourceLoc loc = {}) {
+    Diag d{severity, std::move(message), loc, std::string(info_.code)};
+    bag_.add(std::move(d));
+  }
+
+ private:
+  const RuleInfo& info_;
+  DiagBag& bag_;
+};
+
+/// One registered pass.
+struct Rule {
+  RuleInfo info;
+  std::function<void(const Context&, Reporter&)> run;
+};
+
+/// The process-wide rule table. Built-in rules register from
+/// src/ir/lint/rules_*.cpp at first use (same TU-anchoring discipline as
+/// kernels::Registry, so a static library cannot dead-strip them).
+class Registry {
+ public:
+  static const Registry& instance();
+
+  void add(Rule rule);
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] const Rule* find(std::string_view code) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+struct Options {
+  /// Calibrated device database; null skips the needs_device rules.
+  const cost::DeviceCostDb* db{nullptr};
+};
+
+/// The outcome of one lint run over one module.
+struct LintReport {
+  DiagBag findings;
+  std::size_t rules_run{0};  ///< rules executed (device rules may be skipped)
+
+  [[nodiscard]] std::size_t errors() const {
+    return findings.count(Severity::Error);
+  }
+  [[nodiscard]] std::size_t warnings() const {
+    return findings.count(Severity::Warning);
+  }
+  [[nodiscard]] std::size_t notes() const {
+    return findings.count(Severity::Note);
+  }
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Runs every registered (and applicable) rule over `module`.
+/// Preconditions: the module verifies.
+LintReport run_lint(const Module& module, const Options& options = {});
+
+/// Exit-code policy for drivers: the lowest severity that fails a run.
+enum class FailOn { Error, Warning };
+
+/// True when `report` contains a finding at or above the threshold.
+[[nodiscard]] bool fails(const LintReport& report, FailOn fail_on);
+
+/// Human-readable rendering: a headline naming `subject` and the finding
+/// counts, then one indented Diag::to_string line per finding.
+[[nodiscard]] std::string format_lint(const LintReport& report,
+                                      std::string_view subject);
+
+/// Machine-readable rendering: one JSON object per design —
+/// {"name", "clean", "findings": [...], "counts": {...}, "rules_run"}.
+[[nodiscard]] std::string format_lint_json(const LintReport& report,
+                                           std::string_view name);
+
+/// The rule catalog (code, name, severity, summary), one line per rule —
+/// `tytra-cc lint --rules`.
+[[nodiscard]] std::string format_rules(const Registry& registry);
+
+}  // namespace tytra::ir::lint

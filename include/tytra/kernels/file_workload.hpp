@@ -49,6 +49,10 @@ struct FileWorkload {
   /// "tir/digest=<key>.<check>" — the baseline's structural digest, the
   /// KeyedLowerer fingerprint (see dse/lowerer.hpp for the contract).
   std::string fingerprint;
+  /// ir::lint findings over the baseline (structural rules only — no
+  /// device is in scope at load time). Advisory: lint never blocks a
+  /// load, whatever the finding severity; callers surface or ignore it.
+  std::vector<tytra::Diag> lint;
 };
 
 /// Parses + verifies `source`; `nd` != 0 overrides every `!ND<k>`
@@ -76,14 +80,16 @@ dse::KeyedLowerer file_lowerer(std::shared_ptr<const ir::Module> baseline);
 /// Parse/verify failures, a non-replicable @main and duplicate names all
 /// come back as structured errors; on success the workload is explorable
 /// exactly like a built-in. The returned pointer is valid until the next
-/// registration.
+/// registration. `lint_out`, when non-null, receives the baseline's lint
+/// findings (advisory only; they never fail the registration).
 tytra::Result<const WorkloadInfo*> register_file_workload(
     Registry& reg, std::string name, std::string source_path,
-    std::string source_text);
+    std::string source_text, std::vector<tytra::Diag>* lint_out = nullptr);
 
 /// Convenience: read `path` from disk and register it under the path as
 /// the workload name. Idempotent for a repeated identical path.
 tytra::Result<const WorkloadInfo*> register_file_workload(
-    Registry& reg, const std::string& path);
+    Registry& reg, const std::string& path,
+    std::vector<tytra::Diag>* lint_out = nullptr);
 
 }  // namespace tytra::kernels

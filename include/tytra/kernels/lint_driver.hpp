@@ -1,0 +1,48 @@
+#pragma once
+
+// The lint driver shared by `tytra-cc lint` and the daemon's `lint` verb:
+// resolves workload names against a registry, lowers each baseline design
+// and runs the ir::lint pass framework over it, composing the full report
+// (text or JSON) off-line. Both front-ends render through this one
+// function, so standalone and daemon output can never drift — the same
+// discipline as kernels::format_registry.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tytra/ir/lint.hpp"
+#include "tytra/kernels/registry.hpp"
+
+namespace tytra::cost {
+class DeviceCostDb;
+}  // namespace tytra::cost
+
+namespace tytra::kernels {
+
+struct LintDriverOptions {
+  /// Workload names to lint; empty = every registered workload.
+  std::vector<std::string> targets;
+  /// Problem dimension; 0 = each workload's default_nd.
+  std::uint32_t nd{0};
+  /// Calibrated device for the device-aware rules; null skips them.
+  const cost::DeviceCostDb* db{nullptr};
+  bool json{false};
+  ir::lint::FailOn fail_on{ir::lint::FailOn::Error};
+};
+
+/// What a front-end prints and returns. On exit_code 1 with a non-empty
+/// `err`, `out` is empty (the no-partial-stdout contract); exit_code 1
+/// with empty `err` means findings at or above the --fail-on threshold.
+struct LintDriverResult {
+  int exit_code{0};
+  std::string out;
+  std::string err;
+};
+
+/// Runs the lint pipeline over `options.targets` against `reg`.
+/// Never throws: lowering or analysis failures become exit_code 1.
+LintDriverResult run_lint_driver(const Registry& reg,
+                                 const LintDriverOptions& options);
+
+}  // namespace tytra::kernels

@@ -10,6 +10,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -33,29 +34,44 @@ inline std::ostream& operator<<(std::ostream& os, const SourceLoc& loc) {
 /// Severity of a diagnostic message.
 enum class Severity : std::uint8_t { Error, Warning, Note };
 
-/// A single diagnostic: severity, message and (optional) location.
+[[nodiscard]] constexpr std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Error: return "error";
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+  }
+  return "error";
+}
+
+/// A single diagnostic: severity, message, (optional) location and
+/// (optional) stable rule code. Codes ("TL005") come from coded passes
+/// such as ir::lint; the verifier and parser leave the field empty, and
+/// an empty code renders exactly as it always has — tools pinning those
+/// messages byte-for-byte are unaffected.
 struct Diag {
   Severity severity{Severity::Error};
   std::string message;
   SourceLoc loc;
+  std::string code;  ///< stable rule code, e.g. "TL005"; empty = uncoded
 
   [[nodiscard]] std::string to_string() const {
-    std::string out;
-    switch (severity) {
-      case Severity::Error: out = "error"; break;
-      case Severity::Warning: out = "warning"; break;
-      case Severity::Note: out = "note"; break;
-    }
+    std::string out{severity_name(severity)};
+    if (!code.empty()) out += " [" + code + "]";
     if (loc.known()) {
       out += " at " + std::to_string(loc.line) + ':' + std::to_string(loc.col);
     }
     out += ": " + message;
     return out;
   }
+
+  /// Machine-readable rendering: one JSON object with "severity",
+  /// "code" (null when uncoded), "line"/"col" (0 = unknown) and
+  /// "message". Defined in src/support/diag.cpp (needs json::escape).
+  [[nodiscard]] std::string to_json() const;
 };
 
 inline Diag make_error(std::string message, SourceLoc loc = {}) {
-  return Diag{Severity::Error, std::move(message), loc};
+  return Diag{Severity::Error, std::move(message), loc, {}};
 }
 
 /// Accumulates diagnostics; used by multi-error passes such as the verifier.
@@ -66,7 +82,7 @@ class DiagBag {
     add(make_error(std::move(message), loc));
   }
   void warning(std::string message, SourceLoc loc = {}) {
-    add(Diag{Severity::Warning, std::move(message), loc});
+    add(Diag{Severity::Warning, std::move(message), loc, {}});
   }
 
   [[nodiscard]] bool has_errors() const {
@@ -79,6 +95,14 @@ class DiagBag {
   [[nodiscard]] bool empty() const { return diags_.empty(); }
   [[nodiscard]] const std::vector<Diag>& all() const { return diags_; }
 
+  [[nodiscard]] std::size_t count(Severity s) const {
+    std::size_t n = 0;
+    for (const auto& d : diags_) {
+      if (d.severity == s) ++n;
+    }
+    return n;
+  }
+
   [[nodiscard]] std::string to_string() const {
     std::string out;
     for (const auto& d : diags_) {
@@ -87,6 +111,9 @@ class DiagBag {
     }
     return out;
   }
+
+  /// Machine-readable rendering: a JSON array of Diag::to_json objects.
+  [[nodiscard]] std::string to_json() const;
 
  private:
   std::vector<Diag> diags_;

@@ -13,6 +13,7 @@
 #include "tytra/ir/structural_hash.hpp"
 #include "tytra/support/failpoint.hpp"
 #include "tytra/support/hash.hpp"
+#include "tytra/support/thread_annotations.hpp"
 
 namespace tytra::dse {
 
@@ -125,7 +126,7 @@ class AtomicTable {
   /// retired slot array — and returns the resident node either way.
   const Node* insert(std::uint64_t key, std::uint64_t check, V&& value) {
     Shard& shard = shards_[key % shards_.size()];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     Slots* t = shard.live.load(std::memory_order_relaxed);
     if (const Node* resident = probe(*t, key, check)) return resident;
     // Keep load factor under 70% so probe chains always end on a null.
@@ -141,7 +142,7 @@ class AtomicTable {
   [[nodiscard]] std::size_t size() const {
     std::size_t n = 0;
     for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       n += s.size;
     }
     return n;
@@ -154,7 +155,7 @@ class AtomicTable {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       for (const auto& node : s.nodes) fn(*node);
     }
   }
@@ -165,7 +166,7 @@ class AtomicTable {
   /// concurrent lock-free reader could still be probing the freed memory.
   void clear() {
     for (Shard& s : shards_) {
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(s.mu);
       auto fresh = std::make_unique<Slots>(kInitialSlots);
       s.live.store(fresh.get(), std::memory_order_release);
       s.tables.clear();
@@ -189,13 +190,13 @@ class AtomicTable {
       live.store(tables.back().get(), std::memory_order_relaxed);
     }
     std::atomic<Slots*> live{nullptr};
-    mutable std::mutex mu;              ///< guards everything below
-    std::size_t size{0};
+    mutable tytra::Mutex mu;            ///< guards everything below
+    std::size_t size TYTRA_GUARDED_BY(mu){0};
     /// Every slot-array generation ever published. Retired arrays are
     /// kept until clear()/destruction so readers holding them stay safe;
     /// geometric growth bounds the total at ~2x the live array.
-    std::vector<std::unique_ptr<Slots>> tables;
-    std::vector<std::unique_ptr<Node>> nodes;  ///< owns the entries
+    std::vector<std::unique_ptr<Slots>> tables TYTRA_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<Node>> nodes TYTRA_GUARDED_BY(mu);  ///< owns the entries
   };
 
   static const Node* probe(const Slots& t, std::uint64_t key,
@@ -218,7 +219,7 @@ class AtomicTable {
     }
   }
 
-  Slots* grow(Shard& shard, Slots* old) {
+  Slots* grow(Shard& shard, Slots* old) TYTRA_REQUIRES(shard.mu) {
     auto bigger = std::make_unique<Slots>(old->slot.size() * 2);
     for (const auto& s : old->slot) {
       Node* n = s.load(std::memory_order_relaxed);

@@ -4,30 +4,36 @@
 #include <condition_variable>
 #include <cstdio>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "tytra/support/thread_annotations.hpp"
+
 namespace tytra::dse {
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_cv;  ///< workers park here between batches
-  std::condition_variable done_cv;  ///< run_batch parks here until drained
+  tytra::Mutex mu;
+  /// Workers park here between batches. condition_variable_any waits on
+  /// the annotated Mutex directly, so the capability stays visible to the
+  /// thread-safety analysis across the wait.
+  std::condition_variable_any work_cv;
+  std::condition_variable_any done_cv;  ///< run_batch parks here until drained
 
   // The current batch, published under `mu`. `generation` is the wake
   // token: a worker remembers the last generation it served and a new
   // batch is simply "generation changed". Workers whose index is not
   // drafted (>= participants) observe the new generation and go straight
   // back to sleep without touching `outstanding`.
-  const BatchFn* batch{nullptr};
-  std::uint32_t participants{0};
-  std::uint64_t generation{0};
-  std::uint32_t outstanding{0};  ///< drafted pool workers still running
-  std::exception_ptr batch_error;
-  std::uint32_t batch_thrown{0};  ///< worker exceptions this batch
-  bool stop{false};
+  const BatchFn* batch TYTRA_GUARDED_BY(mu){nullptr};
+  std::uint32_t participants TYTRA_GUARDED_BY(mu){0};
+  std::uint64_t generation TYTRA_GUARDED_BY(mu){0};
+  /// Drafted pool workers still running.
+  std::uint32_t outstanding TYTRA_GUARDED_BY(mu){0};
+  std::exception_ptr batch_error TYTRA_GUARDED_BY(mu);
+  /// Worker exceptions this batch.
+  std::uint32_t batch_thrown TYTRA_GUARDED_BY(mu){0};
+  bool stop TYTRA_GUARDED_BY(mu){false};
 
   /// Lifetime count of exceptions that lost the who-gets-rethrown race
   /// (atomic so the accessor needs no lock while a batch runs).
@@ -40,8 +46,8 @@ struct ThreadPool::Impl {
     for (;;) {
       const BatchFn* fn = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        MutexLock lock(mu);
+        while (!stop && generation == seen) work_cv.wait(mu);
         if (stop) return;
         seen = generation;
         if (index >= participants) continue;  // not drafted for this batch
@@ -54,7 +60,7 @@ struct ThreadPool::Impl {
         error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (error) {
           ++batch_thrown;
           if (!batch_error) batch_error = error;
@@ -66,7 +72,7 @@ struct ThreadPool::Impl {
 
   void shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       stop = true;
     }
     work_cv.notify_all();
@@ -109,7 +115,7 @@ void ThreadPool::run_batch(std::uint32_t participants, const BatchFn& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->batch = &fn;
     impl_->participants = participants;
     impl_->outstanding = participants - 1;
@@ -132,8 +138,8 @@ void ThreadPool::run_batch(std::uint32_t participants, const BatchFn& fn) {
   std::exception_ptr worker_error;
   std::uint32_t thrown = 0;
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
-    impl_->done_cv.wait(lock, [&] { return impl_->outstanding == 0; });
+    MutexLock lock(impl_->mu);
+    while (impl_->outstanding != 0) impl_->done_cv.wait(impl_->mu);
     impl_->batch = nullptr;
     worker_error = impl_->batch_error;
     impl_->batch_error = nullptr;

@@ -16,7 +16,6 @@
 #include <deque>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -25,11 +24,14 @@
 
 #include "tytra/dse/explorer.hpp"
 #include "tytra/dse/tuner.hpp"
+#include "tytra/ir/lint.hpp"
 #include "tytra/kernels/file_workload.hpp"
+#include "tytra/kernels/lint_driver.hpp"
 #include "tytra/kernels/registry.hpp"
 #include "tytra/support/failpoint.hpp"
 #include "tytra/support/framing.hpp"
 #include "tytra/support/json.hpp"
+#include "tytra/support/thread_annotations.hpp"
 #include "tytra/target/device.hpp"
 
 // Implementation map (see the header for the model):
@@ -110,8 +112,8 @@ struct Connection {
   /// connection queued carries `&cancel` as its Job::cancel, so a gone
   /// client stops costing evaluation within one variant.
   CancelToken cancel;
-  std::mutex write_mu;
-  bool closed{false};  ///< guarded by write_mu; no more frames leave
+  tytra::Mutex write_mu;
+  bool closed TYTRA_GUARDED_BY(write_mu){false};  ///< no more frames leave
   std::atomic<bool> done{false};  ///< reader thread has exited
   std::thread reader;
   std::uint64_t next_req{0};  ///< reader-thread only
@@ -230,7 +232,7 @@ struct Server::Impl {
   /// reader wakes on the shutdown() and tears the connection down; the
   /// daemon itself is unaffected.
   bool send(Connection& c, const std::string& payload) {
-    std::lock_guard<std::mutex> lock(c.write_mu);
+    MutexLock lock(c.write_mu);
     if (c.closed) return false;
     std::string err;
     if (!framing::write_frame(c.fd, payload, err)) {
@@ -321,7 +323,7 @@ struct Server::Impl {
       unit.request = std::move(parsed).take();
       bool rejected = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!accepting_) {
           rejected = true;
         } else {
@@ -343,12 +345,12 @@ struct Server::Impl {
     // units, and stop any further frames toward the dead fd.
     conn->cancel.request_cancel();
     {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
+      MutexLock lock(conn->write_mu);
       conn->closed = true;
       ::shutdown(conn->fd, SHUT_RDWR);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_units_ -= conn->units.size();
       conn->units.clear();
       if (pending_units_ == 0 && !busy_) idle_cv_.notify_all();
@@ -441,6 +443,50 @@ struct Server::Impl {
       send_result(*conn, unit.req_id, 0,
                   json_out ? kernels::format_registry_json(reg)
                            : kernels::format_registry(reg));
+      return;
+    }
+    if (*cmd == "lint") {
+      if (const std::string err = register_irs(request); !err.empty()) {
+        send_error(*conn, unit.req_id, 1, err);
+        return;
+      }
+      // One device (the CLI sends exactly one spec), resolved against the
+      // shared session table so a repeat lint reuses the calibration.
+      std::string device_spec = "stratix-v-gsd8";
+      if (const json::Value* devices = request.find("devices");
+          devices != nullptr && devices->is_array() &&
+          !devices->elements().empty() &&
+          devices->elements().front().is_string()) {
+        device_spec = devices->elements().front().str();
+      }
+      auto device_name = ensure_device(device_spec);
+      if (!device_name.ok()) {
+        send_error(*conn, unit.req_id, 1, device_name.diag().message);
+        return;
+      }
+      kernels::LintDriverOptions opts;
+      opts.db = session_->find_device(device_name.value());
+      if (const json::Value* targets = request.find("targets");
+          targets != nullptr && targets->is_array()) {
+        for (const json::Value& t : targets->elements()) {
+          if (t.is_string()) opts.targets.push_back(t.str());
+        }
+      }
+      opts.nd = request.get_u32("nd").value_or(0);
+      opts.json = request.get_bool("json").value_or(false);
+      opts.fail_on =
+          request.get_string("fail_on").value_or("error") == "warning"
+              ? ir::lint::FailOn::Warning
+              : ir::lint::FailOn::Error;
+      const kernels::LintDriverResult result =
+          kernels::run_lint_driver(kernels::Registry::instance(), opts);
+      if (!result.err.empty()) {
+        // The client renders "error" frames as `tytra-cc: <message>`,
+        // exactly what a standalone run prints on its failure paths.
+        send_error(*conn, unit.req_id, result.exit_code, result.err);
+      } else {
+        send_result(*conn, unit.req_id, result.exit_code, result.out);
+      }
       return;
     }
     if (*cmd != "explore" && *cmd != "tune" && *cmd != "campaign") {
@@ -587,7 +633,7 @@ struct Server::Impl {
     // Admission: the whole request queues or none of it does.
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (conn->units.size() + req->jobs.size() <= opts_.queue_limit) {
         for (std::size_t i = 0; i < req->jobs.size(); ++i) {
           Unit ju;
@@ -808,8 +854,8 @@ struct Server::Impl {
       std::shared_ptr<Connection> conn;
       Unit unit;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        sched_cv_.wait(lock, [&] { return stop_ || !rr_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && rr_.empty()) sched_cv_.wait(mu_);
         if (rr_.empty()) {
           if (stop_) return;
           continue;
@@ -834,7 +880,7 @@ struct Server::Impl {
         process_job(unit.req, unit.job_index);
       }
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         busy_ = false;
         --pending_units_;
         if (pending_units_ == 0) idle_cv_.notify_all();
@@ -890,7 +936,7 @@ struct Server::Impl {
     listen_fd_ = -1;
     ::unlink(opts_.socket_path.c_str());
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       accepting_ = false;
     }
 
@@ -898,17 +944,22 @@ struct Server::Impl {
     // server.drain failpoint skips it — the "drain budget already spent"
     // worst case, on demand for tests.
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      const auto idle = [&] { return pending_units_ == 0 && !busy_; };
+      MutexLock lock(mu_);
       bool drained = false;
       if (failpoint::fire("server.drain")) {
         std::fprintf(stderr, "tytra-dsed: injected fault at failpoint "
                              "'server.drain'; cancelling in-flight work\n");
       } else {
-        drained = idle_cv_.wait_for(
-            lock, std::chrono::milliseconds(opts_.drain_ms), idle);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(opts_.drain_ms);
+        while (!(pending_units_ == 0 && !busy_)) {
+          if (idle_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+        drained = pending_units_ == 0 && !busy_;
       }
-      if (!drained && !idle()) {
+      if (!drained && !(pending_units_ == 0 && !busy_)) {
         // Step 3: the budget is spent. Cancel cooperatively — the
         // session-wide token stops evaluation at the next variant, and
         // draining_ makes the scheduler finalize queued jobs as
@@ -916,13 +967,13 @@ struct Server::Impl {
         // completed results, exit 130) instead of running them.
         draining_.store(true, std::memory_order_relaxed);
         drain_cancel_.request_cancel();
-        idle_cv_.wait(lock, idle);
+        while (!(pending_units_ == 0 && !busy_)) idle_cv_.wait(mu_);
       }
     }
 
     // Step 4: stop the scheduler.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     sched_cv_.notify_all();
@@ -931,7 +982,7 @@ struct Server::Impl {
     // Step 5: tear down the connections.
     for (const auto& conn : conns) {
       {
-        std::lock_guard<std::mutex> lock(conn->write_mu);
+        MutexLock lock(conn->write_mu);
         conn->closed = true;
         ::shutdown(conn->fd, SHUT_RDWR);
       }
@@ -967,14 +1018,17 @@ struct Server::Impl {
   int wake_wr_{-1};
   std::atomic<bool> shutdown_flag_{false};
 
-  std::mutex mu_;
-  std::condition_variable sched_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::shared_ptr<Connection>> rr_;
-  std::size_t pending_units_{0};
-  bool busy_{false};
-  bool accepting_{true};
-  bool stop_{false};
+  /// Scheduler-queue lock. condition_variable_any waits on the annotated
+  /// Mutex directly, keeping the capability visible to -Wthread-safety
+  /// across the wait (see thread_annotations.hpp).
+  tytra::Mutex mu_;
+  std::condition_variable_any sched_cv_;
+  std::condition_variable_any idle_cv_;
+  std::deque<std::shared_ptr<Connection>> rr_ TYTRA_GUARDED_BY(mu_);
+  std::size_t pending_units_ TYTRA_GUARDED_BY(mu_){0};
+  bool busy_ TYTRA_GUARDED_BY(mu_){false};
+  bool accepting_ TYTRA_GUARDED_BY(mu_){true};
+  bool stop_ TYTRA_GUARDED_BY(mu_){false};
   std::atomic<bool> draining_{false};
 
   /// Daemon-side IR registration memory: name -> source text, for the

@@ -1,0 +1,23 @@
+#pragma once
+
+// Internal registration hooks for the built-in lint rules. Each
+// rules_*.cpp exposes one function; Registry::instance() (lint.cpp) calls
+// them all, so the rules live behind an ordinary function call and a
+// static library cannot dead-strip them (the kernels::Registry lesson).
+
+#include "tytra/ir/lint.hpp"
+
+namespace tytra::ir::lint {
+
+/// TL001-TL005, TL009-TL013: rules over the IR structure alone.
+void register_structure_rules(Registry& registry);
+
+/// TL006-TL008: rules that price the design against a calibrated device.
+void register_device_rules(Registry& registry);
+
+/// Function summaries reachable from @main via calls (entry first).
+/// Shared by rules that must ignore dead code (defined in
+/// rules_structure.cpp; TL004 reports the unreachable remainder).
+std::vector<const FunctionSummary*> reachable_functions(const Context& ctx);
+
+}  // namespace tytra::ir::lint

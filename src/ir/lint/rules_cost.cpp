@@ -1,0 +1,98 @@
+// Built-in lint rules that price the design against a calibrated device
+// (Options::db non-null; skipped otherwise): offset-buffer BRAM pressure
+// and roofline memory-boundedness. These are the "will it cost well?"
+// half of the catalog — the EKIT model turned into diagnostics.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "rules.hpp"
+#include "tytra/cost/calibration.hpp"
+#include "tytra/cost/roofline.hpp"
+
+namespace tytra::ir::lint {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+// TL006: each offset declaration implies a smart buffer spanning the
+// offset window in on-chip memory (paper Eq. 2's Noff term). Estimate the
+// per-stream window span in bits, replicate per lane, and compare against
+// the device BRAM: over 25% warns (the DSE will struggle to replicate
+// lanes), over 100% errors (the design cannot place at all).
+void rule_offset_buffer_pressure(const Context& ctx, Reporter& rep) {
+  const auto& resources = ctx.db->device().resources;
+  if (resources.bram_bits == 0) return;
+  std::uint64_t total_bits = 0;
+  SourceLoc worst_loc;
+  std::uint64_t worst_bits = 0;
+  for (const FunctionSummary* fs : reachable_functions(ctx)) {
+    // Window span per offset base: [min(0, offsets)..max(0, offsets)].
+    struct Window { std::int64_t lo{0}, hi{0}; std::uint64_t elem_bits{0};
+                    SourceLoc loc; };
+    std::map<std::string, Window> windows;
+    for (const OffsetDecl* off : fs->offsets) {
+      Window& w = windows[off->base];
+      if (off->offset < w.lo) { w.lo = off->offset; w.loc = off->loc; }
+      if (off->offset > w.hi) { w.hi = off->offset; w.loc = off->loc; }
+      w.elem_bits = off->type.total_bits();
+    }
+    for (const auto& [base, w] : windows) {
+      const std::uint64_t bits =
+          static_cast<std::uint64_t>(w.hi - w.lo) * w.elem_bits;
+      total_bits += bits;
+      if (bits > worst_bits) { worst_bits = bits; worst_loc = w.loc; }
+    }
+  }
+  total_bits *= ctx.summary.params.knl;
+  if (total_bits == 0) return;
+  const double share =
+      100.0 * static_cast<double>(total_bits) /
+      static_cast<double>(resources.bram_bits);
+  if (share <= 25.0) return;
+  const Severity sev = share > 100.0 ? Severity::Error : Severity::Warning;
+  rep.report(sev,
+             "stream-offset buffers need " + std::to_string(total_bits) +
+                 " bits of on-chip memory (" + fmt_double(share) + "% of " +
+                 ctx.db->device().name + "'s " +
+                 std::to_string(resources.bram_bits) + " BRAM bits)",
+             worst_loc);
+}
+
+// TL008: place the design on the device roofline; a memory-bound point
+// means more lanes buy nothing — a Note steering the DSE user toward
+// bandwidth (exec-form, tiling) rather than compute scaling.
+void rule_memory_bound(const Context& ctx, Reporter& rep) {
+  if (ctx.summary.params.ngs == 0) return;
+  const cost::RooflinePoint point = cost::roofline(ctx.module, *ctx.db);
+  if (!point.memory_bound) return;
+  rep.report(Severity::Note,
+             "design is memory-bound on " + ctx.db->device().name +
+                 ": arithmetic intensity " +
+                 fmt_double(point.arithmetic_intensity) +
+                 " ops/byte is below the balance point " +
+                 fmt_double(point.balance_point) +
+                 "; extra lanes will not raise throughput");
+}
+
+}  // namespace
+
+void register_device_rules(Registry& registry) {
+  registry.add({{"TL006", "offset-buffer-pressure", Severity::Warning,
+                 "stream-offset windows strain the device BRAM",
+                 /*needs_device=*/true},
+                rule_offset_buffer_pressure});
+  registry.add({{"TL008", "memory-bound", Severity::Note,
+                 "design sits under the bandwidth roof, not the compute roof",
+                 /*needs_device=*/true},
+                rule_memory_bound});
+}
+
+}  // namespace tytra::ir::lint

@@ -184,7 +184,7 @@ class Parser {
       // User symbolic constant. A pre-defined constant (ParseOptions)
       // wins over the file's literal; the directive still documents the
       // file's default and lands in the output's definition-order list.
-      if (overridden_.count(key) == 0) constants_[key] = value;
+      if (!overridden_.contains(key)) constants_[key] = value;
       defined_constants_.emplace_back(key, constants_[key]);
     }
     return true;

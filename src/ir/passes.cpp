@@ -26,7 +26,7 @@ bool const_value(const Operand& op, double& out) {
 bool fold_op(Opcode op, const Type& type, const std::vector<double>& vals,
              double& out) {
   const bool integer = !type.scalar.is_float();
-  const auto a = vals.size() > 0 ? vals[0] : 0.0;
+  const auto a = !vals.empty() ? vals[0] : 0.0;
   const auto b = vals.size() > 1 ? vals[1] : 0.0;
   const auto c = vals.size() > 2 ? vals[2] : 0.0;
   const auto ia = static_cast<std::int64_t>(a);
@@ -136,10 +136,10 @@ PassStats eliminate_common_subexpressions(Module& module) {
       for (const auto& a : instr->args) {
         std::string p;
         switch (a.kind) {
-          case Operand::Kind::Local: p = "%" + a.name; break;
-          case Operand::Kind::Global: p = "@" + a.name; break;
-          case Operand::Kind::ConstInt: p = "#" + std::to_string(a.ival); break;
-          case Operand::Kind::ConstFloat: p = "~" + std::to_string(a.fval); break;
+          case Operand::Kind::Local: p = "%"; p += a.name; break;
+          case Operand::Kind::Global: p = "@"; p += a.name; break;
+          case Operand::Kind::ConstInt: p = "#"; p += std::to_string(a.ival); break;
+          case Operand::Kind::ConstFloat: p = "~"; p += std::to_string(a.fval); break;
         }
         parts.push_back(std::move(p));
       }
@@ -184,14 +184,14 @@ PassStats eliminate_dead_code(Module& module) {
       for (std::size_t i = 0; i < f.body.size(); ++i) {
         if (const auto* instr = std::get_if<Instr>(&f.body[i])) {
           // Global writes (stream outs / reductions) are live by definition.
-          if (!instr->result_global && used.count(instr->result) == 0) {
+          if (!instr->result_global && !used.contains(instr->result)) {
             f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
             ++stats.removed;
             changed = true;
             break;
           }
         } else if (const auto* off = std::get_if<OffsetDecl>(&f.body[i])) {
-          if (used.count(off->result) == 0) {
+          if (!used.contains(off->result)) {
             f.body.erase(f.body.begin() + static_cast<std::ptrdiff_t>(i));
             ++stats.removed;
             changed = true;

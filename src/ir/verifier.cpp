@@ -151,13 +151,13 @@ class Verifier {
     for (const auto& p : f.params) defined.insert(p.name);
 
     auto check_operand = [&](const Operand& op, const tytra::SourceLoc& loc) {
-      if (op.kind == Operand::Kind::Local && defined.count(op.name) == 0) {
+      if (op.kind == Operand::Kind::Local && !defined.contains(op.name)) {
         diags_.error("use of undefined value %" + op.name + " in @" + f.name, loc);
       }
       // Globals are kernel ports or reduction accumulators; a global operand
       // must match a port or a previously-written accumulator.
       if (op.kind == Operand::Kind::Global && mod_.find_port(op.name) == nullptr &&
-          global_accs_.count(op.name) == 0) {
+          !global_accs_.contains(op.name)) {
         // Reading an accumulator before any write is allowed (initial 0),
         // but only if some instruction in the module writes it.
         if (!global_written_somewhere(op.name)) {
@@ -168,7 +168,7 @@ class Verifier {
 
     for (const auto& item : f.body) {
       if (const auto* off = std::get_if<OffsetDecl>(&item)) {
-        if (defined.count(off->base) == 0) {
+        if (!defined.contains(off->base)) {
           diags_.error("offset of undefined stream %" + off->base + " in @" + f.name,
                        off->loc);
         }
@@ -250,7 +250,7 @@ class Verifier {
       // Call arguments name streams: locals must be defined here; globals
       // may be ports or externally-bound streams, so they are not checked.
       for (const auto& a : call.args) {
-        if (a.kind == Operand::Kind::Local && defined.count(a.name) == 0) {
+        if (a.kind == Operand::Kind::Local && !defined.contains(a.name)) {
           diags_.error("use of undefined value %" + a.name + " in call from @" +
                            f.name,
                        call.loc);

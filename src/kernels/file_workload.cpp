@@ -9,6 +9,7 @@
 #include <utility>
 #include <variant>
 
+#include "tytra/ir/lint.hpp"
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/structural_hash.hpp"
 #include "tytra/ir/verifier.hpp"
@@ -102,6 +103,9 @@ tytra::Result<FileWorkload> load_file_workload(std::string_view source,
 
   out.baseline = std::make_shared<const ir::Module>(std::move(parsed.module));
   out.fingerprint = digest_fingerprint(*out.baseline);
+  // Advisory static analysis on the verified design: structural rules
+  // only (no device at load time), and never a reason to fail the load.
+  out.lint = ir::lint::run_lint(*out.baseline).findings.all();
   return out;
 }
 
@@ -210,7 +214,7 @@ dse::KeyedLowerer file_lowerer(std::shared_ptr<const ir::Module> baseline) {
 
 tytra::Result<const WorkloadInfo*> register_file_workload(
     Registry& reg, std::string name, std::string source_path,
-    std::string source_text) {
+    std::string source_text, std::vector<tytra::Diag>* lint_out) {
   auto loaded = load_file_workload(source_text, 0);
   if (!loaded.ok()) {
     tytra::Diag d = loaded.diag();
@@ -218,6 +222,7 @@ tytra::Result<const WorkloadInfo*> register_file_workload(
     return d;
   }
   const FileWorkload& fw = loaded.value();
+  if (lint_out != nullptr) *lint_out = fw.lint;
 
   // Lane variants need a call-only @main (see replicate_lanes); reject
   // here, at registration, instead of throwing mid-sweep.
@@ -265,7 +270,8 @@ tytra::Result<const WorkloadInfo*> register_file_workload(
 }
 
 tytra::Result<const WorkloadInfo*> register_file_workload(
-    Registry& reg, const std::string& path) {
+    Registry& reg, const std::string& path,
+    std::vector<tytra::Diag>* lint_out) {
   if (const WorkloadInfo* existing = reg.find(path);
       existing != nullptr && existing->source == path) {
     return existing;  // the same path registered twice (e.g. repeated --ir)
@@ -276,7 +282,7 @@ tytra::Result<const WorkloadInfo*> register_file_workload(
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return register_file_workload(reg, path, path, ss.str());
+  return register_file_workload(reg, path, path, ss.str(), lint_out);
 }
 
 }  // namespace tytra::kernels

@@ -1,0 +1,62 @@
+#include "tytra/kernels/lint_driver.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "tytra/frontend/transform.hpp"
+#include "tytra/ir/module.hpp"
+
+namespace tytra::kernels {
+
+LintDriverResult run_lint_driver(const Registry& reg,
+                                 const LintDriverOptions& options) {
+  std::vector<std::string> targets = options.targets;
+  if (targets.empty()) targets = reg.names();
+
+  LintDriverResult result;
+  std::string text;
+  std::string json = "{\n  \"designs\": [";
+  bool failed = false;
+  const ir::lint::Options lint_opts{options.db};
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::string& name = targets[i];
+    const WorkloadInfo* info = reg.find(name);
+    if (!info) {
+      result.exit_code = 1;
+      result.err = "unknown workload '" + name +
+                   "' (registered: " + reg.names_joined() + ")";
+      return result;
+    }
+    const std::uint32_t nd = options.nd ? options.nd : info->default_nd;
+    auto job = reg.make_job(name, nd);
+    if (!job.ok()) {
+      result.exit_code = 1;
+      result.err = name + ": " + job.diag().message;
+      return result;
+    }
+    try {
+      const ir::Module module =
+          job.value().lower->lower(frontend::baseline_variant(job.value().n));
+      const ir::lint::LintReport report = ir::lint::run_lint(module, lint_opts);
+      const std::string subject = name + " (nd " + std::to_string(nd) + ")";
+      text += ir::lint::format_lint(report, subject);
+      json += i ? ", " : "";
+      json += ir::lint::format_lint_json(report, name);
+      failed = failed || ir::lint::fails(report, options.fail_on);
+    } catch (const std::exception& e) {
+      result.exit_code = 1;
+      result.err = name + ": " + e.what();
+      return result;
+    }
+  }
+
+  json += "],\n  \"failed\": ";
+  json += failed ? "true" : "false";
+  json += "\n}\n";
+  result.out = options.json ? std::move(json) : std::move(text);
+  result.exit_code = failed ? 1 : 0;
+  return result;
+}
+
+}  // namespace tytra::kernels

@@ -313,7 +313,7 @@ std::optional<std::uint32_t> Value::get_u32(std::string_view key) const {
 }
 
 Result<Value> parse(std::string_view text) {
-  Parser p{text};
+  Parser p{text, 0, {}};
   Value v;
   if (!p.parse_value(v, 0)) return make_error("json: " + p.error);
   p.skip_ws();

@@ -89,7 +89,7 @@ std::string scrub_key(std::string text, const std::string& key) {
            text[end] != '}') {
       ++end;
     }
-    text.replace(start, end - start, "0");
+    text.replace(start, end - start, 1, '0');
     pos = start;
   }
   return text;
@@ -300,6 +300,21 @@ TEST(CliDaemon, CampaignWithIrIsByteIdenticalToStandalone) {
   EXPECT_EQ(standalone.exit_code, 0) << standalone.err;
   EXPECT_EQ(via.exit_code, 0) << via.err;
   EXPECT_EQ(scrub_times(via.out), scrub_times(standalone.out));
+}
+
+TEST(CliDaemon, LintIsByteIdenticalToStandalone) {
+  Daemon d;
+  ASSERT_TRUE(d.wait_ready()) << d.log();
+  for (const std::string& args :
+       {std::string("lint sor lavamd"),
+        "lint --ir " + sor_tir_path() + " --json",
+        std::string("lint lavamd --fail-on warning")}) {
+    const RunResult standalone = run_cc(args);
+    const RunResult via = run_cc(args + " --server " + d.socket);
+    EXPECT_EQ(via.exit_code, standalone.exit_code) << args;
+    EXPECT_EQ(via.out, standalone.out) << args;
+    EXPECT_EQ(via.err, standalone.err) << args;
+  }
 }
 
 TEST(CliDaemon, ErrorBytesMatchStandalone) {

@@ -1,0 +1,163 @@
+// End-to-end contract of `tytra-cc lint` against the real binary: exit
+// codes (0 clean/advisory, 1 findings at or above --fail-on, 2 usage),
+// the human headline format, the --json document shape (parsed with the
+// engine's own json parser), --rules, and the error contract (stderr
+// diagnostic, empty stdout, exit 1).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tytra/support/json.hpp"
+
+namespace {
+
+#if defined(TYTRA_CC_BIN) && defined(TYTRA_SOURCE_DIR)
+
+struct RunResult {
+  int exit_code{-1};
+  std::string out;
+  std::string err;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+RunResult run_cc(const std::string& args) {
+  static int counter = 0;
+  const std::string tag = "cli_lint_" + std::to_string(counter++);
+  const std::string out_path = tag + ".out";
+  const std::string err_path = tag + ".err";
+  const std::string cmd = std::string(TYTRA_CC_BIN) + " " + args + " > " +
+                          out_path + " 2> " + err_path;
+  const int status = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = status < 0 ? status : WEXITSTATUS(status);
+  r.out = read_file(out_path);
+  r.err = read_file(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return r;
+}
+
+std::string example_tir(const std::string& name) {
+  return std::string(TYTRA_SOURCE_DIR) + "/examples/ir/" + name;
+}
+
+TEST(CliLint, CleanWorkloadExitsZeroWithCleanHeadline) {
+  const RunResult r = run_cc("lint sor");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("lint sor (nd 24): clean"), std::string::npos) << r.out;
+}
+
+TEST(CliLint, WarningsAreAdvisoryByDefault) {
+  // lavamd at its default dimension underfills the pipeline (TL011).
+  const RunResult r = run_cc("lint lavamd");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("[TL011]"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("warning"), std::string::npos) << r.out;
+}
+
+TEST(CliLint, FailOnWarningPromotesWarningsToFailure) {
+  const RunResult r = run_cc("lint lavamd --fail-on warning");
+  EXPECT_EQ(r.exit_code, 1) << r.out;
+  // Findings still render; the threshold only changes the exit code.
+  EXPECT_NE(r.out.find("[TL011]"), std::string::npos) << r.out;
+}
+
+TEST(CliLint, AllTargetsWhenNoneNamed) {
+  const RunResult r = run_cc("lint");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  for (const char* name : {"lint sor", "lint hotspot", "lint lavamd"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << r.out;
+  }
+}
+
+TEST(CliLint, ExamplesAreLintErrorFree) {
+  // --ir files are lint targets by themselves; no positional name needed.
+  for (const char* name : {"sor.tir", "dotacc.tir", "blur.tir"}) {
+    const RunResult r = run_cc("lint --ir " + example_tir(name));
+    EXPECT_EQ(r.exit_code, 0) << name << ": " << r.out << r.err;
+  }
+}
+
+TEST(CliLint, JsonDocumentShape) {
+  const std::string path = example_tir("blur.tir");
+  const RunResult r = run_cc("lint --ir " + path + " --json");
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  auto parsed = tytra::json::parse(r.out);
+  ASSERT_TRUE(parsed.ok()) << parsed.diag().message << "\n" << r.out;
+  const tytra::json::Value& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get_bool("failed").value_or(true), false);
+  const tytra::json::Value* designs = doc.find("designs");
+  ASSERT_NE(designs, nullptr);
+  ASSERT_TRUE(designs->is_array());
+  ASSERT_EQ(designs->elements().size(), 1u);
+  const tytra::json::Value& design = designs->elements()[0];
+  EXPECT_EQ(design.get_string("name").value_or(""), path);
+  EXPECT_NE(design.find("findings"), nullptr);
+  EXPECT_NE(design.find("counts"), nullptr);
+}
+
+TEST(CliLint, RulesListsTheFullCatalog) {
+  const RunResult r = run_cc("lint --rules");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  for (const char* code :
+       {"TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007",
+        "TL008", "TL009", "TL010", "TL011", "TL012", "TL013"}) {
+    EXPECT_NE(r.out.find(code), std::string::npos) << code << "\n" << r.out;
+  }
+}
+
+TEST(CliLint, UnknownWorkloadFailsCleanly) {
+  const RunResult r = run_cc("lint nosuchthing");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("unknown workload 'nosuchthing'"), std::string::npos)
+      << r.err;
+}
+
+TEST(CliLint, UsageErrorsExitTwo) {
+  for (const char* args :
+       {"lint --fail-on whenever", "lint --nd 0", "lint --nd",
+        "lint --ir"}) {
+    const RunResult r = run_cc(args);
+    EXPECT_EQ(r.exit_code, 2) << args << ": " << r.out << r.err;
+    EXPECT_NE(r.err.find("tytra-cc:"), std::string::npos) << r.err;
+  }
+}
+
+TEST(CliLint, UnverifiableIrFailsWithDiagnostic) {
+  const std::string path = "cli_lint_bad.tir";
+  {
+    std::ofstream bad(path);
+    bad << "!ngs = 8\n"
+           "define void @main() pipe {\n"
+           "  call @missing() pipe\n"
+           "}\n";
+  }
+  const RunResult r = run_cc("lint --ir " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_TRUE(r.out.empty()) << r.out;
+  EXPECT_NE(r.err.find("@missing"), std::string::npos) << r.err;
+}
+
+#else
+
+TEST(CliLint, Skipped) {
+  GTEST_SKIP() << "TYTRA_CC_BIN / TYTRA_SOURCE_DIR not defined";
+}
+
+#endif
+
+}  // namespace

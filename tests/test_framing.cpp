@@ -88,7 +88,9 @@ TEST(Json, RejectsRunawayNesting) {
 
 TEST(Json, EscapeRoundTrips) {
   const std::string raw = "line\nquote\"back\\slash\ttab\x01ctl";
-  const std::string doc = "\"" + tytra::json::escape(raw) + "\"";
+  std::string doc = "\"";
+  doc += tytra::json::escape(raw);
+  doc += '"';
   EXPECT_EQ(parse_ok(doc).str(), raw);
 }
 
@@ -144,7 +146,7 @@ struct SocketPair {
 TEST(Framing, RoundTripsPayloads) {
   SocketPair s;
   std::string err;
-  for (const std::string payload :
+  for (const std::string& payload :
        {std::string(""), std::string("{\"cmd\": \"ping\"}"),
         std::string(100000, 'x')}) {
     ASSERT_TRUE(tytra::framing::write_frame(s.a, payload, err)) << err;

@@ -1,0 +1,471 @@
+// ir::lint rule-by-rule contract: every coded rule TL001..TL013 has a
+// minimal triggering fixture and a non-triggering twin, so a rule that
+// goes silent (or one that starts firing on good designs) is caught by
+// name. Plus framework-level checks: registry integrity, device-rule
+// gating, fail-on policy, renderers, and a generated-corpus sweep.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "tytra/cost/calibration.hpp"
+#include "tytra/ir/lint.hpp"
+#include "tytra/ir/parser.hpp"
+#include "tytra/ir/verifier.hpp"
+#include "tytra/kernels/generator.hpp"
+#include "tytra/support/json.hpp"
+#include "tytra/target/device.hpp"
+
+namespace {
+
+using namespace tytra;
+using namespace tytra::ir;
+using namespace tytra::ir::lint;
+
+/// Parses, verifies (lint's precondition) and lints one module.
+LintReport lint_source(const std::string& source,
+                       const cost::DeviceCostDb* db = nullptr) {
+  auto parsed = parse_module(source);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << parsed.diag().message;
+    return {};
+  }
+  const Module& m = parsed.value().module;
+  EXPECT_TRUE(verify_ok(m)) << verify(m).to_string();
+  Options options;
+  options.db = db;
+  return run_lint(m, options);
+}
+
+std::size_t count_code(const LintReport& report, std::string_view code) {
+  std::size_t n = 0;
+  for (const auto& d : report.findings.all()) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+bool has_code(const LintReport& report, std::string_view code) {
+  return count_code(report, code) > 0;
+}
+
+/// The shared minimal well-formed design: one input stream, one output
+/// stream, a single pipe stage. Structurally clean — the twin of most
+/// triggering fixtures below.
+const char* const kBaseHeader = R"(
+!name = t
+!ngs = 64
+!form = B
+memobj @m_a global ui32 x 64
+memobj @m_o global ui32 x 64
+stream @sa reads @m_a pattern cont
+stream @so writes @m_o pattern cont
+@main.a = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sa"
+@main.o = addrSpace(1) ui32, !"ostream", !"CONT", !0, !"so"
+)";
+
+const char* const kBaseBody = R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+
+std::string base_module() { return std::string(kBaseHeader) + kBaseBody; }
+
+// ---------------------------------------------------------------------------
+// Framework
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, HasAllCodedRulesWithUniqueCodes) {
+  const Registry& reg = Registry::instance();
+  ASSERT_GE(reg.rules().size(), 13u);
+  std::set<std::string_view> codes;
+  for (const Rule& rule : reg.rules()) {
+    EXPECT_TRUE(codes.insert(rule.info.code).second)
+        << "duplicate code " << rule.info.code;
+    EXPECT_FALSE(rule.info.name.empty());
+    EXPECT_FALSE(rule.info.summary.empty());
+  }
+  for (const char* code :
+       {"TL001", "TL002", "TL003", "TL004", "TL005", "TL006", "TL007",
+        "TL008", "TL009", "TL010", "TL011", "TL012", "TL013"}) {
+    EXPECT_NE(reg.find(code), nullptr) << code;
+  }
+  EXPECT_EQ(reg.find("TL999"), nullptr);
+}
+
+TEST(LintRegistry, DeviceRulesAreSkippedWithoutADevice) {
+  const LintReport without = lint_source(base_module());
+  const auto db = cost::DeviceCostDb::calibrate(*target::preset("fig15"));
+  const LintReport with = lint_source(base_module(), &db);
+  EXPECT_EQ(with.rules_run, Registry::instance().rules().size());
+  EXPECT_EQ(without.rules_run + 2, with.rules_run);  // TL006 + TL008 gated
+}
+
+TEST(Lint, BaseFixtureIsStructurallyClean) {
+  const LintReport report = lint_source(base_module());
+  EXPECT_TRUE(report.clean()) << format_lint(report, "base");
+}
+
+TEST(Lint, FailOnPolicy) {
+  LintReport clean;
+  clean.rules_run = 1;
+  EXPECT_FALSE(fails(clean, FailOn::Error));
+  EXPECT_FALSE(fails(clean, FailOn::Warning));
+
+  LintReport warned;
+  warned.findings.warning("w");
+  EXPECT_FALSE(fails(warned, FailOn::Error));
+  EXPECT_TRUE(fails(warned, FailOn::Warning));
+
+  LintReport errored;
+  errored.findings.error("e");
+  EXPECT_TRUE(fails(errored, FailOn::Error));
+  EXPECT_TRUE(fails(errored, FailOn::Warning));
+}
+
+TEST(Lint, RenderersAgreeWithTheReport) {
+  std::string src = base_module();
+  src += "memobj @m_dead global ui32 x 64\n";
+  const LintReport report = lint_source(src);
+  const std::string text = format_lint(report, "fixture");
+  EXPECT_NE(text.find("lint fixture: 1 warning"), std::string::npos) << text;
+  EXPECT_NE(text.find("[TL001]"), std::string::npos) << text;
+
+  const std::string rendered = format_lint_json(report, "fixture");
+  auto parsed = json::parse(rendered);
+  ASSERT_TRUE(parsed.ok()) << rendered;
+  const json::Value& v = parsed.value();
+  EXPECT_EQ(v.get_string("name").value_or(""), "fixture");
+  EXPECT_FALSE(v.get_bool("clean").value_or(true));
+  ASSERT_NE(v.find("findings"), nullptr);
+  EXPECT_TRUE(v.find("findings")->is_array());
+}
+
+TEST(Lint, RuleCatalogListsEveryRule) {
+  const std::string catalog = format_rules(Registry::instance());
+  for (const Rule& rule : Registry::instance().rules()) {
+    EXPECT_NE(catalog.find(rule.info.code), std::string::npos)
+        << rule.info.code;
+    EXPECT_NE(catalog.find(rule.info.name), std::string::npos)
+        << rule.info.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structure rules: trigger + silent twin per code
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, TL001UnusedMemobj) {
+  std::string src = base_module();
+  src += "memobj @m_dead global ui32 x 64\n";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL001"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL001"));
+}
+
+TEST(LintRules, TL002UnusedStreamobj) {
+  std::string src = base_module();
+  src += "memobj @m_x global ui32 x 64\n";
+  src += "stream @sx reads @m_x pattern cont\n";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL002"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(report, "TL001"));  // @m_x is connected
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL002"));
+}
+
+TEST(LintRules, TL003UnusedParam) {
+  std::string src(kBaseHeader);
+  src += R"(
+memobj @m_u global ui32 x 64
+stream @su reads @m_u pattern cont
+@main.u = addrSpace(1) ui32, !"istream", !"CONT", !0, !"su"
+define void @f(ui32 %a, ui32 %u, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @u, @o) pipe
+}
+)";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL003"), 1u) << format_lint(report, "t");
+  // The output param %o is NOT unused: `@o = mov` stores through it.
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL003"));
+}
+
+TEST(LintRules, TL004UnreachableFunction) {
+  std::string src = base_module();
+  src += R"(
+define void @g(ui32 %x) pipe {
+  ui32 %t = add ui32 %x, 1
+}
+)";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL004"), 1u) << format_lint(report, "t");
+  // Unused params of unreachable functions are not double-reported.
+  EXPECT_FALSE(has_code(report, "TL003"));
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL004"));
+}
+
+TEST(LintRules, TL005SeqSerializesPipeline) {
+  const char* const tail = R"(
+memobj @m_b global ui32 x 64
+memobj @m_p global ui32 x 64
+stream @sb reads @m_b pattern cont
+stream @sp writes @m_p pattern cont
+@main.b = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sb"
+@main.p = addrSpace(1) ui32, !"ostream", !"CONT", !0, !"sp"
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+}
+define void @s(ui32 %b, ui32 %p) KIND {
+  ui32 %t2 = add ui32 %b, 2
+  ui32 @p = mov ui32 %t2
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+  call @s(@b, @p) KIND
+}
+)";
+  const auto with_kind = [&](const std::string& kind) {
+    std::string body(tail);
+    std::size_t pos = 0;
+    while ((pos = body.find("KIND", pos)) != std::string::npos) {
+      body.replace(pos, 4, kind);
+    }
+    return std::string(kBaseHeader) + body;
+  };
+  const LintReport report = lint_source(with_kind("seq"));
+  EXPECT_EQ(count_code(report, "TL005"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(with_kind("pipe")), "TL005"));
+}
+
+TEST(LintRules, TL007LanesIndivisible) {
+  const auto with_lanes = [](int lanes) {
+    std::string src(kBaseHeader);
+    src += R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+}
+define void @main() par {
+)";
+    for (int i = 0; i < lanes; ++i) src += "  call @f(@a, @o) pipe\n";
+    src += "}\n";
+    return src;
+  };
+  // 64 work-items across 3 lanes leave a remainder; across 4 they don't.
+  const LintReport report = lint_source(with_lanes(3));
+  EXPECT_EQ(count_code(report, "TL007"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(with_lanes(4)), "TL007"));
+}
+
+TEST(LintRules, TL009DuplicateReduction) {
+  std::string src(kBaseHeader);
+  src += R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+  ui32 @acc = add ui32 %t, @acc
+  ui32 @acc = add ui32 %t, @acc
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL009"), 1u) << format_lint(report, "t");
+
+  std::string twin(kBaseHeader);
+  twin += R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = add ui32 %a, 1
+  ui32 @o = mov ui32 %t
+  ui32 @acc = add ui32 %t, @acc
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+  EXPECT_FALSE(has_code(lint_source(twin), "TL009"));
+}
+
+TEST(LintRules, TL010DeadPort) {
+  std::string src(kBaseHeader);
+  src += R"(
+memobj @m_d global ui32 x 64
+stream @sd reads @m_d pattern cont
+@main.d = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sd"
+)";
+  src += kBaseBody;
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL010"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL010"));
+}
+
+TEST(LintRules, TL011PipelineUnderfill) {
+  const auto with_ngs = [](int ngs) {
+    std::string src = "!name = t\n!ngs = " + std::to_string(ngs) + R"(
+!form = B
+memobj @m_a global ui32 x 64
+memobj @m_o global ui32 x 64
+stream @sa reads @m_a pattern cont
+stream @so writes @m_o pattern cont
+@main.a = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sa"
+@main.o = addrSpace(1) ui32, !"ostream", !"CONT", !0, !"so"
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %t = div ui32 %a, 3
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+    return src;
+  };
+  // A 32-bit divider alone is ~16 pipeline stages: 8 work-items never
+  // fill it, 64 do.
+  const LintReport report = lint_source(with_ngs(8));
+  EXPECT_EQ(count_code(report, "TL011"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(with_ngs(64)), "TL011"));
+}
+
+TEST(LintRules, TL012OffsetOutOfRangeIsAnError) {
+  const auto with_offset = [](const std::string& offset) {
+    std::string src(kBaseHeader);
+    src += R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %e = ui32 %a, !offset, !)" + offset + R"(
+  ui32 %t = add ui32 %e, 1
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+    return src;
+  };
+  const LintReport report = lint_source(with_offset("+100"));  // NGS is 64
+  EXPECT_EQ(count_code(report, "TL012"), 1u) << format_lint(report, "t");
+  EXPECT_GE(report.errors(), 1u);  // TL012 is an error, not a warning
+  EXPECT_TRUE(fails(report, FailOn::Error));
+  EXPECT_FALSE(has_code(lint_source(with_offset("+1")), "TL012"));
+}
+
+TEST(LintRules, TL013ConstantFoldable) {
+  std::string src(kBaseHeader);
+  src += R"(
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %c = add ui32 2, 3
+  ui32 %t = add ui32 %a, %c
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+  const LintReport report = lint_source(src);
+  EXPECT_EQ(count_code(report, "TL013"), 1u) << format_lint(report, "t");
+  EXPECT_FALSE(has_code(lint_source(base_module()), "TL013"));
+}
+
+// ---------------------------------------------------------------------------
+// Device-priced rules
+// ---------------------------------------------------------------------------
+
+/// fig15-profile: 1 Mibit of BRAM, so offset windows in the tens of
+/// thousands of 32-bit elements exhaust it.
+std::string offset_pressure_module(const std::string& offset) {
+  return R"(
+!name = t
+!ngs = 100000
+!form = B
+memobj @m_a global ui32 x 100000
+memobj @m_o global ui32 x 100000
+stream @sa reads @m_a pattern cont
+stream @so writes @m_o pattern cont
+@main.a = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sa"
+@main.o = addrSpace(1) ui32, !"ostream", !"CONT", !0, !"so"
+define void @f(ui32 %a, ui32 %o) pipe {
+  ui32 %e = ui32 %a, !offset, !)" +
+         offset + R"(
+  ui32 %t = add ui32 %e, 1
+  ui32 @o = mov ui32 %t
+}
+define void @main() pipe {
+  call @f(@a, @o) pipe
+}
+)";
+}
+
+TEST(LintRules, TL006OffsetBufferPressure) {
+  const auto db = cost::DeviceCostDb::calibrate(*target::preset("fig15"));
+  // 40000 x 32 bits = 1.28 Mbit > the device's 1.05 Mbit: unplaceable.
+  const LintReport over = lint_source(offset_pressure_module("+40000"), &db);
+  EXPECT_EQ(count_code(over, "TL006"), 1u) << format_lint(over, "t");
+  EXPECT_GE(over.errors(), 1u);
+  // 10000 x 32 bits = 320 kbit ~ 30%: placeable but lane-replication-hostile.
+  const LintReport warn = lint_source(offset_pressure_module("+10000"), &db);
+  EXPECT_EQ(count_code(warn, "TL006"), 1u) << format_lint(warn, "t");
+  EXPECT_EQ(warn.errors(), 0u);
+  // A 10-element window is noise.
+  const LintReport fine = lint_source(offset_pressure_module("+10"), &db);
+  EXPECT_FALSE(has_code(fine, "TL006")) << format_lint(fine, "t");
+}
+
+TEST(LintRules, TL008MemoryBound) {
+  const auto db =
+      cost::DeviceCostDb::calibrate(*target::preset("stratix-v-gsd8"));
+  // One add per 8 streamed bytes sits far under the bandwidth roof.
+  const LintReport report = lint_source(base_module(), &db);
+  EXPECT_EQ(count_code(report, "TL008"), 1u) << format_lint(report, "t");
+
+  // A 400-op chain per work-item over a DRAM-sized transfer (so the
+  // sustained-bandwidth scaling is not dominated by transfer startup) is
+  // compute-bound on the same device.
+  std::string busy = R"(
+!name = t
+!ngs = 1048576
+!form = B
+memobj @m_a global ui32 x 1048576
+memobj @m_o global ui32 x 1048576
+stream @sa reads @m_a pattern cont
+stream @so writes @m_o pattern cont
+@main.a = addrSpace(1) ui32, !"istream", !"CONT", !0, !"sa"
+@main.o = addrSpace(1) ui32, !"ostream", !"CONT", !0, !"so"
+)";
+  busy += "define void @f(ui32 %a, ui32 %o) pipe {\n";
+  busy += "  ui32 %t0 = add ui32 %a, 1\n";
+  for (int i = 1; i <= 400; ++i) {
+    busy += "  ui32 %t" + std::to_string(i) + " = mul ui32 %t" +
+            std::to_string(i - 1) + ", %a\n";
+  }
+  busy += "  ui32 @o = mov ui32 %t400\n}\n";
+  busy += "define void @main() pipe {\n  call @f(@a, @o) pipe\n}\n";
+  const LintReport compute = lint_source(busy, &db);
+  EXPECT_FALSE(has_code(compute, "TL008")) << format_lint(compute, "t");
+}
+
+// ---------------------------------------------------------------------------
+// Corpus sweep: generated designs must be lint-error-free
+// ---------------------------------------------------------------------------
+
+TEST(LintCorpus, GeneratedKernelsAreLintErrorFree) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Module m = kernels::generate_kernel(seed);
+    ASSERT_TRUE(verify_ok(m)) << "seed " << seed;
+    const LintReport report = run_lint(m);
+    EXPECT_EQ(report.errors(), 0u)
+        << "seed " << seed << ":\n"
+        << format_lint(report, "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace

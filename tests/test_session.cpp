@@ -385,7 +385,8 @@ TEST(Registry, SelfRegistrationAddsACustomWorkload) {
         cfg.nki = 2;
         return kernels::sor_lowerer(cfg);
       },
-      nullptr}};
+      nullptr,
+      {}}};
 
   auto& reg = Registry::instance();
   ASSERT_NE(reg.find("test-sor-mini"), nullptr);
@@ -398,7 +399,8 @@ TEST(Registry, SelfRegistrationAddsACustomWorkload) {
                    [](std::uint32_t) {
                      return kernels::sor_lowerer(kernels::SorConfig{});
                    },
-                   nullptr}),
+                   nullptr,
+                   {}}),
                std::invalid_argument);
 
   // A registered workload is immediately explorable through a session.

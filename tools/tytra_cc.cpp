@@ -29,14 +29,17 @@
 #include <vector>
 
 #include "tytra/codegen/verilog.hpp"
+#include "tytra/cost/calibration.hpp"
 #include "tytra/cost/report.hpp"
 #include "tytra/dse/cancel.hpp"
 #include "tytra/dse/session.hpp"
 #include "tytra/ir/analysis.hpp"
+#include "tytra/ir/lint.hpp"
 #include "tytra/ir/parser.hpp"
 #include "tytra/ir/printer.hpp"
 #include "tytra/ir/verifier.hpp"
 #include "tytra/kernels/file_workload.hpp"
+#include "tytra/kernels/lint_driver.hpp"
 #include "tytra/kernels/registry.hpp"
 #include "tytra/support/framing.hpp"
 #include "tytra/support/json.hpp"
@@ -104,8 +107,11 @@ std::string usage_text() {
   out += "       tytra-cc cache dump <file> [campaign flags] | "
          "load <file> | inspect <file> | verify <file>\n";
   out += "       tytra-cc list [--names] [--json] [--ir file.tir]...\n";
-  out += "       tytra-cc [explore|tune|campaign|list] --server SOCKET ...   "
-         "run via a tytra-dsed daemon (same output, shared warm cache)\n";
+  out += "       tytra-cc lint [<kernel>]... [--ir file.tir]... [--nd dim] "
+         "[--device " + presets + "|file.tgt] [--json] "
+         "[--fail-on error|warning] [--rules]\n";
+  out += "       tytra-cc [explore|tune|campaign|list|lint] --server SOCKET "
+         "...   run via a tytra-dsed daemon (same output, shared warm cache)\n";
   out += "       tytra-cc [ping|shutdown] --server SOCKET\n";
   return out;
 }
@@ -429,14 +435,25 @@ int run_campaign(const ExploreSpec& spec,
 
 /// Registers every --ir file as a workload named after its path. Prints
 /// the loader's diagnostic to stderr and fails (before any stdout output)
-/// when a file is unreadable, unparsable or unverifiable.
-bool register_ir_files(const std::vector<std::string>& irs) {
+/// when a file is unreadable, unparsable or unverifiable. With
+/// `announce_lint` the loader's advisory ir::lint findings go to stderr
+/// too (never failing the command); the lint subcommand passes false so
+/// its own report is the only rendering of the findings.
+bool register_ir_files(const std::vector<std::string>& irs,
+                       bool announce_lint = true) {
   for (const auto& path : irs) {
-    auto added =
-        kernels::register_file_workload(kernels::Registry::instance(), path);
+    std::vector<tytra::Diag> lint;
+    auto added = kernels::register_file_workload(kernels::Registry::instance(),
+                                                 path, &lint);
     if (!added.ok()) {
       std::fprintf(stderr, "tytra-cc: %s\n", added.error_message().c_str());
       return false;
+    }
+    if (announce_lint) {
+      for (const auto& d : lint) {
+        std::fprintf(stderr, "tytra-cc: %s: %s\n", path.c_str(),
+                     d.to_string().c_str());
+      }
     }
   }
   return true;
@@ -456,6 +473,138 @@ int run_list(bool names_only, bool json) {
                                : kernels::format_registry(registry);
   std::fwrite(out.data(), 1, out.size(), stdout);
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `tytra-cc lint`: the ir::lint pass framework over registered workloads
+// ---------------------------------------------------------------------------
+
+int run_via_server(const std::string& socket_path, const std::string& request);
+
+/// `tytra-cc lint [<kernel>]... [--ir f.tir]... [--nd n] [--device d]
+/// [--json] [--fail-on error|warning] [--rules] [--server S]`. Exit 0 =
+/// no finding at/above the threshold, 1 = findings or a runtime error
+/// (empty stdout), 2 = usage. The report itself is composed by
+/// kernels::run_lint_driver — the same function the daemon's `lint` verb
+/// renders through, so the two outputs cannot drift.
+int run_lint_command(int argc, char** argv) {
+  std::vector<std::string> targets;
+  std::vector<std::string> irs;
+  std::uint32_t nd = 0;
+  std::string device_spec = "stratix-v-gsd8";
+  bool json = false;
+  bool rules = false;
+  std::string fail_on = "error";
+  std::string server;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") { rules = true; continue; }
+    if (arg == "--json") { json = true; continue; }
+    const bool takes_value = arg == "--ir" || arg == "--nd" ||
+                             arg == "--device" || arg == "--fail-on" ||
+                             arg == "--server";
+    if (takes_value && i + 1 >= argc) {
+      return flag_error("lint: " + arg + " requires a value");
+    }
+    if (arg == "--ir") {
+      irs.emplace_back(argv[++i]);
+    } else if (arg == "--nd") {
+      if (!parse_u32(argv[++i], nd) || nd == 0) {
+        return flag_error("lint: --nd: '" + std::string(argv[i]) +
+                          "' is not a positive integer");
+      }
+    } else if (arg == "--device") {
+      device_spec = argv[++i];
+    } else if (arg == "--fail-on") {
+      fail_on = argv[++i];
+      if (fail_on != "error" && fail_on != "warning") {
+        return flag_error("lint: --fail-on: '" + fail_on +
+                          "' is not error|warning");
+      }
+    } else if (arg == "--server") {
+      server = argv[++i];
+    } else if (arg[0] == '-') {
+      return flag_error("lint: unknown or incomplete flag '" + arg + "'");
+    } else {
+      targets.emplace_back(arg);
+    }
+  }
+
+  if (rules) {
+    const std::string out =
+        ir::lint::format_rules(ir::lint::Registry::instance());
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+
+  // The lint report is the one rendering of the findings; suppress the
+  // loader's advisory stderr announcements to avoid printing them twice.
+  if (!register_ir_files(irs, /*announce_lint=*/false)) return 1;
+  targets.insert(targets.end(), irs.begin(), irs.end());
+  auto& registry = kernels::Registry::instance();
+  for (const auto& t : targets) {
+    // Validate locally in both modes, so the unknown-workload diagnostic
+    // is byte-identical with and without --server.
+    if (!registry.find(t)) {
+      std::fprintf(stderr, "tytra-cc: unknown workload '%s' (registered: %s)\n",
+                   t.c_str(), kernel_list().c_str());
+      return 1;
+    }
+  }
+
+  if (!server.empty()) {
+    // "All workloads" means the CLIENT's registry, exactly like campaign:
+    // another client's IR registrations on the daemon must not leak in.
+    const std::vector<std::string> expanded =
+        targets.empty() ? registry.names() : targets;
+    std::ostringstream os;
+    os << "{\"cmd\": \"lint\", \"targets\": [";
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+      os << (i ? ", " : "") << "\"" << json::escape(expanded[i]) << "\"";
+    }
+    os << "]";
+    if (nd != 0) os << ", \"nd\": " << nd;
+    os << ", \"json\": " << (json ? "true" : "false") << ", \"fail_on\": \""
+       << fail_on << "\", \"devices\": [\"" << json::escape(device_spec)
+       << "\"]";
+    if (!irs.empty()) {
+      os << ", \"irs\": [";
+      for (std::size_t i = 0; i < irs.size(); ++i) {
+        std::string text;
+        if (!read_file(irs[i], text)) {
+          std::fprintf(stderr, "tytra-cc: cannot read '%s'\n", irs[i].c_str());
+          return 1;
+        }
+        os << (i ? ", " : "") << "{\"name\": \"" << json::escape(irs[i])
+           << "\", \"source\": \"" << json::escape(text) << "\"}";
+      }
+      os << "]";
+    }
+    os << "}";
+    return run_via_server(server, os.str());
+  }
+
+  auto device = resolve_device(device_spec);
+  if (!device.ok()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", device.error_message().c_str());
+    return 1;
+  }
+  const cost::DeviceCostDb db = cost::DeviceCostDb::calibrate(device.value());
+
+  kernels::LintDriverOptions opts;
+  opts.targets = std::move(targets);
+  opts.nd = nd;
+  opts.db = &db;
+  opts.json = json;
+  opts.fail_on = fail_on == "warning" ? ir::lint::FailOn::Warning
+                                      : ir::lint::FailOn::Error;
+  const kernels::LintDriverResult result =
+      kernels::run_lint_driver(registry, opts);
+  if (!result.err.empty()) {
+    std::fprintf(stderr, "tytra-cc: %s\n", result.err.c_str());
+  }
+  std::fwrite(result.out.data(), 1, result.out.size(), stdout);
+  return result.exit_code;
 }
 
 // ---------------------------------------------------------------------------
@@ -833,6 +982,7 @@ int run_cache(int argc, char** argv) {
 
 int run_subcommand(const std::string& cmd, int argc, char** argv) {
   if (cmd == "cache") return run_cache(argc, argv);
+  if (cmd == "lint") return run_lint_command(argc, argv);
   if (cmd == "list") {
     bool names_only = false;
     bool json = false;
@@ -953,7 +1103,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (cmd == "explore" || cmd == "tune" || cmd == "campaign" ||
-        cmd == "cache" || cmd == "list") {
+        cmd == "cache" || cmd == "list" || cmd == "lint") {
       return run_subcommand(cmd, argc, argv);
     }
     if (cmd == "ping" || cmd == "shutdown") {
